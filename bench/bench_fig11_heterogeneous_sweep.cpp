@@ -1,0 +1,45 @@
+// Fig 11: queuing time / JCT reduction over Baseline as the fraction of
+// heterogeneous-capable jobs grows from 10% to 90% (Heterogeneous scenario:
+// fungible load disabled, heterogeneous training at 70% efficiency).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/common/table.h"
+
+int main() {
+  lyra::ExperimentConfig config;
+  config.scale = 0.4;
+  config.days = 5.0;
+  config.clear_fungible = true;
+  config = lyra::WithEnvOverrides(config);
+  lyra::PrintBanner("Fig 11: sweep over %% of heterogeneous-capable jobs", config);
+
+  lyra::RunSpec baseline;
+  baseline.scheduler = lyra::SchedulerKind::kFifo;
+  baseline.loaning = false;
+  lyra::ExperimentConfig base_config = config;
+  base_config.clear_fungible = false;  // the Baseline uses the raw trace
+  const lyra::SimulationResult base = RunExperiment(base_config, baseline);
+
+  lyra::TextTable table({"% heterogeneous", "queue reduction", "JCT reduction",
+                         "queue mean", "JCT mean", "preempt"});
+  for (double fraction : {0.10, 0.30, 0.50, 0.70, 0.90}) {
+    lyra::ExperimentConfig cfg = config;
+    cfg.heterogeneous_fraction = fraction;
+    lyra::RunSpec spec;
+    spec.scheduler = lyra::SchedulerKind::kLyra;
+    spec.loaning = true;
+    const lyra::SimulationResult r = RunExperiment(cfg, spec);
+    table.AddRow({lyra::FormatPercent(fraction, 0),
+                  lyra::FormatRatio(base.queuing.mean / r.queuing.mean),
+                  lyra::FormatRatio(base.jct.mean / r.jct.mean),
+                  lyra::Secs(r.queuing.mean), lyra::Secs(r.jct.mean),
+                  lyra::FormatPercent(r.preemption_ratio, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Fig 11): gains grow with more heterogeneous jobs but the\n"
+      "queuing-time reduction approaches its asymptotic limit at >=50%% — the 70%%\n"
+      "throughput penalty and limited inference availability cap the benefit.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig 12: reproducibility across ten bootstrapped 10-day traces. Each trace
+// resamples whole days (with replacement) from the full trace; Lyra's gains
+// in Basic and Ideal must be consistent across the resamples.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/lyra/lyra_scheduler.h"
+#include "src/predict/predictor.h"
+#include "src/sched/fifo.h"
+#include "src/sim/simulator.h"
+#include "src/workload/bootstrap.h"
+
+namespace {
+
+lyra::SimulationResult RunTrace(const lyra::ExperimentConfig& config,
+                                const lyra::Trace& trace, bool use_lyra, bool ideal) {
+  lyra::DiurnalTrafficOptions traffic;
+  traffic.duration = trace.duration + 8 * lyra::kDay;
+  traffic.seed = config.seed ^ 0x7aff1c;
+  lyra::InferenceClusterOptions inference_options;
+  inference_options.num_servers = config.inference_servers();
+  auto inference = std::make_unique<lyra::InferenceCluster>(
+      inference_options, lyra::DiurnalTrafficModel(traffic),
+      std::make_unique<lyra::SeasonalNaivePredictor>());
+
+  lyra::SimulatorOptions options;
+  options.training_servers = config.training_servers();
+  options.enable_loaning = use_lyra;
+  if (ideal) {
+    options.throughput.heterogeneous_efficiency = 1.0;
+  }
+  lyra::FifoScheduler fifo;
+  lyra::LyraScheduler lyra_scheduler;
+  lyra::LyraReclaimPolicy reclaim;
+  lyra::JobScheduler* scheduler =
+      use_lyra ? static_cast<lyra::JobScheduler*>(&lyra_scheduler) : &fifo;
+  lyra::Simulator sim(options, trace, scheduler, &reclaim, std::move(inference));
+  return sim.Run();
+}
+
+}  // namespace
+
+int main() {
+  lyra::ExperimentConfig config;
+  config.scale = 0.25;
+  config.days = 6.0;  // source trace; bootstrap composes longer ones
+  config = lyra::WithEnvOverrides(config);
+  const int bootstrap_days = 10;
+  const int num_traces = 10;
+  lyra::PrintBanner("Fig 12: ten bootstrapped traces, Basic and Ideal gains", config);
+
+  const lyra::Trace source = MakeTrace(config);
+  lyra::Rng rng(2712);
+
+  lyra::TextTable table({"trace", "Basic queue red.", "Basic JCT red.",
+                         "Ideal queue red.", "Ideal JCT red."});
+  double basic_jct_sum = 0.0;
+  double ideal_jct_sum = 0.0;
+  for (int t = 0; t < num_traces; ++t) {
+    lyra::Trace trace = BootstrapTrace(source, bootstrap_days, rng);
+    lyra::Trace ideal_trace = trace;
+    lyra::ApplyIdealScenario(ideal_trace);
+
+    const auto base = RunTrace(config, trace, false, false);
+    const auto basic = RunTrace(config, trace, true, false);
+    const auto ideal_base = RunTrace(config, ideal_trace, false, true);
+    const auto ideal = RunTrace(config, ideal_trace, true, true);
+
+    const double bq = base.queuing.mean / basic.queuing.mean;
+    const double bj = base.jct.mean / basic.jct.mean;
+    const double iq = ideal_base.queuing.mean / ideal.queuing.mean;
+    const double ij = ideal_base.jct.mean / ideal.jct.mean;
+    basic_jct_sum += bj;
+    ideal_jct_sum += ij;
+    table.AddRow({std::to_string(t), lyra::FormatRatio(bq), lyra::FormatRatio(bj),
+                  lyra::FormatRatio(iq), lyra::FormatRatio(ij)});
+  }
+  table.Print();
+  std::printf("\nmean JCT reduction: Basic %.2fx, Ideal %.2fx\n",
+              basic_jct_sum / num_traces, ideal_jct_sum / num_traces);
+  std::printf(
+      "Paper reference (Fig 12): gains of 1.45x/1.44x (Basic) and 2.47x/1.78x\n"
+      "(Ideal) on average; weekend-heavy resamples show smaller gains because the\n"
+      "training cluster is less busy — improvements are statistically consistent.\n");
+  return 0;
+}

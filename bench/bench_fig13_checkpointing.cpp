@@ -1,0 +1,62 @@
+// Fig 13: impact of checkpointing prevalence. As more jobs checkpoint,
+// preempted jobs resume instead of restarting from scratch, and both queuing
+// and JCT improve (Ideal scenario with loaning, §7.3).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/common/table.h"
+
+int main() {
+  lyra::ExperimentConfig config;
+  config.scale = 0.4;
+  config.days = 5.0;
+  config.ideal = true;
+  config = lyra::WithEnvOverrides(config);
+  lyra::PrintBanner("Fig 13: sweep over %% of jobs with checkpointing (Ideal)", config);
+
+  lyra::TextTable table({"% with checkpoint", "queue mean", "JCT mean", "preempt",
+                         "JCT vs 0%"});
+  double jct_at_zero = 0.0;
+  for (double fraction : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    lyra::ExperimentConfig cfg = config;
+    cfg.checkpointing_fraction = fraction;
+    lyra::RunSpec spec;
+    spec.scheduler = lyra::SchedulerKind::kLyra;
+    spec.loaning = true;
+    spec.throughput.heterogeneous_efficiency = 1.0;
+    const lyra::SimulationResult r = RunExperiment(cfg, spec);
+    if (fraction == 0.0) {
+      jct_at_zero = r.jct.mean;
+    }
+    table.AddRow({lyra::FormatPercent(fraction, 0), lyra::Secs(r.queuing.mean),
+                  lyra::Secs(r.jct.mean), lyra::FormatPercent(r.preemption_ratio, 2),
+                  lyra::FormatRatio(jct_at_zero / r.jct.mean)});
+  }
+  table.Print();
+
+  // Extension: CheckFreq-style periodic checkpoints. Coarser intervals lose
+  // more progress per preemption, interpolating between the paper's
+  // no-checkpoint and checkpoint-on-preempt extremes.
+  std::printf("\n--- checkpoint-interval sweep (all jobs checkpointing) ---\n");
+  lyra::TextTable interval_table({"checkpoint interval", "JCT mean", "preempt"});
+  for (double interval : {0.0, 600.0, 3600.0, 4.0 * lyra::kHour}) {
+    lyra::ExperimentConfig cfg = config;
+    cfg.checkpointing_fraction = 1.0;
+    lyra::RunSpec spec;
+    spec.scheduler = lyra::SchedulerKind::kLyra;
+    spec.loaning = true;
+    spec.throughput.heterogeneous_efficiency = 1.0;
+    spec.checkpoint_interval = interval;
+    const lyra::SimulationResult r = RunExperiment(cfg, spec);
+    interval_table.AddRow({interval == 0.0 ? "on preempt"
+                                           : lyra::Secs(interval) + "s",
+                           lyra::Secs(r.jct.mean),
+                           lyra::FormatPercent(r.preemption_ratio, 2)});
+  }
+  interval_table.Print();
+  std::printf(
+      "\nPaper reference (Fig 13): prevalent checkpointing consistently improves\n"
+      "Lyra — at 80%% checkpointed jobs the preemption *cost* mostly disappears and\n"
+      "average JCT improves by up to 1.24x over the no-checkpoint default.\n");
+  return 0;
+}

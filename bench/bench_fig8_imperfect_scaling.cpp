@@ -1,0 +1,50 @@
+// Fig 8: Lyra's gains over Baseline when elastic jobs scale imperfectly
+// (each added worker contributes only 80% of a base worker), in the Basic
+// and Ideal scenarios.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/common/table.h"
+
+int main() {
+  lyra::ExperimentConfig config;
+  config.scale = 0.5;
+  config.days = 6.0;
+  config = lyra::WithEnvOverrides(config);
+  lyra::PrintBanner("Fig 8: gains under imperfect (non-linear) scaling", config);
+
+  lyra::RunSpec baseline;
+  baseline.scheduler = lyra::SchedulerKind::kFifo;
+  baseline.loaning = false;
+  const lyra::SimulationResult base = RunExperiment(config, baseline);
+
+  lyra::ExperimentConfig ideal = config;
+  ideal.ideal = true;
+
+  lyra::TextTable table({"scenario", "scaling", "queue reduction", "JCT reduction",
+                         "JCT mean"});
+  for (const auto& [name, cfg] :
+       std::vector<std::pair<const char*, lyra::ExperimentConfig>>{{"Basic", config},
+                                                                   {"Ideal", ideal}}) {
+    for (double eff : {1.0, 0.8}) {
+      lyra::RunSpec spec;
+      spec.scheduler = lyra::SchedulerKind::kLyra;
+      spec.loaning = true;
+      spec.throughput.marginal_efficiency = eff;
+      if (cfg.ideal) {
+        spec.throughput.heterogeneous_efficiency = 1.0;
+      }
+      const lyra::SimulationResult r = RunExperiment(cfg, spec);
+      table.AddRow({name, eff == 1.0 ? "linear" : "imperfect (80%)",
+                    lyra::FormatRatio(base.queuing.mean / r.queuing.mean),
+                    lyra::FormatRatio(base.jct.mean / r.jct.mean),
+                    lyra::Secs(r.jct.mean)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Fig 8): imperfect scaling costs Basic only ~3-6%% (most\n"
+      "jobs are inelastic and base demands are always satisfied); Ideal JCT inflates\n"
+      "~10.5%% but the gain over Baseline remains ~1.7x.\n");
+  return 0;
+}

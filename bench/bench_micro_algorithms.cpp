@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark) for the §5.2 / §7.3 runtime claims:
+//   - the multiple-choice knapsack DP at production scale (paper: 0.02 s at
+//     354 items and 245 GPUs),
+//   - Lyra's greedy reclaiming vs the exhaustive optimal (paper: 1-3 ms vs
+//     ~420,000x more),
+//   - supporting primitives (preemption cost, BFD placement, LSTM step).
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/lyra/mckp.h"
+#include "src/lyra/reclaim.h"
+#include "src/predict/lstm.h"
+#include "src/sched/placement_util.h"
+
+namespace {
+
+std::vector<lyra::MckpGroup> RandomMckp(int total_items, std::uint64_t seed) {
+  lyra::Rng rng(seed);
+  std::vector<lyra::MckpGroup> groups;
+  int items = 0;
+  while (items < total_items) {
+    lyra::MckpGroup group;
+    const int n = static_cast<int>(rng.UniformInt(2, 8));
+    for (int i = 0; i < n; ++i) {
+      group.items.push_back(
+          {static_cast<int>(rng.UniformInt(1, 16)), rng.Uniform(1.0, 5000.0)});
+    }
+    items += n;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+void BM_MckpPaperScale(benchmark::State& state) {
+  // The exact instance size from §5.2: 354 items, 245 GPUs of capacity.
+  const auto groups = RandomMckp(354, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lyra::SolveMckp(groups, 245));
+  }
+}
+BENCHMARK(BM_MckpPaperScale);
+
+void BM_MckpByCapacity(benchmark::State& state) {
+  const auto groups = RandomMckp(400, 7);
+  const int capacity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lyra::SolveMckp(groups, capacity));
+  }
+}
+BENCHMARK(BM_MckpByCapacity)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+lyra::ClusterState ReclaimInstance(int servers, std::uint64_t seed) {
+  lyra::Rng rng(seed);
+  lyra::ClusterState cluster;
+  std::vector<lyra::ServerId> ids;
+  for (int s = 0; s < servers; ++s) {
+    ids.push_back(
+        cluster.AddServer(lyra::GpuType::kInferenceT4, 8, lyra::ServerPool::kOnLoan));
+  }
+  const int jobs = servers * 3 / 2;
+  for (int j = 0; j < jobs; ++j) {
+    const int spans = static_cast<int>(rng.UniformInt(1, 3));
+    const int start = static_cast<int>(rng.UniformInt(0, servers - 1));
+    for (int k = 0; k < spans; ++k) {
+      auto& server =
+          cluster.mutable_server(ids[static_cast<std::size_t>((start + k) % servers)]);
+      if (server.free_gpus() >= 2) {
+        cluster.Place(lyra::JobId(j), server.id(), 2, false);
+      }
+    }
+  }
+  return cluster;
+}
+
+void BM_LyraReclaimHeuristic(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    lyra::ClusterState cluster = ReclaimInstance(servers, 11);
+    lyra::LyraReclaimPolicy policy;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(policy.Reclaim(cluster, servers / 3));
+  }
+}
+BENCHMARK(BM_LyraReclaimHeuristic)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_OptimalReclaimExhaustive(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    lyra::ClusterState cluster = ReclaimInstance(servers, 11);
+    lyra::OptimalReclaimPolicy policy;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(policy.Reclaim(cluster, servers / 3));
+  }
+}
+// The exhaustive search is exponential: 20 servers is already expensive.
+BENCHMARK(BM_OptimalReclaimExhaustive)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_ServerPreemptionCost(benchmark::State& state) {
+  const lyra::ClusterState cluster = ReclaimInstance(256, 13);
+  const auto servers = cluster.ServersInPool(lyra::ServerPool::kOnLoan);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (lyra::ServerId id : servers) {
+      total += lyra::ServerPreemptionCost(cluster, id);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ServerPreemptionCost);
+
+void BM_BestFitPlacement(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    lyra::ClusterState cluster;
+    for (int s = 0; s < 443; ++s) {
+      cluster.AddServer(lyra::GpuType::kTrainingV100, 8, lyra::ServerPool::kTraining);
+    }
+    state.ResumeTiming();
+    // Place 100 8-GPU jobs best-fit across the full production-scale cluster.
+    for (int j = 0; j < 100; ++j) {
+      lyra::PlaceRequest request;
+      request.job = lyra::JobId(j);
+      request.gpus_per_worker = 8;
+      request.workers = 1;
+      benchmark::DoNotOptimize(lyra::TryPlaceWorkers(cluster, request));
+    }
+  }
+}
+BENCHMARK(BM_BestFitPlacement);
+
+void BM_LstmTrainStep(benchmark::State& state) {
+  lyra::LstmOptions options;
+  lyra::LstmNetwork network(options);
+  std::vector<double> window(10, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.TrainStep(window, 0.6));
+  }
+}
+BENCHMARK(BM_LstmTrainStep);
+
+void BM_LstmForward(benchmark::State& state) {
+  lyra::LstmOptions options;
+  lyra::LstmNetwork network(options);
+  std::vector<double> window(10, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network.Forward(window));
+  }
+}
+BENCHMARK(BM_LstmForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

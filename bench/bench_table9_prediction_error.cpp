@@ -1,0 +1,39 @@
+// Table 9: sensitivity to running-time estimation error. A fraction of jobs
+// gets a wrong estimate (uniform error within 25%); Lyra's reductions over
+// Baseline should stay consistent up to ~60% wrong predictions.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/common/table.h"
+
+int main() {
+  lyra::ExperimentConfig config;
+  config.scale = 0.5;
+  config.days = 6.0;
+  config = lyra::WithEnvOverrides(config);
+  lyra::PrintBanner("Table 9: sensitivity to running-time misprediction", config);
+
+  lyra::RunSpec baseline;
+  baseline.scheduler = lyra::SchedulerKind::kFifo;
+  baseline.loaning = false;
+  const lyra::SimulationResult base = RunExperiment(config, baseline);
+
+  lyra::TextTable table({"% wrong predictions", "queue reduction", "JCT reduction",
+                         "queue mean", "JCT mean"});
+  for (double wrong : {0.0, 0.2, 0.4, 0.6}) {
+    lyra::RunSpec spec;
+    spec.scheduler = lyra::SchedulerKind::kLyra;
+    spec.loaning = true;
+    spec.misprediction_fraction = wrong;
+    const lyra::SimulationResult r = RunExperiment(config, spec);
+    table.AddRow({lyra::FormatPercent(wrong, 0),
+                  lyra::FormatRatio(base.queuing.mean / r.queuing.mean),
+                  lyra::FormatRatio(base.jct.mean / r.jct.mean),
+                  lyra::Secs(r.queuing.mean), lyra::Secs(r.jct.mean)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper reference (Table 9): 2.21x/1.52x at 20%% wrong, 2.17x/1.49x at 40%%,\n"
+      "1.76x/1.38x at 60%% — gains degrade gracefully with estimation error.\n");
+  return 0;
+}

@@ -1,0 +1,208 @@
+#include "bench/harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+#include "src/lyra/lyra_scheduler.h"
+#include "src/lyra/reclaim.h"
+#include "src/predict/lstm.h"
+#include "src/sched/afs.h"
+#include "src/sched/fifo.h"
+#include "src/sched/gandiva.h"
+#include "src/sched/opportunistic.h"
+#include "src/sched/pollux.h"
+
+namespace lyra {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+}  // namespace
+
+int ExperimentConfig::training_servers() const {
+  return std::max(1, static_cast<int>(std::lround(443 * scale)));
+}
+
+int ExperimentConfig::inference_servers() const {
+  return std::max(1, static_cast<int>(std::lround(520 * scale)));
+}
+
+ExperimentConfig WithEnvOverrides(ExperimentConfig config) {
+  config.scale = EnvDouble("LYRA_BENCH_SCALE", config.scale);
+  config.days = EnvDouble("LYRA_BENCH_DAYS", config.days);
+  return config;
+}
+
+Trace MakeTrace(const ExperimentConfig& config) {
+  SyntheticTraceOptions options;
+  options.duration = config.days * kDay;
+  options.training_gpus = config.training_servers() * 8;
+  options.target_utilization = config.offered_load;
+  options.elastic_work_fraction = config.elastic_work_fraction;
+  options.fungible_job_fraction = config.fungible_fraction;
+  options.heterogeneous_job_fraction = config.heterogeneous_fraction;
+  options.checkpointing_fraction = config.checkpointing_fraction;
+  options.seed = config.seed;
+  Trace trace = SyntheticTraceGenerator(options).Generate();
+
+  Rng rng(config.seed ^ 0x5eed);
+  if (config.ideal) {
+    ApplyIdealScenario(trace);
+  }
+  if (config.clear_fungible) {
+    ClearFungibleFlags(trace);
+  }
+  if (config.elastic_job_population > 0.0) {
+    ApplyElasticFraction(trace, config.elastic_job_population, rng);
+  }
+  return trace;
+}
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return "FIFO";
+    case SchedulerKind::kSjf:
+      return "SJF";
+    case SchedulerKind::kGandiva:
+      return "Gandiva";
+    case SchedulerKind::kAfs:
+      return "AFS";
+    case SchedulerKind::kPollux:
+      return "Pollux";
+    case SchedulerKind::kLyra:
+      return "Lyra";
+    case SchedulerKind::kLyraTuned:
+      return "Lyra+TunedJobs";
+    case SchedulerKind::kLyraNaivePlacement:
+      return "Lyra (naive placement)";
+    case SchedulerKind::kLyraNoElastic:
+      return "Lyra (no scaling)";
+    case SchedulerKind::kOpportunistic:
+      return "Opportunistic";
+  }
+  return "?";
+}
+
+const char* ReclaimKindName(ReclaimKind kind) {
+  switch (kind) {
+    case ReclaimKind::kLyra:
+      return "Lyra";
+    case ReclaimKind::kRandom:
+      return "Random";
+    case ReclaimKind::kScf:
+      return "SCF";
+    case ReclaimKind::kOptimal:
+      return "Optimal";
+  }
+  return "?";
+}
+
+SimulationResult RunExperiment(const ExperimentConfig& config, const RunSpec& spec) {
+  const Trace trace = MakeTrace(config);
+
+  std::unique_ptr<JobScheduler> scheduler;
+  switch (spec.scheduler) {
+    case SchedulerKind::kFifo:
+      scheduler = std::make_unique<FifoScheduler>();
+      break;
+    case SchedulerKind::kSjf:
+      scheduler = std::make_unique<SjfScheduler>();
+      break;
+    case SchedulerKind::kGandiva:
+      scheduler = std::make_unique<GandivaScheduler>();
+      break;
+    case SchedulerKind::kAfs:
+      scheduler = std::make_unique<AfsScheduler>();
+      break;
+    case SchedulerKind::kPollux:
+      scheduler = std::make_unique<PolluxScheduler>();
+      break;
+    case SchedulerKind::kLyra:
+      scheduler = std::make_unique<LyraScheduler>();
+      break;
+    case SchedulerKind::kLyraTuned: {
+      LyraSchedulerOptions options;
+      options.tuned_jobs = true;
+      scheduler = std::make_unique<LyraScheduler>(options);
+      break;
+    }
+    case SchedulerKind::kLyraNaivePlacement: {
+      LyraSchedulerOptions options;
+      options.naive_placement = true;
+      scheduler = std::make_unique<LyraScheduler>(options);
+      break;
+    }
+    case SchedulerKind::kLyraNoElastic: {
+      LyraSchedulerOptions options;
+      options.disable_elastic_scaling = true;
+      scheduler = std::make_unique<LyraScheduler>(options);
+      break;
+    }
+    case SchedulerKind::kOpportunistic:
+      scheduler = std::make_unique<OpportunisticScheduler>();
+      break;
+  }
+
+  std::unique_ptr<ReclaimPolicy> reclaim;
+  switch (spec.reclaim) {
+    case ReclaimKind::kLyra:
+      reclaim = std::make_unique<LyraReclaimPolicy>();
+      break;
+    case ReclaimKind::kRandom:
+      reclaim = std::make_unique<RandomReclaimPolicy>();
+      break;
+    case ReclaimKind::kScf:
+      reclaim = std::make_unique<ScfReclaimPolicy>();
+      break;
+    case ReclaimKind::kOptimal:
+      reclaim = std::make_unique<OptimalReclaimPolicy>();
+      break;
+  }
+
+  DiurnalTrafficOptions traffic;
+  traffic.duration = (config.days + 8) * kDay;
+  traffic.seed = config.seed ^ 0x7aff1c;
+  InferenceClusterOptions inference_options;
+  inference_options.num_servers = config.inference_servers();
+  std::unique_ptr<UsagePredictor> predictor;
+  if (spec.lstm_predictor) {
+    predictor = std::make_unique<LstmPredictor>();
+  } else {
+    predictor = std::make_unique<SeasonalNaivePredictor>();
+  }
+  auto inference = std::make_unique<InferenceCluster>(
+      inference_options, DiurnalTrafficModel(traffic), std::move(predictor));
+
+  SimulatorOptions options;
+  options.training_servers = config.training_servers();
+  options.enable_loaning = spec.loaning;
+  options.throughput = spec.throughput;
+  options.misprediction_fraction = spec.misprediction_fraction;
+  options.checkpoint_interval = spec.checkpoint_interval;
+  options.record_series = spec.record_series;
+  Simulator simulator(options, trace, scheduler.get(), reclaim.get(), std::move(inference));
+  return simulator.Run();
+}
+
+std::string Secs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", seconds);
+  return buf;
+}
+
+void PrintBanner(const std::string& experiment, const ExperimentConfig& config) {
+  std::printf("=== %s ===\n", experiment.c_str());
+  std::printf(
+      "cluster: %d training + %d inference servers (scale %.2f), trace: %.1f days, "
+      "offered load %.2f\n\n",
+      config.training_servers(), config.inference_servers(), config.scale, config.days,
+      config.offered_load);
+}
+
+}  // namespace lyra

@@ -1,0 +1,92 @@
+// Shared experiment harness for the bench binaries.
+//
+// Each bench reproduces one table or figure from the paper. The harness
+// provides the scenario vocabulary of §7.1 (trace scenarios, scheduler and
+// reclaiming schemes) and a single RunExperiment entry point so benches stay
+// declarative. Cluster scale and trace length default to the paper's values
+// and can be reduced via LYRA_BENCH_SCALE / LYRA_BENCH_DAYS for quick runs.
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/workload/synthetic.h"
+
+namespace lyra {
+
+struct ExperimentConfig {
+  // Cluster scale multiplier: 1.0 = the paper's 443 training + 520 inference
+  // servers. The synthetic trace is calibrated to the scaled cluster.
+  double scale = 1.0;
+  double days = 15.0;
+  double offered_load = 0.95;
+  double elastic_work_fraction = 0.36;
+  double fungible_fraction = 0.21;
+  double heterogeneous_fraction = 0.0;
+  double checkpointing_fraction = 0.0;
+  // Grow the elastic share of the job population to this fraction (Figs
+  // 14-16); <= 0 leaves the trace as generated.
+  double elastic_job_population = 0.0;
+  bool ideal = false;           // Ideal scenario transform (§7.1)
+  bool clear_fungible = false;  // Heterogeneous scenario drops fungible load
+  std::uint64_t seed = 42;
+
+  int training_servers() const;
+  int inference_servers() const;
+};
+
+// Applies environment overrides (LYRA_BENCH_SCALE, LYRA_BENCH_DAYS) on top of
+// the bench's defaults, so the full suite can be shrunk uniformly.
+ExperimentConfig WithEnvOverrides(ExperimentConfig config);
+
+Trace MakeTrace(const ExperimentConfig& config);
+
+enum class SchedulerKind {
+  kFifo,
+  kSjf,
+  kGandiva,
+  kAfs,
+  kPollux,
+  kLyra,
+  kLyraTuned,
+  kLyraNaivePlacement,  // Table 6 ablation
+  kLyraNoElastic,       // capacity-loaning-only studies (§7.3)
+  kOpportunistic,
+};
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+enum class ReclaimKind {
+  kLyra,
+  kRandom,
+  kScf,
+  kOptimal,
+};
+
+const char* ReclaimKindName(ReclaimKind kind);
+
+struct RunSpec {
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  ReclaimKind reclaim = ReclaimKind::kLyra;
+  bool loaning = false;
+  ThroughputOptions throughput;
+  double misprediction_fraction = 0.0;
+  TimeSec checkpoint_interval = 0.0;
+  bool record_series = false;
+  // Use the LSTM usage predictor instead of seasonal-naive (slower).
+  bool lstm_predictor = false;
+};
+
+SimulationResult RunExperiment(const ExperimentConfig& config, const RunSpec& spec);
+
+// Formats seconds with no decimals, e.g. for table cells.
+std::string Secs(double seconds);
+
+// Prints the standard bench banner (experiment id + configuration).
+void PrintBanner(const std::string& experiment, const ExperimentConfig& config);
+
+}  // namespace lyra
+
+#endif  // BENCH_HARNESS_H_

@@ -1,0 +1,213 @@
+#include "src/cluster/cluster_state.h"
+
+#include <algorithm>
+
+namespace lyra {
+
+int JobPlacement::total_gpus() const {
+  int total = 0;
+  for (const auto& [server, share] : shares) {
+    total += share.total();
+  }
+  return total;
+}
+
+int JobPlacement::base_gpus() const {
+  int total = 0;
+  for (const auto& [server, share] : shares) {
+    total += share.base_gpus;
+  }
+  return total;
+}
+
+int JobPlacement::flexible_gpus() const {
+  int total = 0;
+  for (const auto& [server, share] : shares) {
+    total += share.flexible_gpus;
+  }
+  return total;
+}
+
+ClusterState ClusterState::Clone() const {
+  ClusterState copy;
+  copy.servers_ = servers_;
+  copy.placements_ = placements_;
+  return copy;
+}
+
+ServerId ClusterState::AddServer(GpuType gpu_type, int num_gpus, ServerPool pool) {
+  const ServerId id(static_cast<std::int64_t>(servers_.size()));
+  servers_.emplace_back(id, gpu_type, num_gpus, pool);
+  return id;
+}
+
+const Server& ClusterState::server(ServerId id) const {
+  LYRA_CHECK(id.valid());
+  LYRA_CHECK_LT(static_cast<std::size_t>(id.value), servers_.size());
+  return servers_[static_cast<std::size_t>(id.value)];
+}
+
+Server& ClusterState::mutable_server(ServerId id) {
+  return const_cast<Server&>(static_cast<const ClusterState*>(this)->server(id));
+}
+
+std::vector<ServerId> ClusterState::ServersInPool(ServerPool pool) const {
+  std::vector<ServerId> out;
+  for (const Server& s : servers_) {
+    if (s.pool() == pool) {
+      out.push_back(s.id());
+    }
+  }
+  return out;
+}
+
+std::vector<ServerId> ClusterState::TrainingVisibleServers() const {
+  std::vector<ServerId> out;
+  for (const Server& s : servers_) {
+    if (s.pool() == ServerPool::kTraining || s.pool() == ServerPool::kOnLoan) {
+      out.push_back(s.id());
+    }
+  }
+  return out;
+}
+
+void ClusterState::Place(JobId job, ServerId server_id, int gpus, bool flexible) {
+  Server& srv = mutable_server(server_id);
+  srv.Place(job, gpus, flexible);
+  GpuShare& share = placements_[job].shares[server_id];
+  if (flexible) {
+    share.flexible_gpus += gpus;
+  } else {
+    share.base_gpus += gpus;
+  }
+}
+
+void ClusterState::RemoveJob(JobId job) {
+  auto it = placements_.find(job);
+  if (it == placements_.end()) {
+    return;
+  }
+  for (const auto& [server_id, share] : it->second.shares) {
+    mutable_server(server_id).RemoveJob(job);
+  }
+  placements_.erase(it);
+}
+
+int ClusterState::RemoveFlexible(JobId job, ServerId server_id, int gpus) {
+  auto it = placements_.find(job);
+  if (it == placements_.end()) {
+    return 0;
+  }
+  auto share_it = it->second.shares.find(server_id);
+  if (share_it == it->second.shares.end()) {
+    return 0;
+  }
+  const int removed = mutable_server(server_id).RemoveFlexible(job, gpus);
+  share_it->second.flexible_gpus -= removed;
+  LYRA_CHECK_GE(share_it->second.flexible_gpus, 0);
+  if (share_it->second.total() == 0) {
+    it->second.shares.erase(share_it);
+  }
+  if (it->second.shares.empty()) {
+    placements_.erase(it);
+  }
+  return removed;
+}
+
+int ClusterState::RemoveAllFlexible(JobId job) {
+  auto it = placements_.find(job);
+  if (it == placements_.end()) {
+    return 0;
+  }
+  // Collect first: RemoveFlexible mutates the share map we are iterating.
+  std::vector<std::pair<ServerId, int>> flex;
+  for (const auto& [server_id, share] : it->second.shares) {
+    if (share.flexible_gpus > 0) {
+      flex.emplace_back(server_id, share.flexible_gpus);
+    }
+  }
+  int released = 0;
+  for (const auto& [server_id, gpus] : flex) {
+    released += RemoveFlexible(job, server_id, gpus);
+  }
+  return released;
+}
+
+const JobPlacement* ClusterState::FindPlacement(JobId job) const {
+  auto it = placements_.find(job);
+  return it == placements_.end() ? nullptr : &it->second;
+}
+
+int ClusterState::NumServersHosting(JobId job) const {
+  const JobPlacement* placement = FindPlacement(job);
+  return placement == nullptr ? 0 : placement->num_servers();
+}
+
+Status ClusterState::LoanServer(ServerId id) {
+  Server& srv = mutable_server(id);
+  if (srv.pool() != ServerPool::kInference) {
+    return Status::FailedPrecondition("server is not in the inference pool");
+  }
+  srv.set_pool(ServerPool::kOnLoan);
+  return Status::Ok();
+}
+
+Status ClusterState::ReturnServer(ServerId id) {
+  Server& srv = mutable_server(id);
+  if (srv.pool() != ServerPool::kOnLoan) {
+    return Status::FailedPrecondition("server is not on loan");
+  }
+  if (!srv.idle()) {
+    return Status::FailedPrecondition("server still has running workers");
+  }
+  srv.set_pool(ServerPool::kInference);
+  return Status::Ok();
+}
+
+int ClusterState::TotalGpus(ServerPool pool) const {
+  int total = 0;
+  for (const Server& s : servers_) {
+    if (s.pool() == pool) {
+      total += s.num_gpus();
+    }
+  }
+  return total;
+}
+
+int ClusterState::UsedGpus(ServerPool pool) const {
+  int total = 0;
+  for (const Server& s : servers_) {
+    if (s.pool() == pool) {
+      total += s.used_gpus();
+    }
+  }
+  return total;
+}
+
+int ClusterState::FreeGpus(ServerPool pool) const {
+  return TotalGpus(pool) - UsedGpus(pool);
+}
+
+int ClusterState::TrainingSideFreeGpus() const {
+  return FreeGpus(ServerPool::kTraining) + FreeGpus(ServerPool::kOnLoan);
+}
+
+int ClusterState::TrainingSideTotalGpus() const {
+  return TotalGpus(ServerPool::kTraining) + TotalGpus(ServerPool::kOnLoan);
+}
+
+int ClusterState::TrainingSideUsedGpus() const {
+  return UsedGpus(ServerPool::kTraining) + UsedGpus(ServerPool::kOnLoan);
+}
+
+double ClusterState::TrainingSideFreeNormalized() const {
+  double total = 0.0;
+  for (const Server& s : servers_) {
+    if (s.pool() == ServerPool::kTraining || s.pool() == ServerPool::kOnLoan) {
+      total += s.free_gpus() * GpuComputeFactor(s.gpu_type());
+    }
+  }
+  return total;
+}
+
+}  // namespace lyra

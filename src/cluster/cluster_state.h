@@ -1,0 +1,118 @@
+// Mutable state of the combined training + inference GPU fleet.
+//
+// ClusterState owns every server and keeps a two-way index between jobs and
+// the servers hosting their workers. All placement mutations go through this
+// class so the job-side and server-side views can never diverge. It also
+// implements the whitelist semantics of capacity loaning (§6): loaning moves
+// a server from the inference pool to the on-loan pool (visible to the
+// training scheduler), returning moves it back once it is idle.
+#ifndef SRC_CLUSTER_CLUSTER_STATE_H_
+#define SRC_CLUSTER_CLUSTER_STATE_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/server.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace lyra {
+
+// Job-side view: which servers host this job and how many GPUs on each.
+struct JobPlacement {
+  std::map<ServerId, GpuShare> shares;
+
+  int total_gpus() const;
+  int base_gpus() const;
+  int flexible_gpus() const;
+  int num_servers() const { return static_cast<int>(shares.size()); }
+};
+
+class ClusterState {
+ public:
+  ClusterState() = default;
+
+  // Non-copyable: the state is large and holds identity; clone explicitly
+  // via Clone() where what-if analysis needs a scratch copy.
+  ClusterState(const ClusterState&) = delete;
+  ClusterState& operator=(const ClusterState&) = delete;
+  ClusterState(ClusterState&&) = default;
+  ClusterState& operator=(ClusterState&&) = default;
+
+  ClusterState Clone() const;
+
+  // --- Topology -------------------------------------------------------------
+
+  ServerId AddServer(GpuType gpu_type, int num_gpus, ServerPool pool);
+
+  const Server& server(ServerId id) const;
+  Server& mutable_server(ServerId id);
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  const std::vector<Server>& servers() const { return servers_; }
+
+  std::vector<ServerId> ServersInPool(ServerPool pool) const;
+
+  // Servers visible to the training scheduler: the training pool plus the
+  // on-loan pool (the training whitelist).
+  std::vector<ServerId> TrainingVisibleServers() const;
+
+  // --- Placement ------------------------------------------------------------
+
+  // Places `gpus` GPUs of the job on the server. Requires free capacity.
+  void Place(JobId job, ServerId server, int gpus, bool flexible);
+
+  // Removes the job from every server it occupies (a preemption or a
+  // completion). No-op if the job has no placement.
+  void RemoveJob(JobId job);
+
+  // Removes up to `gpus` flexible GPUs of the job from the given server;
+  // returns the number removed.
+  int RemoveFlexible(JobId job, ServerId server, int gpus);
+
+  // Scales the job in to its base demand: removes all flexible GPUs from all
+  // servers. Returns the total number of GPUs released.
+  int RemoveAllFlexible(JobId job);
+
+  // Null if the job currently occupies no server.
+  const JobPlacement* FindPlacement(JobId job) const;
+
+  // Number of distinct servers hosting the job (0 if not placed).
+  int NumServersHosting(JobId job) const;
+
+  const std::unordered_map<JobId, JobPlacement>& placements() const {
+    return placements_;
+  }
+
+  // --- Capacity loaning -----------------------------------------------------
+
+  // Moves an inference server into the training whitelist.
+  Status LoanServer(ServerId id);
+
+  // Returns an on-loan server to the inference cluster. The server must be
+  // idle: the orchestrator confirms no running workers before returning (§6).
+  Status ReturnServer(ServerId id);
+
+  // --- Capacity queries -------------------------------------------------------
+
+  int TotalGpus(ServerPool pool) const;
+  int UsedGpus(ServerPool pool) const;
+  int FreeGpus(ServerPool pool) const;
+
+  // Physical free GPUs on training-visible servers.
+  int TrainingSideFreeGpus() const;
+  int TrainingSideTotalGpus() const;
+  int TrainingSideUsedGpus() const;
+
+  // Free capacity on training-visible servers in training-GPU units: on-loan
+  // inference GPUs count at their normalization factor (§5.2).
+  double TrainingSideFreeNormalized() const;
+
+ private:
+  std::vector<Server> servers_;
+  std::unordered_map<JobId, JobPlacement> placements_;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_CLUSTER_CLUSTER_STATE_H_

@@ -1,0 +1,32 @@
+// CHECK-style invariant macros. A failed check is a programming error and
+// aborts the process; recoverable conditions use lyra::Status instead.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lyra {
+
+[[noreturn]] inline void CheckFailure(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace lyra
+
+#define LYRA_CHECK(expr)                                 \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::lyra::CheckFailure(__FILE__, __LINE__, #expr);   \
+    }                                                    \
+  } while (0)
+
+#define LYRA_CHECK_GE(a, b) LYRA_CHECK((a) >= (b))
+#define LYRA_CHECK_GT(a, b) LYRA_CHECK((a) > (b))
+#define LYRA_CHECK_LE(a, b) LYRA_CHECK((a) <= (b))
+#define LYRA_CHECK_LT(a, b) LYRA_CHECK((a) < (b))
+#define LYRA_CHECK_EQ(a, b) LYRA_CHECK((a) == (b))
+#define LYRA_CHECK_NE(a, b) LYRA_CHECK((a) != (b))
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,80 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace lyra {
+
+double Mean(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  LYRA_CHECK_GE(pct, 0.0);
+  LYRA_CHECK_LE(pct, 100.0);
+  std::sort(samples.begin(), samples.end());
+  const double rank = pct / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) {
+    return samples[lo];
+  }
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double StdDev(const std::vector<double>& samples) {
+  if (samples.size() < 2) {
+    return 0.0;
+  }
+  const double mu = Mean(samples);
+  double acc = 0.0;
+  for (double s : samples) {
+    acc += (s - mu) * (s - mu);
+  }
+  return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+Summary Summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  s.mean = Mean(samples);
+  s.p50 = Percentile(samples, 50.0);
+  s.p75 = Percentile(samples, 75.0);
+  s.p95 = Percentile(samples, 95.0);
+  s.p99 = Percentile(samples, 99.0);
+  s.max = *std::max_element(samples.begin(), samples.end());
+  return s;
+}
+
+void TimeWeightedMean::Advance(double now, double value) {
+  if (started_) {
+    LYRA_CHECK_GE(now, last_time_);
+    const double dt = now - last_time_;
+    weighted_sum_ += value * dt;
+    total_time_ += dt;
+  }
+  started_ = true;
+  last_time_ = now;
+}
+
+double TimeWeightedMean::mean() const {
+  return total_time_ > 0.0 ? weighted_sum_ / total_time_ : 0.0;
+}
+
+}  // namespace lyra

@@ -1,0 +1,74 @@
+// Summary-statistics helpers used by the metrics collector and benches.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lyra {
+
+// Mean of the samples; 0 for an empty vector.
+double Mean(const std::vector<double>& samples);
+
+// pct in [0, 100]. Linear interpolation between closest ranks, matching
+// numpy's default. Returns 0 for an empty vector.
+double Percentile(std::vector<double> samples, double pct);
+
+// Population standard deviation; 0 for fewer than two samples.
+double StdDev(const std::vector<double>& samples);
+
+// Convenience bundle of the statistics the paper reports per metric.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& samples);
+
+// Online accumulator for means over a time series (e.g. utilization samples).
+class RunningMean {
+ public:
+  void Add(double x) {
+    sum_ += x;
+    ++count_;
+  }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  std::size_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+// Time-weighted average of a piecewise-constant signal, e.g. GPU usage.
+class TimeWeightedMean {
+ public:
+  // Records that the signal held `value` since the previous call (or since
+  // construction). Calls must have non-decreasing `now`.
+  void Advance(double now, double value);
+
+  double mean() const;
+  double last_time() const { return last_time_; }
+
+  // Moves the clock forward without accumulating, for signals that are
+  // undefined over some periods (e.g. on-loan usage while nothing is loaned).
+  void Skip(double now) {
+    started_ = true;
+    last_time_ = now;
+  }
+
+ private:
+  bool started_ = false;
+  double last_time_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_time_ = 0.0;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_COMMON_STATS_H_

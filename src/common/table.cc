@@ -1,0 +1,78 @@
+#include "src/common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lyra {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        out << ' ';
+      }
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  std::string s(buf);
+  if (s == "-0" || s.rfind("-0.", 0) == 0) {
+    bool all_zero = true;
+    for (char ch : s) {
+      if (ch != '-' && ch != '0' && ch != '.') {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      s = s.substr(1);
+    }
+  }
+  return s;
+}
+
+std::string FormatRatio(double value, int decimals) {
+  return FormatDouble(value, decimals) + "x";
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatDouble(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace lyra

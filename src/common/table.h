@@ -1,0 +1,41 @@
+// Plain-text table printer. Every bench binary reproduces a table or figure
+// from the paper; this gives them a consistent, aligned output format.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace lyra {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; cells beyond the header width are dropped, missing cells are
+  // padded with empty strings.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and a separator under the header.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals, trimming "-0".
+std::string FormatDouble(double value, int decimals = 2);
+
+// Formats a ratio such as 1.53 as "1.53x".
+std::string FormatRatio(double value, int decimals = 2);
+
+// Formats a fraction such as 0.1224 as "12.24%".
+std::string FormatPercent(double fraction, int decimals = 2);
+
+}  // namespace lyra
+
+#endif  // SRC_COMMON_TABLE_H_

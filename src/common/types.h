@@ -1,0 +1,54 @@
+// Fundamental identifier and time types shared across the Lyra libraries.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace lyra {
+
+// Simulation time in seconds. Job running times are continuous quantities
+// (work divided by throughput), so time is a double rather than a tick count.
+using TimeSec = double;
+
+inline constexpr TimeSec kSecond = 1.0;
+inline constexpr TimeSec kMinute = 60.0;
+inline constexpr TimeSec kHour = 3600.0;
+inline constexpr TimeSec kDay = 86400.0;
+
+// Strongly-typed integer ids. Wrapping the raw integer prevents accidentally
+// indexing a server table with a job id and vice versa.
+template <typename Tag>
+struct Id {
+  std::int64_t value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int64_t v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+struct JobIdTag {};
+struct ServerIdTag {};
+
+using JobId = Id<JobIdTag>;
+using ServerId = Id<ServerIdTag>;
+
+}  // namespace lyra
+
+namespace std {
+
+template <typename Tag>
+struct hash<lyra::Id<Tag>> {
+  size_t operator()(lyra::Id<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value);
+  }
+};
+
+}  // namespace std
+
+#endif  // SRC_COMMON_TYPES_H_

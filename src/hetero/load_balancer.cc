@@ -1,0 +1,113 @@
+#include "src/hetero/load_balancer.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace lyra {
+namespace {
+
+double TotalWorkers(const std::vector<WorkerGroup>& groups) {
+  double total = 0.0;
+  for (const WorkerGroup& g : groups) {
+    LYRA_CHECK_GE(g.workers, 0);
+    total += g.workers;
+  }
+  return total;
+}
+
+double IdealCompute(const std::vector<WorkerGroup>& groups) {
+  double total = 0.0;
+  for (const WorkerGroup& g : groups) {
+    if (g.workers > 0) {
+      LYRA_CHECK_GT(g.speed, 0.0);
+      total += g.workers * g.speed;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+HeteroPlan BalanceLoad(const std::vector<WorkerGroup>& groups,
+                       const HeteroBalanceOptions& options) {
+  const double n = TotalWorkers(groups);
+  const double ideal = IdealCompute(groups);
+  LYRA_CHECK_GT(n, 0.0);
+  LYRA_CHECK_GT(ideal, 0.0);
+
+  const double floor_share = options.min_share_fraction / n;
+
+  HeteroPlan plan;
+  plan.per_worker_share.assign(groups.size(), 0.0);
+
+  // Proportional shares x_i = s_i / C keep every worker's step time equal at
+  // 1/C; groups whose proportional share falls below the floor are clamped
+  // and the remaining batch is redistributed proportionally.
+  std::vector<bool> clamped(groups.size(), false);
+  double clamped_budget = 0.0;
+  double unclamped_compute = 0.0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].workers == 0) {
+      continue;
+    }
+    if (groups[i].speed / ideal < floor_share) {
+      clamped[i] = true;
+      clamped_budget += groups[i].workers * floor_share;
+    } else {
+      unclamped_compute += groups[i].workers * groups[i].speed;
+    }
+  }
+  // Degenerate case: everything clamped (extreme floors). Fall back to equal
+  // shares.
+  if (unclamped_compute <= 0.0 || clamped_budget >= 1.0) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i].workers > 0) {
+        plan.per_worker_share[i] = 1.0 / n;
+      }
+    }
+  } else {
+    const double remaining = 1.0 - clamped_budget;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i].workers == 0) {
+        continue;
+      }
+      plan.per_worker_share[i] =
+          clamped[i] ? floor_share : groups[i].speed * remaining / unclamped_compute;
+    }
+  }
+
+  // The slowest step gates the global step (synchronous data parallelism).
+  plan.step_time = 0.0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].workers > 0) {
+      plan.step_time =
+          std::max(plan.step_time, plan.per_worker_share[i] / groups[i].speed);
+    }
+  }
+  const double throughput = 1.0 / plan.step_time;
+  plan.efficiency =
+      std::min(1.0, throughput / ideal) * (1.0 - options.sync_overhead);
+  return plan;
+}
+
+double UnbalancedEfficiency(const std::vector<WorkerGroup>& groups,
+                            const HeteroBalanceOptions& options) {
+  const double n = TotalWorkers(groups);
+  const double ideal = IdealCompute(groups);
+  LYRA_CHECK_GT(n, 0.0);
+  LYRA_CHECK_GT(ideal, 0.0);
+  double min_speed = 0.0;
+  bool first = true;
+  for (const WorkerGroup& g : groups) {
+    if (g.workers > 0 && (first || g.speed < min_speed)) {
+      min_speed = g.speed;
+      first = false;
+    }
+  }
+  // Equal shares: the slowest worker gates the step at (1/n)/min_speed.
+  const double throughput = n * min_speed;
+  return std::min(1.0, throughput / ideal) * (1.0 - options.sync_overhead);
+}
+
+}  // namespace lyra

@@ -1,0 +1,66 @@
+// Semi-dynamic load balancing for heterogeneous-GPU training (§2.1, §8).
+//
+// When a job runs on both training and inference GPUs at once, its workers
+// inherently progress at different paces: with equal local batch sizes the
+// global step is gated by the slowest worker. The paper's production system
+// has experimental support that adjusts batch sizes to "roughly synchronize
+// the workers" (the semi-dynamic load balancing of Chen et al.), observing at
+// most ~70% of ideal throughput. This module computes that efficiency from
+// first principles instead of hard-coding it:
+//
+//   - Each worker group (GPU type) has a relative speed (samples/sec/worker).
+//   - The balancer assigns each group a share of the global batch
+//     proportional to its speed, subject to a minimum per-worker share
+//     (below which kernels underutilize the GPU and convergence suffers).
+//   - Synchronization overhead (all-reduce across asymmetric links, pace
+//     re-balancing) taxes the result.
+//
+// The resulting efficiency — aggregate balanced throughput over ideal
+// homogeneous throughput at the same total compute, times the sync factor —
+// feeds ThroughputModel for heterogeneous jobs.
+#ifndef SRC_HETERO_LOAD_BALANCER_H_
+#define SRC_HETERO_LOAD_BALANCER_H_
+
+#include <vector>
+
+namespace lyra {
+
+struct WorkerGroup {
+  int workers = 0;
+  // Per-worker throughput relative to a reference training-GPU worker.
+  double speed = 1.0;
+};
+
+struct HeteroBalanceOptions {
+  // Minimum fraction of an equal split a worker's batch share may shrink to.
+  // 1.0 disables balancing (equal shares); smaller values allow more skew.
+  double min_share_fraction = 0.25;
+  // Throughput tax of synchronizing heterogeneous workers (asymmetric
+  // interconnect, pace re-balancing bookkeeping).
+  double sync_overhead = 0.15;
+};
+
+struct HeteroPlan {
+  // Batch share per *worker* of each group, normalized so shares sum to 1.
+  std::vector<double> per_worker_share;
+  // Relative time of one global step (1.0 = a reference worker processing an
+  // equal split at speed 1).
+  double step_time = 0.0;
+  // Aggregate throughput relative to ideal: Sum(workers*speed) compute with
+  // zero overhead. In (0, 1].
+  double efficiency = 0.0;
+};
+
+// Computes the balanced plan for the given groups. Requires at least one
+// group with workers > 0 and speed > 0.
+HeteroPlan BalanceLoad(const std::vector<WorkerGroup>& groups,
+                       const HeteroBalanceOptions& options = {});
+
+// Efficiency of running with NO balancing (equal batch shares): the slowest
+// worker gates every step. Reference point for the ablation bench.
+double UnbalancedEfficiency(const std::vector<WorkerGroup>& groups,
+                            const HeteroBalanceOptions& options = {});
+
+}  // namespace lyra
+
+#endif  // SRC_HETERO_LOAD_BALANCER_H_

@@ -1,0 +1,25 @@
+#include "src/lyra/lyra_scheduler.h"
+
+#include "src/lyra/allocation.h"
+
+namespace lyra {
+
+void LyraScheduler::Schedule(SchedulerContext& ctx) {
+  AllocationOptions allocation;
+  allocation.information_agnostic = options_.information_agnostic;
+  allocation.greedy_phase2 = options_.greedy_phase2;
+  AllocationDecision decision = TwoPhaseAllocate(ctx, allocation);
+  if (options_.disable_elastic_scaling) {
+    // Base demands only: every flexible target collapses to zero, so any
+    // existing flexible workers are also scaled away.
+    for (auto& [job, target] : decision.flexible_targets) {
+      target = 0;
+    }
+  }
+  PlacementOptions placement;
+  placement.naive = options_.naive_placement;
+  placement.allow_loaned = ctx.allow_loaned_placement;
+  last_stats_ = ApplyAllocation(*ctx.cluster, decision, placement);
+}
+
+}  // namespace lyra

@@ -1,0 +1,75 @@
+#include "src/lyra/mckp.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace lyra {
+
+MckpSolution SolveMckp(const std::vector<MckpGroup>& groups, int capacity) {
+  LYRA_CHECK_GE(capacity, 0);
+  MckpSolution solution;
+  solution.chosen.assign(groups.size(), -1);
+  if (groups.empty() || capacity == 0) {
+    return solution;
+  }
+
+  // Never allocate DP columns beyond what all items together could use.
+  int useful_capacity = 0;
+  for (const MckpGroup& group : groups) {
+    int max_weight = 0;
+    for (const MckpItem& item : group.items) {
+      LYRA_CHECK_GE(item.weight, 0);
+      max_weight = std::max(max_weight, item.weight);
+    }
+    useful_capacity += max_weight;
+  }
+  const int cap = std::min(capacity, useful_capacity);
+  if (cap == 0) {
+    return solution;
+  }
+
+  const auto width = static_cast<std::size_t>(cap) + 1;
+  std::vector<double> dp(width, 0.0);
+  std::vector<double> next(width, 0.0);
+  // choice[g][c]: item index taken by group g at capacity c (-1 = none).
+  std::vector<std::vector<std::int16_t>> choice(
+      groups.size(), std::vector<std::int16_t>(width, -1));
+
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const MckpGroup& group = groups[g];
+    next = dp;  // default: take nothing from this group
+    for (std::size_t i = 0; i < group.items.size(); ++i) {
+      const MckpItem& item = group.items[i];
+      if (item.weight > cap || item.value <= 0.0) {
+        continue;
+      }
+      for (std::size_t c = static_cast<std::size_t>(item.weight); c < width; ++c) {
+        const double candidate = dp[c - static_cast<std::size_t>(item.weight)] + item.value;
+        if (candidate > next[c]) {
+          next[c] = candidate;
+          choice[g][c] = static_cast<std::int16_t>(i);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Backtrack from the best capacity.
+  std::size_t c = static_cast<std::size_t>(
+      std::max_element(dp.begin(), dp.end()) - dp.begin());
+  solution.total_value = dp[c];
+  for (std::size_t g = groups.size(); g-- > 0;) {
+    const int taken = choice[g][c];
+    solution.chosen[g] = taken;
+    if (taken >= 0) {
+      const int weight = groups[g].items[static_cast<std::size_t>(taken)].weight;
+      solution.total_weight += weight;
+      c -= static_cast<std::size_t>(weight);
+    }
+  }
+  return solution;
+}
+
+}  // namespace lyra

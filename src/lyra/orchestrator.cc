@@ -1,0 +1,72 @@
+#include "src/lyra/orchestrator.h"
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+
+namespace lyra {
+
+ReclaimResult ResourceOrchestrator::Reconcile(ClusterState& cluster, int target_loaned) {
+  LYRA_CHECK_GE(target_loaned, 0);
+  const int current = static_cast<int>(cluster.ServersInPool(ServerPool::kOnLoan).size());
+
+  if (target_loaned > current) {
+    // Loan: move idle inference servers into the training whitelist.
+    int to_loan = target_loaned - current;
+    int loaned = 0;
+    for (ServerId id : cluster.ServersInPool(ServerPool::kInference)) {
+      if (loaned >= to_loan) {
+        break;
+      }
+      if (cluster.server(id).idle() && cluster.LoanServer(id).ok()) {
+        ++loaned;
+      }
+    }
+    if (loaned > 0) {
+      ++stats_.loan_operations;
+      stats_.servers_loaned += loaned;
+      LYRA_LOG_DEBUG("orchestrator: loaned %d servers (target %d)", loaned, target_loaned);
+    }
+    return {};
+  }
+
+  if (target_loaned == current) {
+    return {};
+  }
+
+  // Reclaim: empty and return (current - target) on-loan servers. Idle ones
+  // go back for free; the policy picks among the occupied ones.
+  int to_return = current - target_loaned;
+  int returned = 0;
+  for (ServerId id : cluster.ServersInPool(ServerPool::kOnLoan)) {
+    if (returned >= to_return) {
+      break;
+    }
+    if (cluster.server(id).idle()) {
+      LYRA_CHECK(cluster.ReturnServer(id).ok());
+      ++returned;
+    }
+  }
+
+  ReclaimResult result;
+  if (returned < to_return) {
+    result = policy_->Reclaim(cluster, to_return - returned);
+    for (ServerId id : result.vacated) {
+      if (returned >= to_return) {
+        break;  // collateral vacating freed more than needed
+      }
+      LYRA_CHECK(cluster.ReturnServer(id).ok());
+      ++returned;
+    }
+    stats_.jobs_preempted += static_cast<int>(result.preempted.size());
+    stats_.collateral_gpus += result.collateral_gpus;
+  }
+  if (returned > 0) {
+    ++stats_.reclaim_operations;
+    stats_.servers_returned += returned;
+    LYRA_LOG_DEBUG("orchestrator: returned %d servers, %zu preemptions", returned,
+                   result.preempted.size());
+  }
+  return result;
+}
+
+}  // namespace lyra

@@ -1,0 +1,40 @@
+// Worker placement (§5.3).
+//
+// Best-fit-decreasing bin packing: jobs are placed in decreasing order of
+// per-worker GPU demand; each worker goes to the non-empty server that best
+// fits it, falling back to a fresh server. Elastic jobs prefer on-loan
+// (inference) servers to maximize scale-in opportunities during reclaiming;
+// inelastic jobs prefer training servers. The base and flexible demands of
+// elastic jobs are kept on separate groups of inference servers so the
+// flexible group can be released first, preemption-free, when reclaiming.
+#ifndef SRC_LYRA_PLACEMENT_H_
+#define SRC_LYRA_PLACEMENT_H_
+
+#include "src/lyra/allocation.h"
+
+namespace lyra {
+
+struct PlacementOptions {
+  // Table 6 ablation: place elastic jobs on training servers first like
+  // inelastic ones and drop the base/flexible server grouping.
+  bool naive = false;
+  // Whether on-loan servers may be used at all this scenario.
+  bool allow_loaned = true;
+};
+
+struct PlacementStats {
+  int launched = 0;
+  int launch_failures = 0;  // admitted by phase 1 but unplaceable (fragmentation)
+  int scale_outs = 0;       // flexible workers added
+  int scale_ins = 0;        // flexible workers removed
+};
+
+// Applies the allocation decision to the cluster: scale-ins first, then BFD
+// launches, then flexible scale-outs. Launch placement is all-or-nothing per
+// job; scale-outs place as many of the target workers as fit.
+PlacementStats ApplyAllocation(ClusterState& cluster, const AllocationDecision& decision,
+                               const PlacementOptions& options);
+
+}  // namespace lyra
+
+#endif  // SRC_LYRA_PLACEMENT_H_

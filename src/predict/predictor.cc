@@ -1,0 +1,19 @@
+#include "src/predict/predictor.h"
+
+namespace lyra {
+
+double SeasonalNaivePredictor::PredictNext() {
+  if (history_.empty()) {
+    return 0.0;
+  }
+  const double last = history_.back();
+  // The prediction target is slot t+1; its seasonal analogue is the sample
+  // one season before that, i.e. history[n - season] when n samples exist.
+  if (history_.size() < season_) {
+    return last;
+  }
+  const double seasonal = history_[history_.size() - season_];
+  return blend_ * last + (1.0 - blend_) * seasonal;
+}
+
+}  // namespace lyra

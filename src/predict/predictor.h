@@ -1,0 +1,58 @@
+// Inference-resource-usage predictors (§6).
+//
+// The orchestrator uses a predictor of the next five-minute inference usage
+// so it can initiate reclaiming in advance of traffic increases. The paper
+// trains a small LSTM (window 10, two hidden layers, Adam, MSE); we provide
+// that model built from scratch (lstm.h) plus a seasonal-naive baseline.
+#ifndef SRC_PREDICT_PREDICTOR_H_
+#define SRC_PREDICT_PREDICTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lyra {
+
+class UsagePredictor {
+ public:
+  virtual ~UsagePredictor() = default;
+
+  virtual const char* name() const = 0;
+
+  // Appends the newest usage sample (one per orchestrator interval).
+  virtual void Observe(double value) = 0;
+
+  // Predicts the usage of the next interval given everything observed.
+  virtual double PredictNext() = 0;
+};
+
+// Predicts the last observation (random-walk baseline).
+class LastValuePredictor : public UsagePredictor {
+ public:
+  const char* name() const override { return "last-value"; }
+  void Observe(double value) override { last_ = value; }
+  double PredictNext() override { return last_; }
+
+ private:
+  double last_ = 0.0;
+};
+
+// Blends the most recent observation with the value one season (default one
+// day of 5-minute slots) ago — a strong baseline for diurnal series.
+class SeasonalNaivePredictor : public UsagePredictor {
+ public:
+  explicit SeasonalNaivePredictor(std::size_t season_length = 288, double blend = 0.5)
+      : season_(season_length), blend_(blend) {}
+
+  const char* name() const override { return "seasonal-naive"; }
+  void Observe(double value) override { history_.push_back(value); }
+  double PredictNext() override;
+
+ private:
+  std::size_t season_;
+  double blend_;
+  std::vector<double> history_;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_PREDICT_PREDICTOR_H_

@@ -1,0 +1,140 @@
+#include "src/rm/reconciler.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace lyra {
+namespace {
+
+// (job, node, flexible) -> GPUs.
+using AssignmentKey = std::tuple<std::int64_t, std::int64_t, bool>;
+using AssignmentMap = std::map<AssignmentKey, int>;
+
+AssignmentMap DesiredAssignments(const ClusterState& cluster) {
+  AssignmentMap desired;
+  for (const auto& [job, placement] : cluster.placements()) {
+    for (const auto& [server, share] : placement.shares) {
+      if (share.base_gpus > 0) {
+        desired[{job.value, server.value, false}] += share.base_gpus;
+      }
+      if (share.flexible_gpus > 0) {
+        desired[{job.value, server.value, true}] += share.flexible_gpus;
+      }
+    }
+  }
+  return desired;
+}
+
+AssignmentMap ActualAssignments(const ResourceManager& rm,
+                                std::map<AssignmentKey, std::vector<ContainerId>>*
+                                    container_index) {
+  AssignmentMap actual;
+  for (SchedulerDomain domain :
+       {SchedulerDomain::kTrainingScheduler, SchedulerDomain::kInferenceScheduler}) {
+    for (ServerId node : rm.NodesInDomain(domain)) {
+      for (const Container* container : rm.RunningContainersOn(node)) {
+        const AssignmentKey key{container->job.value, node.value, container->flexible};
+        actual[key] += container->gpus;
+        if (container_index != nullptr) {
+          (*container_index)[key].push_back(container->id);
+        }
+      }
+    }
+  }
+  return actual;
+}
+
+SchedulerDomain DomainFor(ServerPool pool) {
+  return pool == ServerPool::kInference ? SchedulerDomain::kInferenceScheduler
+                                        : SchedulerDomain::kTrainingScheduler;
+}
+
+}  // namespace
+
+ReconcileStats RmReconciler::Reconcile(const ClusterState& cluster, ResourceManager& rm,
+                                       TimeSec now) {
+  ReconcileStats stats;
+
+  // 1. Register servers the RM has not seen yet.
+  for (const Server& server : cluster.servers()) {
+    if (rm.FindNode(server.id()) == nullptr) {
+      rm.RegisterNode(server.id(), server.gpu_type(), server.num_gpus(),
+                      DomainFor(server.pool()), now);
+    }
+  }
+
+  const AssignmentMap desired = DesiredAssignments(cluster);
+  std::map<AssignmentKey, std::vector<ContainerId>> container_index;
+  AssignmentMap actual = ActualAssignments(rm, &container_index);
+
+  // 2. Stop containers the logical state no longer backs. A job with no
+  // remaining logical GPUs anywhere was preempted or finished — its
+  // containers are killed; partial shrinks are graceful stops (scale-in).
+  // Containers are immutable in size, so stopping may undershoot the target;
+  // step 4 tops the group back up.
+  for (auto& [key, gpus] : actual) {
+    const auto it = desired.find(key);
+    const int target = it == desired.end() ? 0 : it->second;
+    if (gpus <= target) {
+      continue;
+    }
+    const JobId job(std::get<0>(key));
+    const bool job_gone = cluster.FindPlacement(job) == nullptr;
+    auto& ids = container_index[key];
+    while (gpus > target && !ids.empty()) {
+      const ContainerId id = ids.back();
+      ids.pop_back();
+      const Container* container = rm.FindContainer(id);
+      LYRA_CHECK(container != nullptr);
+      gpus -= container->gpus;
+      LYRA_CHECK(rm.StopContainer(id, job_gone, now).ok());
+      if (job_gone) {
+        ++stats.kills;
+      } else {
+        ++stats.stops;
+      }
+    }
+  }
+
+  // 3. Whitelist moves for servers whose pool changed (loan / return). Stops
+  // above have already idled returning nodes.
+  for (const Server& server : cluster.servers()) {
+    const NodeInfo* node = rm.FindNode(server.id());
+    const SchedulerDomain want = DomainFor(server.pool());
+    if (node->domain != want) {
+      LYRA_CHECK(rm.MoveNode(server.id(), want, now).ok());
+      ++stats.node_moves;
+    }
+  }
+
+  // 4. Launch containers for newly assigned GPUs.
+  for (const auto& [key, gpus] : desired) {
+    const auto it = actual.find(key);
+    const int have = it == actual.end() ? 0 : std::max(0, it->second);
+    if (have >= gpus) {
+      continue;
+    }
+    const JobId job(std::get<0>(key));
+    const ServerId node(std::get<1>(key));
+    const bool flexible = std::get<2>(key);
+    const StatusOr<ContainerId> launched =
+        rm.LaunchContainer(job, node, gpus - have, flexible, now);
+    LYRA_CHECK(launched.ok());
+    ++stats.launches;
+  }
+
+  lifetime_stats_.Accumulate(stats);
+  return stats;
+}
+
+bool RmReconciler::Consistent(const ClusterState& cluster, const ResourceManager& rm) {
+  const AssignmentMap desired = DesiredAssignments(cluster);
+  const AssignmentMap actual = ActualAssignments(rm, nullptr);
+  return desired == actual;
+}
+
+}  // namespace lyra

@@ -1,0 +1,53 @@
+// Reconciler: drives the resource manager to match the scheduler's logical
+// cluster state.
+//
+// The scheduler's decisions live in ClusterState (which job holds which GPUs
+// where); the resource manager executes them as containers. After every
+// scheduling epoch the reconciler diffs the two views and issues the minimal
+// container launches/stops and whitelist moves — the same controller pattern
+// a Kubernetes-based deployment of Lyra would use.
+#ifndef SRC_RM_RECONCILER_H_
+#define SRC_RM_RECONCILER_H_
+
+#include "src/cluster/cluster_state.h"
+#include "src/rm/resource_manager.h"
+
+namespace lyra {
+
+struct ReconcileStats {
+  int launches = 0;
+  int stops = 0;
+  int kills = 0;
+  int node_moves = 0;
+
+  void Accumulate(const ReconcileStats& other) {
+    launches += other.launches;
+    stops += other.stops;
+    kills += other.kills;
+    node_moves += other.node_moves;
+  }
+};
+
+class RmReconciler {
+ public:
+  // Makes `rm` mirror `cluster`: registers unseen servers, moves nodes whose
+  // pool changed (loan/return), stops containers whose GPUs the logical state
+  // no longer assigns (preemptions are kills, scale-ins are graceful stops),
+  // and launches containers for newly assigned GPUs. Idempotent: a second
+  // call with the same state performs no operations.
+  ReconcileStats Reconcile(const ClusterState& cluster, ResourceManager& rm,
+                           TimeSec now);
+
+  // True when the RM's running containers exactly reproduce the logical
+  // placement (per job, node, flexibility class).
+  static bool Consistent(const ClusterState& cluster, const ResourceManager& rm);
+
+  const ReconcileStats& lifetime_stats() const { return lifetime_stats_; }
+
+ private:
+  ReconcileStats lifetime_stats_;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_RM_RECONCILER_H_

@@ -1,0 +1,168 @@
+#include "src/rm/resource_manager.h"
+
+#include "src/common/check.h"
+
+namespace lyra {
+
+const char* SchedulerDomainName(SchedulerDomain domain) {
+  switch (domain) {
+    case SchedulerDomain::kTrainingScheduler:
+      return "training";
+    case SchedulerDomain::kInferenceScheduler:
+      return "inference";
+  }
+  return "?";
+}
+
+ServerId ResourceManager::RegisterNode(ServerId id, GpuType gpu_type, int num_gpus,
+                                       SchedulerDomain home_domain, TimeSec now) {
+  LYRA_CHECK(id.valid());
+  LYRA_CHECK(!nodes_.contains(id.value));
+  NodeInfo node;
+  node.id = id;
+  node.gpu_type = gpu_type;
+  node.num_gpus = num_gpus;
+  node.domain = home_domain;
+  node.home_domain = home_domain;
+  nodes_.emplace(id.value, node);
+  used_gpus_.emplace(id.value, 0);
+  events_.push_back({now, RmEventKind::kNodeRegistered, id.value});
+  return id;
+}
+
+Status ResourceManager::MoveNode(ServerId id, SchedulerDomain target, TimeSec now) {
+  auto it = nodes_.find(id.value);
+  if (it == nodes_.end()) {
+    return Status::NotFound("unknown node");
+  }
+  if (it->second.domain == target) {
+    return Status::FailedPrecondition("node already in the target whitelist");
+  }
+  if (used_gpus_.at(id.value) > 0) {
+    return Status::FailedPrecondition("node still has running containers");
+  }
+  it->second.domain = target;
+  events_.push_back({now,
+                     target == SchedulerDomain::kTrainingScheduler
+                         ? RmEventKind::kNodeMovedToTraining
+                         : RmEventKind::kNodeMovedToInference,
+                     id.value});
+  return Status::Ok();
+}
+
+const NodeInfo* ResourceManager::FindNode(ServerId id) const {
+  auto it = nodes_.find(id.value);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<ServerId> ResourceManager::NodesInDomain(SchedulerDomain domain) const {
+  std::vector<ServerId> out;
+  for (const auto& [value, node] : nodes_) {
+    if (node.domain == domain) {
+      out.push_back(node.id);
+    }
+  }
+  return out;
+}
+
+int ResourceManager::FreeGpus(ServerId id) const {
+  const NodeInfo* node = FindNode(id);
+  if (node == nullptr) {
+    return 0;
+  }
+  return node->num_gpus - used_gpus_.at(id.value);
+}
+
+StatusOr<ContainerId> ResourceManager::LaunchContainer(JobId job, ServerId node_id,
+                                                       int gpus, bool flexible,
+                                                       TimeSec now) {
+  const NodeInfo* node = FindNode(node_id);
+  if (node == nullptr) {
+    return Status::NotFound("unknown node");
+  }
+  if (node->domain != SchedulerDomain::kTrainingScheduler) {
+    return Status::FailedPrecondition("node is not in the training whitelist");
+  }
+  if (gpus <= 0) {
+    return Status::InvalidArgument("container needs at least one GPU");
+  }
+  if (FreeGpus(node_id) < gpus) {
+    return Status::ResourceExhausted("node lacks free GPUs");
+  }
+  Container container;
+  container.id = ContainerId(next_container_++);
+  container.job = job;
+  container.node = node_id;
+  container.gpus = gpus;
+  container.flexible = flexible;
+  container.launched_at = now;
+  containers_.emplace(container.id.value, container);
+  used_gpus_[node_id.value] += gpus;
+  ++running_containers_;
+  ++containers_launched_;
+  events_.push_back({now, RmEventKind::kContainerLaunched, container.id.value});
+  return container.id;
+}
+
+Status ResourceManager::StopContainer(ContainerId id, bool kill, TimeSec now) {
+  auto it = containers_.find(id.value);
+  if (it == containers_.end()) {
+    return Status::NotFound("unknown container");
+  }
+  Container& container = it->second;
+  if (container.state != ContainerState::kRunning) {
+    return Status::FailedPrecondition("container is not running");
+  }
+  container.state = kill ? ContainerState::kKilled : ContainerState::kStopped;
+  container.ended_at = now;
+  used_gpus_[container.node.value] -= container.gpus;
+  LYRA_CHECK_GE(used_gpus_[container.node.value], 0);
+  --running_containers_;
+  if (kill) {
+    ++containers_killed_;
+  }
+  events_.push_back(
+      {now, kill ? RmEventKind::kContainerKilled : RmEventKind::kContainerStopped,
+       id.value});
+  return Status::Ok();
+}
+
+int ResourceManager::StopJob(JobId job, bool kill, TimeSec now) {
+  std::vector<ContainerId> to_stop;
+  for (const auto& [value, container] : containers_) {
+    if (container.job == job && container.state == ContainerState::kRunning) {
+      to_stop.push_back(container.id);
+    }
+  }
+  for (ContainerId id : to_stop) {
+    LYRA_CHECK(StopContainer(id, kill, now).ok());
+  }
+  return static_cast<int>(to_stop.size());
+}
+
+const Container* ResourceManager::FindContainer(ContainerId id) const {
+  auto it = containers_.find(id.value);
+  return it == containers_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Container*> ResourceManager::RunningContainersOf(JobId job) const {
+  std::vector<const Container*> out;
+  for (const auto& [value, container] : containers_) {
+    if (container.job == job && container.state == ContainerState::kRunning) {
+      out.push_back(&container);
+    }
+  }
+  return out;
+}
+
+std::vector<const Container*> ResourceManager::RunningContainersOn(ServerId node) const {
+  std::vector<const Container*> out;
+  for (const auto& [value, container] : containers_) {
+    if (container.node == node && container.state == ContainerState::kRunning) {
+      out.push_back(&container);
+    }
+  }
+  return out;
+}
+
+}  // namespace lyra

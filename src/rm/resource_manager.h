@@ -1,0 +1,133 @@
+// Resource-manager execution layer (§3, §6).
+//
+// Lyra "works with existing resource management frameworks": it runs on top
+// of YARN/Kubernetes, which execute its decisions — launching and killing
+// worker containers, monitoring nodes, and moving servers across management
+// boundaries via the whitelist API. This module is that substrate: a node
+// registry with per-scheduler whitelists (domains), a container lifecycle,
+// and an event history. The simulator can mirror its logical placement state
+// into a ResourceManager through the reconciler (reconciler.h), which is how
+// a real deployment would drive it.
+#ifndef SRC_RM_RESOURCE_MANAGER_H_
+#define SRC_RM_RESOURCE_MANAGER_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/gpu.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace lyra {
+
+// Which scheduler's whitelist a node currently belongs to (§6: "Both Lyra's
+// scheduler and the inference scheduler maintain their own whitelist of
+// servers under their control").
+enum class SchedulerDomain {
+  kTrainingScheduler,
+  kInferenceScheduler,
+};
+
+const char* SchedulerDomainName(SchedulerDomain domain);
+
+struct ContainerIdTag {};
+using ContainerId = Id<ContainerIdTag>;
+
+enum class ContainerState {
+  kRunning,
+  kStopped,  // graceful stop (scale-in or job completion)
+  kKilled,   // preemption
+};
+
+struct Container {
+  ContainerId id;
+  JobId job;
+  ServerId node;
+  int gpus = 0;
+  bool flexible = false;
+  ContainerState state = ContainerState::kRunning;
+  TimeSec launched_at = 0.0;
+  TimeSec ended_at = -1.0;
+};
+
+struct NodeInfo {
+  ServerId id;
+  GpuType gpu_type = GpuType::kTrainingV100;
+  int num_gpus = 8;
+  SchedulerDomain domain = SchedulerDomain::kTrainingScheduler;
+  SchedulerDomain home_domain = SchedulerDomain::kTrainingScheduler;
+};
+
+// Event history, the audit trail a production RM would expose.
+enum class RmEventKind {
+  kNodeRegistered,
+  kNodeMovedToTraining,
+  kNodeMovedToInference,
+  kContainerLaunched,
+  kContainerStopped,
+  kContainerKilled,
+};
+
+struct RmEvent {
+  TimeSec time = 0.0;
+  RmEventKind kind = RmEventKind::kNodeRegistered;
+  std::int64_t subject = -1;  // node id or container id
+};
+
+class ResourceManager {
+ public:
+  // --- Nodes and whitelists --------------------------------------------------
+
+  ServerId RegisterNode(ServerId id, GpuType gpu_type, int num_gpus,
+                        SchedulerDomain home_domain, TimeSec now);
+
+  // Moves an idle node into the training scheduler's whitelist (loaning) or
+  // back to its home inference whitelist (returning). Fails if the node has
+  // running containers (a server is only returned once the scheduler confirms
+  // no running workers, §6).
+  Status MoveNode(ServerId id, SchedulerDomain target, TimeSec now);
+
+  const NodeInfo* FindNode(ServerId id) const;
+  std::vector<ServerId> NodesInDomain(SchedulerDomain domain) const;
+
+  // Free GPUs on a node given its running containers.
+  int FreeGpus(ServerId id) const;
+
+  // --- Containers -------------------------------------------------------------
+
+  // Launches a container for `job` on `node`. Fails if the node is not in the
+  // training domain or lacks capacity.
+  StatusOr<ContainerId> LaunchContainer(JobId job, ServerId node, int gpus,
+                                        bool flexible, TimeSec now);
+
+  // Stops a container gracefully (`kill` = false) or kills it (preemption).
+  Status StopContainer(ContainerId id, bool kill, TimeSec now);
+
+  // Kills / stops every container of a job; returns how many were ended.
+  int StopJob(JobId job, bool kill, TimeSec now);
+
+  const Container* FindContainer(ContainerId id) const;
+  std::vector<const Container*> RunningContainersOf(JobId job) const;
+  std::vector<const Container*> RunningContainersOn(ServerId node) const;
+  int running_containers() const { return running_containers_; }
+
+  // Lifetime statistics.
+  int containers_launched() const { return containers_launched_; }
+  int containers_killed() const { return containers_killed_; }
+  const std::vector<RmEvent>& events() const { return events_; }
+
+ private:
+  std::unordered_map<std::int64_t, NodeInfo> nodes_;
+  std::map<std::int64_t, Container> containers_;  // ordered for stable iteration
+  std::unordered_map<std::int64_t, int> used_gpus_;  // per node, running only
+  std::int64_t next_container_ = 0;
+  int running_containers_ = 0;
+  int containers_launched_ = 0;
+  int containers_killed_ = 0;
+  std::vector<RmEvent> events_;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_RM_RESOURCE_MANAGER_H_

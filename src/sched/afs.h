@@ -1,0 +1,23 @@
+// AFS-style elastic scheduler (§7.1 baseline).
+//
+// AFS greedily prioritizes jobs with the highest marginal throughput gain per
+// GPU. Following the paper's adaptation: every job first receives its base
+// demand; remaining GPUs are then handed out one worker at a time to the
+// elastic job whose next worker yields the largest throughput gain per GPU
+// (using the job's model-family scaling curve).
+#ifndef SRC_SCHED_AFS_H_
+#define SRC_SCHED_AFS_H_
+
+#include "src/sched/scheduler.h"
+
+namespace lyra {
+
+class AfsScheduler : public JobScheduler {
+ public:
+  const char* name() const override { return "AFS"; }
+  void Schedule(SchedulerContext& ctx) override;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_SCHED_AFS_H_

@@ -1,0 +1,32 @@
+// FIFO scheduler: the paper's Baseline (§7.1).
+//
+// Jobs are served in arrival order at their full requested demand; a job
+// whose demand cannot be met is skipped this epoch and retried later (it
+// "suffers queuing when the scheduler fails to satisfy its demand on the
+// first try", Fig 2). No elastic scaling: elastic jobs are launched at their
+// maximum (requested) worker count.
+#ifndef SRC_SCHED_FIFO_H_
+#define SRC_SCHED_FIFO_H_
+
+#include "src/sched/scheduler.h"
+
+namespace lyra {
+
+class FifoScheduler : public JobScheduler {
+ public:
+  const char* name() const override { return "FIFO"; }
+  void Schedule(SchedulerContext& ctx) override;
+};
+
+// Shortest-job-first variant: identical to FIFO but pending jobs are served
+// in increasing order of estimated running time. Used as a classical
+// comparator in the allocation studies (§5.1).
+class SjfScheduler : public JobScheduler {
+ public:
+  const char* name() const override { return "SJF"; }
+  void Schedule(SchedulerContext& ctx) override;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_SCHED_FIFO_H_

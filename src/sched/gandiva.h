@@ -1,0 +1,23 @@
+// Gandiva-style opportunistic elastic scheduler (§7.1 baseline).
+//
+// Gandiva grows or shrinks a job's GPU count opportunistically, without
+// cluster-wide optimization: jobs launch at their base demand in arrival
+// order; when there are available resources but no pending jobs (the paper's
+// definition of under-utilization) running elastic jobs are grown round-robin;
+// when pending jobs cannot fit, flexible workers are shrunk to make room.
+#ifndef SRC_SCHED_GANDIVA_H_
+#define SRC_SCHED_GANDIVA_H_
+
+#include "src/sched/scheduler.h"
+
+namespace lyra {
+
+class GandivaScheduler : public JobScheduler {
+ public:
+  const char* name() const override { return "Gandiva"; }
+  void Schedule(SchedulerContext& ctx) override;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_SCHED_GANDIVA_H_

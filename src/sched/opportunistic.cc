@@ -1,0 +1,24 @@
+#include "src/sched/opportunistic.h"
+
+#include <algorithm>
+
+#include "src/sched/placement_util.h"
+
+namespace lyra {
+
+void OpportunisticScheduler::Schedule(SchedulerContext& ctx) {
+  std::vector<Job*> order = ctx.pending;
+  std::stable_sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
+    return a->spec().submit_time < b->spec().submit_time;
+  });
+  for (Job* job : order) {
+    const bool waiting_for_loan =
+        job->spec().fungible && ctx.now - job->spec().submit_time < patience_;
+    PlaceRequest request = BaseRequest(
+        *job, job->spec().RequestedWorkers(),
+        waiting_for_loan ? PoolPreference::kLoanedOnly : PoolPreference::kTrainingFirst);
+    TryPlaceWorkers(*ctx.cluster, request);
+  }
+}
+
+}  // namespace lyra

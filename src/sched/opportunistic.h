@@ -1,0 +1,32 @@
+// Opportunistic scheduling baseline (§7.1, Table 5 row 6).
+//
+// Capacity loaning is disabled as a coordinated mechanism; instead the 21%
+// fungible jobs are queued to the inference cluster at lower priority than
+// inference work, blindly using whatever servers happen to be idle. In the
+// simulator the idle inference servers are exposed through the same on-loan
+// pool, but fungible jobs may ONLY use that pool while non-fungible jobs stay
+// on training servers — the defining inefficiency of the scheme (§7.3).
+#ifndef SRC_SCHED_OPPORTUNISTIC_H_
+#define SRC_SCHED_OPPORTUNISTIC_H_
+
+#include "src/sched/scheduler.h"
+
+namespace lyra {
+
+class OpportunisticScheduler : public JobScheduler {
+ public:
+  // `patience` bounds how long a fungible job waits for idle inference
+  // capacity before its owner falls back to the training queue (production
+  // users resubmit rather than starve through a traffic peak).
+  explicit OpportunisticScheduler(TimeSec patience = 2 * kHour) : patience_(patience) {}
+
+  const char* name() const override { return "Opportunistic"; }
+  void Schedule(SchedulerContext& ctx) override;
+
+ private:
+  TimeSec patience_;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_SCHED_OPPORTUNISTIC_H_

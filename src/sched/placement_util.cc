@@ -1,0 +1,216 @@
+#include "src/sched/placement_util.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace lyra {
+namespace {
+
+constexpr double kCreditEpsilon = 1e-9;
+
+bool LoanEligible(const PlaceRequest& request) {
+  return request.fungible || request.heterogeneous;
+}
+
+// Placement works in *nominal* worker units: one worker on a training GPU
+// counts 1.0; a worker on an inference GPU counts its compute factor (1/3).
+// A fungible job moved to weaker GPUs keeps its global batch size by running
+// proportionally more, smaller workers (§2.1), so it occupies 1/factor times
+// the GPUs for the same nominal throughput — which is exactly what the
+// paper's capacity normalization (§5.2) encodes.
+double ServerWorkerCredit(const Server& server) {
+  return GpuComputeFactor(server.gpu_type());
+}
+
+// Server-id groups the request may use, in preference order. Each group is
+// internally GPU-type-uniform for non-heterogeneous jobs; heterogeneous jobs
+// get a single mixed group ordered by pool preference.
+std::vector<std::vector<ServerId>> EligibleGroups(const ClusterState& cluster,
+                                                  const PlaceRequest& request) {
+  std::vector<ServerId> training = cluster.ServersInPool(ServerPool::kTraining);
+  std::vector<ServerId> loaned;
+  if (LoanEligible(request)) {
+    loaned = cluster.ServersInPool(ServerPool::kOnLoan);
+  }
+
+  // A non-heterogeneous job that already holds GPUs must stay on that type.
+  GpuType current;
+  const bool pinned = !request.heterogeneous &&
+                      CurrentGpuType(cluster, request.job, &current);
+
+  std::vector<std::vector<ServerId>> groups;
+  auto push_group = [&](std::vector<ServerId> group, GpuType type) {
+    if (group.empty()) {
+      return;
+    }
+    if (pinned && type != current) {
+      return;
+    }
+    groups.push_back(std::move(group));
+  };
+
+  if (request.heterogeneous) {
+    std::vector<ServerId> merged;
+    if (request.preference == PoolPreference::kLoanedFirst ||
+        request.preference == PoolPreference::kLoanedOnly) {
+      merged = loaned;
+      if (request.preference != PoolPreference::kLoanedOnly) {
+        merged.insert(merged.end(), training.begin(), training.end());
+      }
+    } else {
+      merged = training;
+      if (request.preference != PoolPreference::kTrainingOnly) {
+        merged.insert(merged.end(), loaned.begin(), loaned.end());
+      }
+    }
+    if (!merged.empty()) {
+      groups.push_back(std::move(merged));
+    }
+    return groups;
+  }
+
+  switch (request.preference) {
+    case PoolPreference::kTrainingFirst:
+      push_group(std::move(training), GpuType::kTrainingV100);
+      push_group(std::move(loaned), GpuType::kInferenceT4);
+      break;
+    case PoolPreference::kLoanedFirst:
+      push_group(std::move(loaned), GpuType::kInferenceT4);
+      push_group(std::move(training), GpuType::kTrainingV100);
+      break;
+    case PoolPreference::kTrainingOnly:
+      push_group(std::move(training), GpuType::kTrainingV100);
+      break;
+    case PoolPreference::kLoanedOnly:
+      push_group(std::move(loaned), GpuType::kInferenceT4);
+      break;
+  }
+  return groups;
+}
+
+double GroupCapacityCredit(const ClusterState& cluster, const std::vector<ServerId>& group,
+                           int gpus_per_worker) {
+  double capacity = 0.0;
+  for (ServerId id : group) {
+    const Server& server = cluster.server(id);
+    capacity += (server.free_gpus() / gpus_per_worker) * ServerWorkerCredit(server);
+  }
+  return capacity;
+}
+
+// Places physical workers into the group until `nominal_workers` of credit is
+// accumulated. Within the group best-fit prefers the earlier (preferred) pool
+// position only implicitly through equal tie handling; the primary key is the
+// tightest fit.
+void PlaceIntoGroup(ClusterState& cluster, const PlaceRequest& request,
+                    const std::vector<ServerId>& group, int nominal_workers) {
+  double credit = 0.0;
+  while (credit + kCreditEpsilon < static_cast<double>(nominal_workers)) {
+    ServerId best;
+    int best_free = std::numeric_limits<int>::max();
+    for (ServerId id : group) {
+      const int free = cluster.server(id).free_gpus();
+      if (free >= request.gpus_per_worker && free < best_free) {
+        best = id;
+        best_free = free;
+      }
+    }
+    LYRA_CHECK(best.valid());
+    cluster.Place(request.job, best, request.gpus_per_worker, request.flexible);
+    credit += ServerWorkerCredit(cluster.server(best));
+  }
+}
+
+}  // namespace
+
+bool TryPlaceWorkers(ClusterState& cluster, const PlaceRequest& request) {
+  LYRA_CHECK_GT(request.workers, 0);
+  const auto groups = EligibleGroups(cluster, request);
+  for (const auto& group : groups) {
+    if (GroupCapacityCredit(cluster, group, request.gpus_per_worker) + kCreditEpsilon >=
+        static_cast<double>(request.workers)) {
+      PlaceIntoGroup(cluster, request, group, request.workers);
+      return true;
+    }
+  }
+  return false;
+}
+
+int CountPlaceableWorkers(const ClusterState& cluster, const PlaceRequest& request) {
+  const auto groups = EligibleGroups(cluster, request);
+  double best = 0.0;
+  for (const auto& group : groups) {
+    best = std::max(best, GroupCapacityCredit(cluster, group, request.gpus_per_worker));
+  }
+  return static_cast<int>(best + kCreditEpsilon);
+}
+
+bool CurrentGpuType(const ClusterState& cluster, JobId job, GpuType* type) {
+  const JobPlacement* placement = cluster.FindPlacement(job);
+  if (placement == nullptr || placement->shares.empty()) {
+    return false;
+  }
+  bool first = true;
+  GpuType seen = GpuType::kTrainingV100;
+  for (const auto& [server_id, share] : placement->shares) {
+    const GpuType t = cluster.server(server_id).gpu_type();
+    if (first) {
+      seen = t;
+      first = false;
+    } else if (t != seen) {
+      return false;  // mixed
+    }
+  }
+  *type = seen;
+  return true;
+}
+
+PlacementProfile ProfileFor(const ClusterState& cluster, const Job& job) {
+  PlacementProfile profile;
+  const JobPlacement* placement = cluster.FindPlacement(job.id());
+  if (placement == nullptr) {
+    return profile;
+  }
+  int total_gpus = 0;
+  double factor_sum = 0.0;
+  bool has_training = false;
+  bool has_inference = false;
+  for (const auto& [server_id, share] : placement->shares) {
+    const Server& srv = cluster.server(server_id);
+    total_gpus += share.total();
+    factor_sum += share.total() * GpuComputeFactor(srv.gpu_type());
+    if (srv.gpu_type() == GpuType::kTrainingV100) {
+      has_training = true;
+      profile.training_gpus += share.total();
+    } else {
+      has_inference = true;
+      profile.inference_gpus += share.total();
+    }
+  }
+  profile.workers = total_gpus / job.spec().gpus_per_worker;
+  profile.mean_gpu_factor = total_gpus > 0 ? factor_sum / total_gpus : 1.0;
+  profile.spans_heterogeneous = has_training && has_inference;
+  return profile;
+}
+
+PlaceRequest BaseRequest(const Job& job, int workers, PoolPreference preference) {
+  PlaceRequest request;
+  request.job = job.id();
+  request.gpus_per_worker = job.spec().gpus_per_worker;
+  request.workers = workers;
+  request.flexible = false;
+  request.fungible = job.spec().fungible;
+  request.heterogeneous = job.spec().heterogeneous;
+  request.preference = preference;
+  return request;
+}
+
+PlaceRequest FlexibleRequest(const Job& job, int workers, PoolPreference preference) {
+  PlaceRequest request = BaseRequest(job, workers, preference);
+  request.flexible = true;
+  return request;
+}
+
+}  // namespace lyra

@@ -1,0 +1,64 @@
+// Placement primitives shared by all schedulers.
+//
+// Placement is per-worker: a worker occupies gpus_per_worker GPUs on one
+// server (workers never span servers). Jobs that are not heterogeneous-
+// capable must keep all workers on a single GPU type per run (§2.1), so a
+// placement attempt picks one eligible pool group; heterogeneous jobs may mix.
+#ifndef SRC_SCHED_PLACEMENT_UTIL_H_
+#define SRC_SCHED_PLACEMENT_UTIL_H_
+
+#include <vector>
+
+#include "src/cluster/cluster_state.h"
+#include "src/workload/job.h"
+#include "src/workload/throughput.h"
+
+namespace lyra {
+
+// Where a job's new workers may go, in preference order.
+enum class PoolPreference {
+  kTrainingFirst,  // training servers, then on-loan if the job is fungible
+  kLoanedFirst,    // on-loan servers (if fungible), then training
+  kTrainingOnly,
+  kLoanedOnly,
+};
+
+struct PlaceRequest {
+  JobId job;
+  int gpus_per_worker = 1;
+  int workers = 0;        // how many workers to place in this call
+  bool flexible = false;  // mark the GPUs as flexible (elastic beyond base)
+  bool fungible = false;
+  bool heterogeneous = false;
+  PoolPreference preference = PoolPreference::kTrainingFirst;
+};
+
+// Attempts to place all requested workers using best-fit-decreasing within
+// the eligible servers; all-or-nothing. Returns true on success.
+//
+// For non-heterogeneous jobs the placement keeps GPU types uniform *per
+// request*; callers that grow a job must keep follow-up requests on the same
+// GPU type the job already occupies (see CurrentGpuType).
+bool TryPlaceWorkers(ClusterState& cluster, const PlaceRequest& request);
+
+// Counts how many additional workers of the given shape could be placed.
+int CountPlaceableWorkers(const ClusterState& cluster, const PlaceRequest& request);
+
+// The GPU type a placed job currently runs on, if it is uniform; returns
+// true and sets *type, or returns false if unplaced or mixed.
+bool CurrentGpuType(const ClusterState& cluster, JobId job, GpuType* type);
+
+// Derives the job's throughput-relevant placement profile from the cluster.
+PlacementProfile ProfileFor(const ClusterState& cluster, const Job& job);
+
+// Convenience: a PlaceRequest for launching `workers` base workers of `job`.
+PlaceRequest BaseRequest(const Job& job, int workers,
+                         PoolPreference preference = PoolPreference::kTrainingFirst);
+
+// Convenience: a PlaceRequest for growing `job` by `workers` flexible workers.
+PlaceRequest FlexibleRequest(const Job& job, int workers,
+                             PoolPreference preference = PoolPreference::kTrainingFirst);
+
+}  // namespace lyra
+
+#endif  // SRC_SCHED_PLACEMENT_UTIL_H_

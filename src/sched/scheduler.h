@@ -1,0 +1,51 @@
+// Job-scheduler interface shared by Lyra and all baseline schedulers.
+//
+// A scheduler runs at every scheduling epoch (§5.2: myopic, periodic, high
+// frequency). It sees the pending queue and the running jobs, and mutates
+// worker placements directly on the ClusterState. The simulator then derives
+// each job's new throughput from its placement, so schedulers never touch job
+// progress state. Scheduling is non-preemptive: schedulers may launch pending
+// jobs and resize the *flexible* (beyond-base) demand of elastic jobs, but
+// may not remove base workers — that only happens during reclaiming (§4).
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/cluster/cluster_state.h"
+#include "src/workload/job.h"
+#include "src/workload/throughput.h"
+
+namespace lyra {
+
+struct SchedulerContext {
+  TimeSec now = 0.0;
+  ClusterState* cluster = nullptr;
+  // Pending jobs in submission order (includes preempted jobs re-queued).
+  std::vector<Job*> pending;
+  // All currently running jobs.
+  std::vector<Job*> running;
+  const ThroughputModel* throughput = nullptr;
+  // Whether the scenario lets the scheduler place fungible jobs on on-loan
+  // servers. False in the elastic-scaling-only studies (§7.4).
+  bool allow_loaned_placement = true;
+};
+
+class JobScheduler {
+ public:
+  virtual ~JobScheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  // Runs one scheduling epoch, mutating placements on ctx.cluster.
+  virtual void Schedule(SchedulerContext& ctx) = 0;
+
+  // Whether this scheduler re-tunes job hyperparameters (batch size /
+  // learning rate) on allocation changes, Pollux-style (§7.4). The simulator
+  // applies the corresponding throughput behaviour to elastic jobs.
+  virtual bool tunes_hyperparameters() const { return false; }
+};
+
+}  // namespace lyra
+
+#endif  // SRC_SCHED_SCHEDULER_H_

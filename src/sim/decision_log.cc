@@ -1,0 +1,129 @@
+#include "src/sim/decision_log.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lyra {
+
+const char* DecisionKindName(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::kJobStart:
+      return "start";
+    case DecisionKind::kJobFinish:
+      return "finish";
+    case DecisionKind::kJobPreempt:
+      return "preempt";
+    case DecisionKind::kJobScale:
+      return "scale";
+    case DecisionKind::kServersLoaned:
+      return "loan";
+    case DecisionKind::kServersReturned:
+      return "return";
+  }
+  return "?";
+}
+
+namespace {
+
+bool KindFromName(const std::string& name, DecisionKind* kind) {
+  for (DecisionKind k :
+       {DecisionKind::kJobStart, DecisionKind::kJobFinish, DecisionKind::kJobPreempt,
+        DecisionKind::kJobScale, DecisionKind::kServersLoaned,
+        DecisionKind::kServersReturned}) {
+    if (name == DecisionKindName(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Describe(const DecisionRecord& r) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s(subject=%lld, detail=%d) at t=%.1f",
+                DecisionKindName(r.kind), static_cast<long long>(r.subject), r.detail,
+                r.time);
+  return buf;
+}
+
+}  // namespace
+
+void DecisionLog::Append(TimeSec time, DecisionKind kind, std::int64_t subject,
+                         int detail) {
+  records_.push_back({time, kind, subject, detail});
+}
+
+Status DecisionLog::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "time,kind,subject,detail\n";
+  for (const DecisionRecord& r : records_) {
+    out << r.time << ',' << DecisionKindName(r.kind) << ',' << r.subject << ','
+        << r.detail << '\n';
+  }
+  return out.good() ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+StatusOr<DecisionLog> DecisionLog::LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  DecisionLog log;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.rfind("time,", 0) == 0) {
+      continue;
+    }
+    std::istringstream row(line);
+    std::string time_cell;
+    std::string kind_cell;
+    std::string subject_cell;
+    std::string detail_cell;
+    if (!std::getline(row, time_cell, ',') || !std::getline(row, kind_cell, ',') ||
+        !std::getline(row, subject_cell, ',') || !std::getline(row, detail_cell)) {
+      return Status::InvalidArgument("bad row in " + path + ": " + line);
+    }
+    DecisionRecord record;
+    record.time = std::stod(time_cell);
+    if (!KindFromName(kind_cell, &record.kind)) {
+      return Status::InvalidArgument("unknown decision kind: " + kind_cell);
+    }
+    record.subject = std::stoll(subject_cell);
+    record.detail = std::stoi(detail_cell);
+    log.records_.push_back(record);
+  }
+  return log;
+}
+
+LogDivergence CompareDecisionLogs(const DecisionLog& a, const DecisionLog& b,
+                                  TimeSec time_tolerance) {
+  const auto& ra = a.records();
+  const auto& rb = b.records();
+  const std::size_t common = std::min(ra.size(), rb.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (ra[i].kind != rb[i].kind || ra[i].subject != rb[i].subject ||
+        ra[i].detail != rb[i].detail) {
+      return {true, i,
+              "decision mismatch: " + Describe(ra[i]) + " vs " + Describe(rb[i])};
+    }
+    if (std::fabs(ra[i].time - rb[i].time) > time_tolerance) {
+      return {true, i,
+              "time divergence beyond tolerance: " + Describe(ra[i]) + " vs " +
+                  Describe(rb[i])};
+    }
+  }
+  if (ra.size() != rb.size()) {
+    const bool a_longer = ra.size() > rb.size();
+    return {true, common,
+            std::string(a_longer ? "second" : "first") + " log ends early; next is " +
+                Describe(a_longer ? ra[common] : rb[common])};
+  }
+  return {};
+}
+
+}  // namespace lyra

@@ -1,0 +1,74 @@
+// Scheduling decision log and log comparison (§7.2).
+//
+// The paper calibrates its simulator by recording the timestamp of every
+// activity (job launching, start/end of training, scheduling decisions) on
+// the testbed and in the simulator, then finding the first wrong decision or
+// the first activity with a larger-than-two-seconds time difference. This
+// module reproduces that methodology: the simulator can record a DecisionLog,
+// and CompareDecisionLogs reports the first divergence between two runs.
+#ifndef SRC_SIM_DECISION_LOG_H_
+#define SRC_SIM_DECISION_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace lyra {
+
+enum class DecisionKind {
+  kJobStart,
+  kJobFinish,
+  kJobPreempt,
+  kJobScale,     // worker count changed while running
+  kServersLoaned,
+  kServersReturned,
+};
+
+const char* DecisionKindName(DecisionKind kind);
+
+struct DecisionRecord {
+  TimeSec time = 0.0;
+  DecisionKind kind = DecisionKind::kJobStart;
+  // Job id for job events; server count for loan/reclaim events.
+  std::int64_t subject = -1;
+  // Workers after the event for job events; unused otherwise.
+  int detail = 0;
+
+  friend bool operator==(const DecisionRecord&, const DecisionRecord&) = default;
+};
+
+class DecisionLog {
+ public:
+  void Append(TimeSec time, DecisionKind kind, std::int64_t subject, int detail = 0);
+
+  const std::vector<DecisionRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+  // CSV persistence so a run's log can be diffed offline.
+  Status SaveCsv(const std::string& path) const;
+  static StatusOr<DecisionLog> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<DecisionRecord> records_;
+};
+
+struct LogDivergence {
+  bool diverged = false;
+  // Index of the first mismatching record (in whichever log is shorter when
+  // one is a prefix of the other).
+  std::size_t index = 0;
+  std::string description;
+};
+
+// Finds the first record where the two logs disagree: different kind/subject/
+// detail, a time difference beyond `time_tolerance` (the paper uses 2 s), or
+// one log ending early.
+LogDivergence CompareDecisionLogs(const DecisionLog& a, const DecisionLog& b,
+                                  TimeSec time_tolerance = 2.0);
+
+}  // namespace lyra
+
+#endif  // SRC_SIM_DECISION_LOG_H_

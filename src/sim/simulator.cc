@@ -1,0 +1,453 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/sched/placement_util.h"
+
+namespace lyra {
+namespace {
+
+constexpr double kRateEpsilon = 1e-9;
+
+}  // namespace
+
+Simulator::Simulator(SimulatorOptions options, const Trace& trace,
+                     JobScheduler* scheduler, ReclaimPolicy* reclaim_policy,
+                     std::unique_ptr<InferenceCluster> inference)
+    : options_(options),
+      scheduler_(scheduler),
+      reclaim_policy_(reclaim_policy),
+      inference_(std::move(inference)) {
+  LYRA_CHECK(scheduler_ != nullptr);
+
+  for (int s = 0; s < options_.training_servers; ++s) {
+    cluster_.AddServer(GpuType::kTrainingV100, options_.gpus_per_server,
+                       ServerPool::kTraining);
+  }
+  if (inference_ != nullptr) {
+    const auto& opts = inference_->options();
+    total_inference_gpus_ = opts.num_servers * opts.gpus_per_server;
+    for (int s = 0; s < opts.num_servers; ++s) {
+      cluster_.AddServer(GpuType::kInferenceT4, opts.gpus_per_server,
+                         ServerPool::kInference);
+    }
+  }
+
+  Rng rng(options_.seed);
+  jobs_.reserve(trace.jobs.size());
+  for (const JobSpec& spec : trace.jobs) {
+    LYRA_CHECK_EQ(spec.id.value, static_cast<std::int64_t>(jobs_.size()));
+    auto job = std::make_unique<Job>(spec);
+    // Table 9: inject running-time estimation error for a random fraction of
+    // jobs, each with a uniform relative error within the configured bound.
+    if (options_.misprediction_fraction > 0.0 &&
+        rng.NextBernoulli(options_.misprediction_fraction)) {
+      const double err =
+          rng.Uniform(-options_.misprediction_max_error, options_.misprediction_max_error);
+      job->set_estimated_total_work(spec.total_work * (1.0 + err));
+    }
+    jobs_.push_back(std::move(job));
+  }
+  finish_generation_.assign(jobs_.size(), 0);
+
+  if (options_.max_time <= 0.0) {
+    options_.max_time = trace.duration + 7 * kDay;
+  }
+  meter_cutoff_ = trace.duration;
+
+  for (const auto& job : jobs_) {
+    PushEvent(job->spec().submit_time, EventType::kJobArrival, job->id().value);
+  }
+  PushEvent(0.0, EventType::kSchedulerTick);
+  PushEvent(0.0, EventType::kOrchestratorTick);
+
+  result_.total_jobs = jobs_.size();
+  result_.queued_flags.assign(jobs_.size(), false);
+  result_.submit_times.resize(jobs_.size());
+  for (const auto& job : jobs_) {
+    result_.submit_times[static_cast<std::size_t>(job->id().value)] =
+        job->spec().submit_time;
+  }
+}
+
+void Simulator::PushEvent(TimeSec time, EventType type, std::int64_t job,
+                          std::uint64_t generation) {
+  events_.push(Event{time, next_seq_++, type, job, generation});
+}
+
+double Simulator::OverallUsedGpus(TimeSec now) const {
+  double used = static_cast<double>(cluster_.UsedGpus(ServerPool::kTraining) +
+                                    cluster_.UsedGpus(ServerPool::kOnLoan));
+  if (inference_ != nullptr) {
+    used += inference_->BusyGpusAt(now);
+  }
+  return used;
+}
+
+void Simulator::AdvanceMeters(TimeSec now) {
+  // Usage is reported over the trace window only; the drain period after the
+  // last arrival would otherwise dilute it.
+  now = std::min(now, meter_cutoff_);
+  const int training_total = cluster_.TotalGpus(ServerPool::kTraining);
+  if (training_total == 0) {
+    return;
+  }
+  const double training_used = cluster_.UsedGpus(ServerPool::kTraining);
+  training_meter_.Advance(now, training_used / training_total);
+
+  const double overall_total =
+      static_cast<double>(training_total + total_inference_gpus_);
+  overall_meter_.Advance(now, OverallUsedGpus(now) / overall_total);
+
+  const int onloan_total = cluster_.TotalGpus(ServerPool::kOnLoan);
+  if (onloan_total > 0) {
+    onloan_meter_.Advance(now, static_cast<double>(cluster_.UsedGpus(ServerPool::kOnLoan)) /
+                                   onloan_total);
+  } else {
+    onloan_meter_.Skip(now);
+  }
+}
+
+void Simulator::ScheduleFinish(Job& job, TimeSec now) {
+  const auto index = static_cast<std::size_t>(job.id().value);
+  const std::uint64_t generation = ++finish_generation_[index];
+  const TimeSec finish = job.PredictedFinish(now);
+  if (std::isfinite(finish)) {
+    PushEvent(finish, EventType::kJobFinish, job.id().value, generation);
+  }
+}
+
+void Simulator::SyncAfterScheduling(TimeSec now) {
+  const bool tuner = scheduler_->tunes_hyperparameters();
+
+  // Newly placed pending jobs start now.
+  std::vector<Job*> still_pending;
+  still_pending.reserve(pending_.size());
+  for (Job* job : pending_) {
+    const JobPlacement* placement = cluster_.FindPlacement(job->id());
+    if (placement == nullptr) {
+      still_pending.push_back(job);
+      continue;
+    }
+    job->set_tuned(tuner && job->spec().elastic());
+    const PlacementProfile profile = ProfileFor(cluster_, *job);
+    const ThroughputModel model(options_.throughput);
+    job->Start(now, model.Rate(job->spec(), profile, job->tuned()), profile.workers);
+    if (options_.record_decisions) {
+      decision_log_.Append(now, DecisionKind::kJobStart, job->id().value,
+                           profile.workers);
+    }
+    running_.push_back(job);
+    ScheduleFinish(*job, now);
+    dirty_ = true;
+  }
+  pending_.swap(still_pending);
+
+  // Rate refresh for running jobs whose placement changed.
+  const ThroughputModel model(options_.throughput);
+  for (Job* job : running_) {
+    const PlacementProfile profile = ProfileFor(cluster_, *job);
+    const double rate = model.Rate(job->spec(), profile, job->tuned());
+    if (std::fabs(rate - job->rate()) > kRateEpsilon ||
+        profile.workers != job->current_workers()) {
+      if (options_.record_decisions && profile.workers != job->current_workers()) {
+        decision_log_.Append(now, DecisionKind::kJobScale, job->id().value,
+                             profile.workers);
+      }
+      job->UpdateRate(now, rate, profile.workers);
+      ScheduleFinish(*job, now);
+    }
+    // On-loan attribution for Table 7.
+    const JobPlacement* placement = cluster_.FindPlacement(job->id());
+    if (placement != nullptr) {
+      for (const auto& [server_id, share] : placement->shares) {
+        if (cluster_.server(server_id).pool() == ServerPool::kOnLoan) {
+          job->set_ever_on_loaned_server();
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Simulator::MirrorIntoResourceManager(TimeSec now) {
+  if (!options_.mirror_resource_manager) {
+    return;
+  }
+  result_.rm_stats.Accumulate(reconciler_.Reconcile(cluster_, rm_, now));
+  LYRA_CHECK(RmReconciler::Consistent(cluster_, rm_));
+}
+
+void Simulator::HandleSchedulerTick(TimeSec now) {
+  if (!dirty_ && pending_.empty()) {
+    return;
+  }
+  SchedulerContext ctx;
+  ctx.now = now;
+  ctx.cluster = &cluster_;
+  ctx.pending = pending_;
+  ctx.running = running_;
+  const ThroughputModel model(options_.throughput);
+  ctx.throughput = &model;
+  ctx.allow_loaned_placement = options_.enable_loaning;
+  scheduler_->Schedule(ctx);
+  dirty_ = false;
+  SyncAfterScheduling(now);
+  MirrorIntoResourceManager(now);
+  // SyncAfterScheduling re-marks dirty when jobs started; that is fine — it
+  // only forces the next tick to re-run, which is conservative.
+}
+
+void Simulator::HandleOrchestratorTick(TimeSec now) {
+  if (inference_ == nullptr || !options_.enable_loaning) {
+    RecordSeriesPoint(now);
+    return;
+  }
+  // The orchestrator is stateless apart from its counters; a fresh instance
+  // per tick keeps the reconcile logic pure, with counters folded into the
+  // run-level result below.
+  ResourceOrchestrator orchestrator(reclaim_policy_);
+  const int allowance = inference_->TargetLoanedServers(now);
+  // Demand-aware loaning: hold the servers that are already hosting work,
+  // and take extra servers only for the loan-eligible pending demand. Idle
+  // loans would be reclaimed under jobs for nothing and drag on-loan usage.
+  int occupied_loaned = 0;
+  for (ServerId id : cluster_.ServersInPool(ServerPool::kOnLoan)) {
+    if (!cluster_.server(id).idle()) {
+      ++occupied_loaned;
+    }
+  }
+  double eligible_pending_gpus = 0.0;  // physical T4 GPUs needed
+  for (const Job* job : pending_) {
+    const JobSpec& spec = job->spec();
+    if (spec.fungible || spec.heterogeneous) {
+      eligible_pending_gpus += spec.base_gpus() / kInferenceGpuFactor;
+    }
+  }
+  const int gpus_per_server =
+      inference_ != nullptr ? inference_->options().gpus_per_server : 8;
+  const int current_loaned =
+      static_cast<int>(cluster_.ServersInPool(ServerPool::kOnLoan).size());
+  // Borrow only for pending demand that free training capacity cannot absorb:
+  // pending jobs take training GPUs first, so loans sized to the raw pending
+  // demand would sit idle (and be reclaimed under future jobs for nothing).
+  double noneligible_pending = 0.0;
+  for (const Job* job : pending_) {
+    const JobSpec& spec = job->spec();
+    if (!(spec.fungible || spec.heterogeneous)) {
+      noneligible_pending += spec.base_gpus();
+    }
+  }
+  const double training_free_for_eligible =
+      std::max(0.0, cluster_.FreeGpus(ServerPool::kTraining) - noneligible_pending);
+  const double unmet_normalized =
+      std::max(0.0, eligible_pending_gpus * kInferenceGpuFactor -
+                        training_free_for_eligible);
+  const int demand_target =
+      occupied_loaned + static_cast<int>(std::ceil(
+                            unmet_normalized / kInferenceGpuFactor / gpus_per_server));
+  int target = std::min(allowance, demand_target);
+  // Reclaim hysteresis: the inference scheduler asks servers back in bulk
+  // rather than trickling one server per interval — small deficits ride on
+  // the headroom until a chunk's worth accumulates.
+  int chunk = options_.reclaim_chunk;
+  if (chunk <= 0) {
+    chunk = std::max(1, inference_->options().num_servers / 32);
+  }
+  if (target < current_loaned && current_loaned - target < chunk && target > 0) {
+    target = current_loaned;
+  }
+  ReclaimResult reclaim = orchestrator.Reconcile(cluster_, target);
+
+  const OrchestratorStats& stats = orchestrator.stats();
+  result_.orchestrator.loan_operations += stats.loan_operations;
+  result_.orchestrator.reclaim_operations += stats.reclaim_operations;
+  result_.orchestrator.servers_loaned += stats.servers_loaned;
+  result_.orchestrator.servers_returned += stats.servers_returned;
+  result_.orchestrator.jobs_preempted += stats.jobs_preempted;
+  result_.orchestrator.collateral_gpus += stats.collateral_gpus;
+
+  if (!reclaim.preempted.empty() || !reclaim.scaled_in.empty() ||
+      stats.servers_loaned > 0 || stats.servers_returned > 0) {
+    dirty_ = true;
+  }
+  if (options_.record_decisions) {
+    if (stats.servers_loaned > 0) {
+      decision_log_.Append(now, DecisionKind::kServersLoaned, stats.servers_loaned, 0);
+    }
+    if (stats.servers_returned > 0) {
+      decision_log_.Append(now, DecisionKind::kServersReturned, stats.servers_returned,
+                           0);
+    }
+  }
+
+  for (JobId id : reclaim.preempted) {
+    Job* job = jobs_[static_cast<std::size_t>(id.value)].get();
+    LYRA_CHECK(job->state() == JobState::kRunning);
+    job->Preempt(now, options_.preemption_overhead,
+                 options_.checkpoint_interval * job->spec().min_workers);
+    if (options_.record_decisions) {
+      decision_log_.Append(now, DecisionKind::kJobPreempt, id.value, 0);
+    }
+    ++result_.preemptions;
+    running_.erase(std::find(running_.begin(), running_.end(), job));
+    pending_.push_back(job);
+    ++finish_generation_[static_cast<std::size_t>(id.value)];  // invalidate finish
+  }
+  // Scaled-in jobs keep running at a lower rate.
+  const ThroughputModel model(options_.throughput);
+  for (JobId id : reclaim.scaled_in) {
+    Job* job = jobs_[static_cast<std::size_t>(id.value)].get();
+    if (job->state() != JobState::kRunning) {
+      continue;  // also appeared in the preempted list
+    }
+    const PlacementProfile profile = ProfileFor(cluster_, *job);
+    job->UpdateRate(now, model.Rate(job->spec(), profile, job->tuned()), profile.workers);
+    ScheduleFinish(*job, now);
+  }
+
+  MirrorIntoResourceManager(now);
+  RecordSeriesPoint(now);
+}
+
+void Simulator::RecordSeriesPoint(TimeSec now) {
+  if (!options_.record_series) {
+    return;
+  }
+  SeriesPoint point;
+  point.time = now;
+  const int training_total = cluster_.TotalGpus(ServerPool::kTraining);
+  point.training_usage =
+      static_cast<double>(cluster_.UsedGpus(ServerPool::kTraining)) / training_total;
+  const double overall_total =
+      static_cast<double>(training_total + total_inference_gpus_);
+  point.overall_usage = OverallUsedGpus(now) / overall_total;
+  const int onloan_total = cluster_.TotalGpus(ServerPool::kOnLoan);
+  point.onloan_usage =
+      onloan_total > 0
+          ? static_cast<double>(cluster_.UsedGpus(ServerPool::kOnLoan)) / onloan_total
+          : -1.0;
+  point.loaned_servers = static_cast<int>(cluster_.ServersInPool(ServerPool::kOnLoan).size());
+  point.pending_jobs = static_cast<int>(pending_.size());
+  result_.series.push_back(point);
+}
+
+void Simulator::HandleFinish(TimeSec now, std::int64_t job_index,
+                             std::uint64_t generation) {
+  const auto index = static_cast<std::size_t>(job_index);
+  if (finish_generation_[index] != generation) {
+    return;  // stale event from a superseded allocation
+  }
+  Job* job = jobs_[index].get();
+  if (job->state() != JobState::kRunning) {
+    return;
+  }
+  job->Finish(now);
+  if (options_.record_decisions) {
+    decision_log_.Append(now, DecisionKind::kJobFinish, job->id().value, 0);
+  }
+  if (options_.use_profiler) {
+    profiler_.ObserveCompletion(job->spec());
+  }
+  cluster_.RemoveJob(job->id());
+  running_.erase(std::find(running_.begin(), running_.end(), job));
+  ++finished_count_;
+  dirty_ = true;
+}
+
+SimulationResult Simulator::Run() {
+  TimeSec now = 0.0;
+  TimeSec next_scheduler_tick = 0.0;
+  TimeSec next_orchestrator_tick = 0.0;
+
+  while (!events_.empty() && finished_count_ < jobs_.size()) {
+    const Event event = events_.top();
+    events_.pop();
+    if (event.time > options_.max_time) {
+      LYRA_LOG_WARNING("simulation hit max_time with %zu/%zu jobs finished",
+                       finished_count_, jobs_.size());
+      break;
+    }
+    LYRA_CHECK_GE(event.time, now);
+    AdvanceMeters(event.time);
+    now = event.time;
+
+    switch (event.type) {
+      case EventType::kJobArrival: {
+        Job* job = jobs_[static_cast<std::size_t>(event.job)].get();
+        if (options_.use_profiler) {
+          job->set_estimated_total_work(profiler_.EstimateTotalWork(job->spec()));
+        }
+        pending_.push_back(job);
+        dirty_ = true;
+        break;
+      }
+      case EventType::kJobFinish:
+        HandleFinish(now, event.job, event.generation);
+        break;
+      case EventType::kSchedulerTick:
+        HandleSchedulerTick(now);
+        if (now >= next_scheduler_tick) {
+          next_scheduler_tick = now + options_.scheduler_interval;
+          PushEvent(next_scheduler_tick, EventType::kSchedulerTick);
+        }
+        break;
+      case EventType::kOrchestratorTick:
+        HandleOrchestratorTick(now);
+        if (now >= next_orchestrator_tick) {
+          next_orchestrator_tick = now + options_.orchestrator_interval;
+          PushEvent(next_orchestrator_tick, EventType::kOrchestratorTick);
+        }
+        break;
+    }
+  }
+
+  // Close the usage meters at the end of the trace window: the run may end
+  // (all jobs finished) before the window does, leaving idle time uncounted.
+  AdvanceMeters(meter_cutoff_);
+  // Final reconcile so the execution layer tears down the last containers.
+  MirrorIntoResourceManager(now);
+
+  // --- Final metrics ---------------------------------------------------------
+  result_.finished_jobs = finished_count_;
+  for (const auto& job : jobs_) {
+    if (job->state() != JobState::kFinished) {
+      continue;
+    }
+    const double queuing = job->QueuingTime();
+    const double jct = job->Jct();
+    result_.queuing_samples.push_back(queuing);
+    result_.jct_samples.push_back(jct);
+    if (job->ever_on_loaned_server()) {
+      result_.queuing_on_loan_samples.push_back(queuing);
+      result_.jct_on_loan_samples.push_back(jct);
+    }
+    result_.queued_flags[static_cast<std::size_t>(job->id().value)] =
+        queuing > options_.scheduler_interval + 1.0;
+    result_.scaling_operations += job->scaling_operations();
+  }
+  result_.queuing = Summarize(result_.queuing_samples);
+  result_.jct = Summarize(result_.jct_samples);
+  result_.queuing_on_loan = Summarize(result_.queuing_on_loan_samples);
+  result_.jct_on_loan = Summarize(result_.jct_on_loan_samples);
+  result_.profiler_error = profiler_.mean_relative_error();
+  result_.training_usage = training_meter_.mean();
+  result_.overall_usage =
+      inference_ != nullptr ? overall_meter_.mean() : training_meter_.mean();
+  result_.onloan_usage = onloan_meter_.mean();
+  result_.preemption_ratio =
+      jobs_.empty() ? 0.0
+                    : static_cast<double>(result_.preemptions) /
+                          static_cast<double>(jobs_.size());
+  const int demanded_gpus = result_.orchestrator.servers_returned * options_.gpus_per_server;
+  result_.collateral_damage =
+      demanded_gpus > 0
+          ? static_cast<double>(result_.orchestrator.collateral_gpus) / demanded_gpus
+          : 0.0;
+  return result_;
+}
+
+}  // namespace lyra

@@ -1,0 +1,199 @@
+// Discrete-event GPU-cluster simulator (§7.1).
+//
+// Replays a job trace against a training cluster plus an optional inference
+// cluster, driving a pluggable job scheduler (every scheduler_interval), the
+// resource orchestrator with a pluggable reclaiming policy (every
+// orchestrator_interval, §3), and all job events: arrival, completion,
+// scaling, and preemption. Job progress is piecewise linear; completion
+// events carry per-job generation counters so allocation changes invalidate
+// stale events in O(1). A fixed preemption overhead — the 63 s measured on
+// the testbed (§7.5) — is charged to checkpointing jobs; jobs without
+// checkpoints lose all progress (§4).
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/cluster/cluster_state.h"
+#include "src/common/stats.h"
+#include "src/lyra/orchestrator.h"
+#include "src/profile/job_profiler.h"
+#include "src/lyra/reclaim.h"
+#include "src/sched/scheduler.h"
+#include "src/rm/reconciler.h"
+#include "src/rm/resource_manager.h"
+#include "src/sim/decision_log.h"
+#include "src/sim/inference_cluster.h"
+#include "src/workload/trace.h"
+
+namespace lyra {
+
+struct SimulatorOptions {
+  int training_servers = 443;  // 3,544 V100 GPUs
+  int gpus_per_server = 8;
+  TimeSec scheduler_interval = 60.0;
+  TimeSec orchestrator_interval = 5 * kMinute;
+  // Checkpoint save/terminate/relaunch/load cost charged on preemption.
+  TimeSec preemption_overhead = 63.0;
+  // Interval between periodic checkpoints of checkpointing jobs, in seconds
+  // of base-demand progress (CheckFreq-style). A preempted job resumes from
+  // its last checkpoint; 0 means a checkpoint is taken at preemption time.
+  TimeSec checkpoint_interval = 0.0;
+  bool enable_loaning = true;
+  // Minimum reclaim batch: deficits smaller than this ride on the inference
+  // headroom until a whole chunk is due (bulk reclaim instructions).
+  // <= 0 scales automatically with the inference cluster (1/32 of it).
+  int reclaim_chunk = 0;
+  ThroughputOptions throughput;
+  // Table 9 sensitivity: fraction of jobs whose running-time estimate is
+  // wrong, each with a uniform relative error up to the max below.
+  double misprediction_fraction = 0.0;
+  double misprediction_max_error = 0.25;
+  // Estimate running times with the learning profiler (§3) instead of the
+  // oracle: jobs are estimated at submission from previously completed jobs.
+  bool use_profiler = false;
+  std::uint64_t seed = 5;
+  // Record 5-minute usage samples for the figure benches.
+  bool record_series = false;
+  // Record every scheduling decision (starts, finishes, scales, preemptions,
+  // loans) for the §7.2-style calibration comparison.
+  bool record_decisions = false;
+  // Mirror every placement into the resource-manager execution layer (§6):
+  // container launches/stops and whitelist moves are reconciled after each
+  // epoch, with a consistency check. Costs ~10-20% runtime.
+  bool mirror_resource_manager = false;
+  // Hard stop; 0 = trace duration + 7 days.
+  TimeSec max_time = 0.0;
+};
+
+struct SeriesPoint {
+  TimeSec time = 0.0;
+  double overall_usage = 0.0;
+  double training_usage = 0.0;
+  double onloan_usage = 0.0;  // -1 when nothing is on loan
+  int loaned_servers = 0;
+  int pending_jobs = 0;
+};
+
+struct SimulationResult {
+  std::size_t total_jobs = 0;
+  std::size_t finished_jobs = 0;
+
+  Summary queuing;
+  Summary jct;
+  // Jobs that ever ran on a loaned server (Table 7).
+  Summary queuing_on_loan;
+  Summary jct_on_loan;
+
+  std::vector<double> queuing_samples;
+  std::vector<double> jct_samples;
+  std::vector<double> queuing_on_loan_samples;
+  std::vector<double> jct_on_loan_samples;
+  // Per-job flag: queued at first try (first allocation took more than one
+  // scheduling epoch). Indexed by job id; used for the Fig 2 series.
+  std::vector<bool> queued_flags;
+  std::vector<TimeSec> submit_times;
+
+  double training_usage = 0.0;  // time-weighted, training pool only
+  double overall_usage = 0.0;   // both clusters (0 when no inference cluster)
+  double onloan_usage = 0.0;    // usage of loaned servers while loaned (Fig 9)
+
+  int preemptions = 0;
+  double preemption_ratio = 0.0;  // preemptions / job submissions
+  // Collateral damage: GPUs vacated in excess of the reclaim demand, as a
+  // fraction of the demanded GPUs (§7.3).
+  double collateral_damage = 0.0;
+  int scaling_operations = 0;
+
+  OrchestratorStats orchestrator;
+  std::vector<SeriesPoint> series;  // 5-minute cadence when record_series
+  // Mean absolute relative error of the profiler's estimates (0 when the
+  // profiler is off).
+  double profiler_error = 0.0;
+  // Resource-manager execution totals (zero unless mirroring is enabled).
+  ReconcileStats rm_stats;
+};
+
+class Simulator {
+ public:
+  // `scheduler` and `reclaim_policy` must outlive the simulator. The
+  // inference cluster may be null (no loaning possible, overall usage
+  // reported as training usage).
+  Simulator(SimulatorOptions options, const Trace& trace, JobScheduler* scheduler,
+            ReclaimPolicy* reclaim_policy,
+            std::unique_ptr<InferenceCluster> inference);
+
+  SimulationResult Run();
+
+  // Read-only access for tests and examples (valid after Run()).
+  const ClusterState& cluster() const { return cluster_; }
+  const std::vector<std::unique_ptr<Job>>& jobs() const { return jobs_; }
+  const DecisionLog& decision_log() const { return decision_log_; }
+  const ResourceManager& resource_manager() const { return rm_; }
+
+ private:
+  enum class EventType {
+    kJobArrival,
+    kJobFinish,
+    kSchedulerTick,
+    kOrchestratorTick,
+  };
+
+  struct Event {
+    TimeSec time = 0.0;
+    std::uint64_t seq = 0;  // FIFO order among same-time events
+    EventType type = EventType::kJobArrival;
+    std::int64_t job = -1;
+    std::uint64_t generation = 0;
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void PushEvent(TimeSec time, EventType type, std::int64_t job = -1,
+                 std::uint64_t generation = 0);
+  void AdvanceMeters(TimeSec now);
+  void ScheduleFinish(Job& job, TimeSec now);
+  void SyncAfterScheduling(TimeSec now);
+  void MirrorIntoResourceManager(TimeSec now);
+  void HandleSchedulerTick(TimeSec now);
+  void HandleOrchestratorTick(TimeSec now);
+  void HandleFinish(TimeSec now, std::int64_t job_index, std::uint64_t generation);
+  void RecordSeriesPoint(TimeSec now);
+  double OverallUsedGpus(TimeSec now) const;
+
+  SimulatorOptions options_;
+  JobScheduler* scheduler_;
+  ReclaimPolicy* reclaim_policy_;
+  std::unique_ptr<InferenceCluster> inference_;
+  ClusterState cluster_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<std::uint64_t> finish_generation_;
+  std::vector<Job*> pending_;
+  std::vector<Job*> running_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t finished_count_ = 0;
+  bool dirty_ = true;  // cluster/job state changed since the last tick
+  TimeSec meter_cutoff_ = 0.0;
+
+  JobProfiler profiler_;
+  DecisionLog decision_log_;
+  ResourceManager rm_;
+  RmReconciler reconciler_;
+  TimeWeightedMean training_meter_;
+  TimeWeightedMean overall_meter_;
+  TimeWeightedMean onloan_meter_;
+  SimulationResult result_;
+  int total_inference_gpus_ = 0;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,40 @@
+#include "src/workload/bootstrap.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace lyra {
+
+Trace BootstrapTrace(const Trace& source, int num_days, Rng& rng) {
+  LYRA_CHECK_GT(num_days, 0);
+  const int source_days = static_cast<int>(std::floor(source.duration / kDay));
+  LYRA_CHECK_GT(source_days, 0);
+
+  // Bucket source jobs by the day they arrive in.
+  std::vector<std::vector<const JobSpec*>> by_day(static_cast<std::size_t>(source_days));
+  for (const JobSpec& job : source.jobs) {
+    const int day = static_cast<int>(job.submit_time / kDay);
+    if (day >= 0 && day < source_days) {
+      by_day[static_cast<std::size_t>(day)].push_back(&job);
+    }
+  }
+
+  Trace out;
+  out.duration = num_days * kDay;
+  for (int d = 0; d < num_days; ++d) {
+    const auto pick =
+        static_cast<std::size_t>(rng.UniformInt(0, source_days - 1));
+    for (const JobSpec* job : by_day[pick]) {
+      JobSpec copy = *job;
+      const double offset = std::fmod(copy.submit_time, kDay);
+      copy.submit_time = d * kDay + offset;
+      out.jobs.push_back(copy);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace lyra

@@ -1,0 +1,22 @@
+// Bootstrap resampling of traces (Fig 12 reproducibility study).
+//
+// Composes new traces from an existing one by sampling whole days with
+// replacement, preserving within-day arrival structure while varying the
+// day mix — the technique the paper uses to build ten 10-day traces from the
+// full 15-day trace.
+#ifndef SRC_WORKLOAD_BOOTSTRAP_H_
+#define SRC_WORKLOAD_BOOTSTRAP_H_
+
+#include "src/common/rng.h"
+#include "src/workload/trace.h"
+
+namespace lyra {
+
+// Builds a trace of `num_days` days by drawing source days (00:00-24:00
+// windows of `source`) uniformly with replacement. Jobs keep their intra-day
+// offsets; ids are re-densified.
+Trace BootstrapTrace(const Trace& source, int num_days, Rng& rng);
+
+}  // namespace lyra
+
+#endif  // SRC_WORKLOAD_BOOTSTRAP_H_

@@ -1,0 +1,137 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lyra {
+namespace {
+
+ModelFamily ModelFromName(const std::string& name) {
+  if (name == "ResNet-50") {
+    return ModelFamily::kResNet;
+  }
+  if (name == "VGG16") {
+    return ModelFamily::kVgg;
+  }
+  if (name == "BERT") {
+    return ModelFamily::kBert;
+  }
+  if (name == "GNMT-16") {
+    return ModelFamily::kGnmt;
+  }
+  return ModelFamily::kOther;
+}
+
+}  // namespace
+
+void Trace::Normalize() {
+  std::stable_sort(jobs.begin(), jobs.end(), [](const JobSpec& a, const JobSpec& b) {
+    return a.submit_time < b.submit_time;
+  });
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = JobId(static_cast<std::int64_t>(i));
+  }
+}
+
+double Trace::TotalGpuWork() const {
+  double total = 0.0;
+  for (const JobSpec& job : jobs) {
+    total += job.total_work * job.gpus_per_worker;
+  }
+  return total;
+}
+
+double Trace::ElasticWorkFraction() const {
+  double total = 0.0;
+  double elastic = 0.0;
+  for (const JobSpec& job : jobs) {
+    const double gpu_work = job.total_work * job.gpus_per_worker;
+    total += gpu_work;
+    if (job.elastic()) {
+      elastic += gpu_work;
+    }
+  }
+  return total > 0.0 ? elastic / total : 0.0;
+}
+
+double Trace::FungibleJobFraction() const {
+  if (jobs.empty()) {
+    return 0.0;
+  }
+  std::size_t fungible = 0;
+  for (const JobSpec& job : jobs) {
+    if (job.fungible) {
+      ++fungible;
+    }
+  }
+  return static_cast<double>(fungible) / static_cast<double>(jobs.size());
+}
+
+Status SaveTraceCsv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "# duration=" << trace.duration << '\n';
+  out << "id,submit_time,gpus_per_worker,min_workers,max_workers,requested_workers,"
+         "fungible,heterogeneous,checkpointing,model,total_work\n";
+  for (const JobSpec& job : trace.jobs) {
+    out << job.id.value << ',' << job.submit_time << ',' << job.gpus_per_worker << ','
+        << job.min_workers << ',' << job.max_workers << ',' << job.requested_workers
+        << ',' << (job.fungible ? 1 : 0) << ',' << (job.heterogeneous ? 1 : 0) << ','
+        << (job.checkpointing ? 1 : 0) << ',' << ModelFamilyName(job.model) << ','
+        << job.total_work << '\n';
+  }
+  return out.good() ? Status::Ok() : Status::Internal("write failed: " + path);
+}
+
+StatusOr<Trace> LoadTraceCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  Trace trace;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      const auto pos = line.find("duration=");
+      if (pos != std::string::npos) {
+        trace.duration = std::stod(line.substr(pos + 9));
+      }
+      continue;
+    }
+    if (line.rfind("id,", 0) == 0) {
+      continue;  // header
+    }
+    std::istringstream row(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(row, cell, ',')) {
+      cells.push_back(cell);
+    }
+    if (cells.size() != 11) {
+      return Status::InvalidArgument("bad row in " + path + ": " + line);
+    }
+    JobSpec job;
+    job.id = JobId(std::stoll(cells[0]));
+    job.submit_time = std::stod(cells[1]);
+    job.gpus_per_worker = std::stoi(cells[2]);
+    job.min_workers = std::stoi(cells[3]);
+    job.max_workers = std::stoi(cells[4]);
+    job.requested_workers = std::stoi(cells[5]);
+    job.fungible = cells[6] == "1";
+    job.heterogeneous = cells[7] == "1";
+    job.checkpointing = cells[8] == "1";
+    job.model = ModelFromName(cells[9]);
+    job.total_work = std::stod(cells[10]);
+    trace.jobs.push_back(job);
+  }
+  return trace;
+}
+
+}  // namespace lyra

@@ -1,0 +1,37 @@
+// Trace container and CSV I/O.
+//
+// A trace is simply an ordered list of JobSpecs. Traces can be synthesized
+// (synthetic.h), resampled (bootstrap.h), or loaded from / saved to a simple
+// CSV format so experiments can be replayed outside the benches.
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/workload/job.h"
+
+namespace lyra {
+
+struct Trace {
+  std::vector<JobSpec> jobs;
+  TimeSec duration = 0.0;  // span of the experiment, not just last arrival
+
+  // Sorts jobs by submit time and reassigns dense ids in arrival order.
+  void Normalize();
+
+  // Aggregate statistics used for calibration checks.
+  double TotalGpuWork() const;     // sum over jobs of total_work * gpus_per_worker
+  double ElasticWorkFraction() const;
+  double FungibleJobFraction() const;
+};
+
+// CSV columns: id,submit_time,gpus_per_worker,min_workers,max_workers,
+// fungible,heterogeneous,checkpointing,model,total_work
+Status SaveTraceCsv(const Trace& trace, const std::string& path);
+StatusOr<Trace> LoadTraceCsv(const std::string& path);
+
+}  // namespace lyra
+
+#endif  // SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,231 @@
+// Tests for the baseline schedulers: FIFO, SJF, Gandiva, AFS, Pollux,
+// Opportunistic.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/afs.h"
+#include "src/sched/elastic_util.h"
+#include "src/sched/fifo.h"
+#include "src/sched/gandiva.h"
+#include "src/sched/opportunistic.h"
+#include "src/sched/pollux.h"
+
+namespace lyra {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void AddTraining(int count) {
+    for (int i = 0; i < count; ++i) {
+      cluster_.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+    }
+  }
+
+  Job* AddPending(std::int64_t id, double work, int min_w, int max_w, int gpw = 1,
+                  double submit = 0.0, ModelFamily model = ModelFamily::kOther) {
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.submit_time = submit;
+    spec.gpus_per_worker = gpw;
+    spec.min_workers = min_w;
+    spec.max_workers = max_w;
+    spec.total_work = work;
+    spec.model = model;
+    jobs_.push_back(std::make_unique<Job>(spec));
+    pending_.push_back(jobs_.back().get());
+    return jobs_.back().get();
+  }
+
+  Job* AddRunning(std::int64_t id, double work, int min_w, int max_w, int gpw,
+                  ServerId server, int base_gpus, int flex_gpus,
+                  ModelFamily model = ModelFamily::kOther) {
+    JobSpec spec;
+    spec.id = JobId(id);
+    spec.gpus_per_worker = gpw;
+    spec.min_workers = min_w;
+    spec.max_workers = max_w;
+    spec.total_work = work;
+    spec.model = model;
+    jobs_.push_back(std::make_unique<Job>(spec));
+    Job* job = jobs_.back().get();
+    if (base_gpus > 0) {
+      cluster_.Place(job->id(), server, base_gpus, false);
+    }
+    if (flex_gpus > 0) {
+      cluster_.Place(job->id(), server, flex_gpus, true);
+    }
+    job->Start(0.0, 1.0, (base_gpus + flex_gpus) / gpw);
+    running_.push_back(job);
+    return job;
+  }
+
+  SchedulerContext Context(TimeSec now = 0.0) {
+    SchedulerContext ctx;
+    ctx.now = now;
+    ctx.cluster = &cluster_;
+    ctx.pending = pending_;
+    ctx.running = running_;
+    ctx.throughput = &model_;
+    return ctx;
+  }
+
+  bool Placed(std::int64_t id) { return cluster_.FindPlacement(JobId(id)) != nullptr; }
+
+  ClusterState cluster_;
+  ThroughputModel model_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<Job*> pending_;
+  std::vector<Job*> running_;
+};
+
+TEST_F(BaselinesTest, FifoServesArrivalOrderAndSkipsBlocked) {
+  AddTraining(1);  // 8 GPUs
+  AddPending(0, 100.0, 6, 6, 1, /*submit=*/10.0);
+  AddPending(1, 100.0, 6, 6, 1, /*submit=*/0.0);  // earlier arrival
+  AddPending(2, 100.0, 2, 2, 1, /*submit=*/20.0); // fits after skip
+  SchedulerContext ctx = Context();
+  FifoScheduler().Schedule(ctx);
+  EXPECT_TRUE(Placed(1));   // earliest first
+  EXPECT_FALSE(Placed(0));  // blocked (only 2 GPUs left)
+  EXPECT_TRUE(Placed(2));   // skipped past the blocked job
+}
+
+TEST_F(BaselinesTest, FifoAllocatesRequestedDemand) {
+  AddTraining(2);
+  Job* elastic = AddPending(0, 100.0, 2, 4, 2);
+  const_cast<JobSpec&>(elastic->spec()).requested_workers = 2;
+  SchedulerContext ctx = Context();
+  FifoScheduler().Schedule(ctx);
+  // No elastic scaling in the baseline: exactly the requested 2 workers.
+  EXPECT_EQ(cluster_.FindPlacement(JobId(0))->total_gpus(), 4);
+}
+
+TEST_F(BaselinesTest, SjfServesShortestFirst) {
+  AddTraining(1);
+  AddPending(0, 1000.0, 6, 6, 1, 0.0);
+  AddPending(1, 10.0, 6, 6, 1, 5.0);  // much shorter
+  SchedulerContext ctx = Context();
+  SjfScheduler().Schedule(ctx);
+  EXPECT_TRUE(Placed(1));
+  EXPECT_FALSE(Placed(0));
+}
+
+TEST_F(BaselinesTest, GandivaGrowsElasticJobsWhenQueueIsEmpty) {
+  AddTraining(2);
+  AddRunning(0, 1000.0, 1, 4, 2, ServerId(0), 2, 0);
+  SchedulerContext ctx = Context();
+  GandivaScheduler().Schedule(ctx);
+  // Idle cluster, no pending jobs: the elastic job is grown to its max.
+  EXPECT_EQ(PlacedWorkers(cluster_, *running_[0]), 4);
+}
+
+TEST_F(BaselinesTest, GandivaDoesNotGrowWhilePendingJobsWait) {
+  AddTraining(1);
+  AddRunning(0, 1000.0, 1, 4, 2, ServerId(0), 2, 0);
+  AddPending(1, 100.0, 8, 8, 8);  // cannot fit (needs 64 GPUs)... use 1 server
+  // Replace: pending job needs 8 GPUs but only 6 are free -> stays blocked.
+  SchedulerContext ctx = Context();
+  GandivaScheduler().Schedule(ctx);
+  EXPECT_EQ(PlacedWorkers(cluster_, *running_[0]), 1);  // no opportunistic growth
+}
+
+TEST_F(BaselinesTest, GandivaShrinksToAdmitPendingJobs) {
+  AddTraining(1);
+  AddRunning(0, 1000.0, 1, 4, 2, ServerId(0), 2, 6);  // 1 base + 3 flexible
+  AddPending(1, 100.0, 6, 6, 1);
+  SchedulerContext ctx = Context();
+  GandivaScheduler().Schedule(ctx);
+  EXPECT_TRUE(Placed(1));
+  EXPECT_LT(PlacedFlexibleWorkers(cluster_, *running_[0]), 3);
+}
+
+TEST_F(BaselinesTest, AfsGreedyFavorsBetterScalingCurve) {
+  AddTraining(1);
+  // ResNet scales better (lower comm overhead) than VGG. AFS's greedy
+  // marginal-gain rule hands BOTH spare worker slots to the ResNet job —
+  // the paper's observation that unlimited greedy allocation "implicitly
+  // favors jobs with better throughput at the cost of others" (§7.4).
+  AddRunning(0, 1000.0, 1, 4, 2, ServerId(0), 2, 0, ModelFamily::kResNet);
+  AddRunning(1, 1000.0, 1, 4, 2, ServerId(0), 2, 0, ModelFamily::kVgg);
+  SchedulerContext ctx = Context();
+  AfsScheduler().Schedule(ctx);
+  EXPECT_EQ(PlacedWorkers(cluster_, *running_[0]), 3);
+  EXPECT_EQ(PlacedWorkers(cluster_, *running_[1]), 1);
+}
+
+TEST_F(BaselinesTest, AfsFillsAllCapacityWithElasticWorkers) {
+  AddTraining(2);
+  AddRunning(0, 1000.0, 1, 8, 2, ServerId(0), 2, 0, ModelFamily::kBert);
+  SchedulerContext ctx = Context();
+  AfsScheduler().Schedule(ctx);
+  EXPECT_EQ(PlacedWorkers(cluster_, *running_[0]), 8);  // grows to max
+}
+
+TEST_F(BaselinesTest, PolluxRespectsCapacityAndBounds) {
+  AddTraining(2);
+  AddRunning(0, 1000.0, 2, 6, 2, ServerId(0), 4, 0, ModelFamily::kResNet);
+  AddPending(1, 1000.0, 2, 6, 2, 0.0, ModelFamily::kBert);
+  PolluxOptions options;
+  options.iterations = 50;
+  options.ga_interval = 0.0;
+  PolluxScheduler pollux(options);
+  SchedulerContext ctx = Context(10.0 * kMinute);
+  pollux.Schedule(ctx);
+  int total = 0;
+  for (const Server& s : cluster_.servers()) {
+    total += s.used_gpus();
+  }
+  EXPECT_LE(total, 16);
+  // The running job never drops below its gang minimum.
+  EXPECT_GE(PlacedWorkers(cluster_, *running_[0]), 2);
+  EXPECT_LE(PlacedWorkers(cluster_, *running_[0]), 6);
+}
+
+TEST_F(BaselinesTest, PolluxLaunchesInelasticInArrivalOrder) {
+  AddTraining(1);
+  AddPending(0, 100.0, 4, 4, 1, 5.0);
+  AddPending(1, 100.0, 4, 4, 1, 0.0);
+  PolluxScheduler pollux;
+  SchedulerContext ctx = Context();
+  pollux.Schedule(ctx);
+  EXPECT_TRUE(Placed(0));
+  EXPECT_TRUE(Placed(1));
+}
+
+TEST_F(BaselinesTest, PolluxTunesHyperparameters) {
+  EXPECT_TRUE(PolluxScheduler().tunes_hyperparameters());
+  EXPECT_FALSE(FifoScheduler().tunes_hyperparameters());
+}
+
+TEST_F(BaselinesTest, OpportunisticRoutesFungibleToLoanedOnly) {
+  AddTraining(1);
+  cluster_.AddServer(GpuType::kInferenceT4, 8, ServerPool::kOnLoan);
+  Job* fungible = AddPending(0, 100.0, 1, 1, 2);
+  const_cast<JobSpec&>(fungible->spec()).fungible = true;
+  AddPending(1, 100.0, 1, 1, 2);  // non-fungible
+  SchedulerContext ctx = Context();
+  OpportunisticScheduler().Schedule(ctx);
+  const JobPlacement* p0 = cluster_.FindPlacement(JobId(0));
+  ASSERT_NE(p0, nullptr);
+  EXPECT_EQ(cluster_.server(p0->shares.begin()->first).pool(), ServerPool::kOnLoan);
+  const JobPlacement* p1 = cluster_.FindPlacement(JobId(1));
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(cluster_.server(p1->shares.begin()->first).pool(), ServerPool::kTraining);
+}
+
+TEST_F(BaselinesTest, OpportunisticFallsBackAfterPatience) {
+  AddTraining(1);  // no loaned servers at all
+  Job* fungible = AddPending(0, 100.0, 1, 1, 2);
+  const_cast<JobSpec&>(fungible->spec()).fungible = true;
+  OpportunisticScheduler scheduler(/*patience=*/1 * kHour);
+  SchedulerContext early = Context(/*now=*/10.0);
+  scheduler.Schedule(early);
+  EXPECT_FALSE(Placed(0));  // still waiting for inference capacity
+  SchedulerContext late = Context(/*now=*/2 * kHour);
+  scheduler.Schedule(late);
+  EXPECT_TRUE(Placed(0));  // gave up and used the training cluster
+}
+
+}  // namespace
+}  // namespace lyra

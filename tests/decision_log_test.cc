@@ -1,0 +1,151 @@
+// Tests for the decision log and the §7.2 calibration-comparison machinery.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/lyra/lyra_scheduler.h"
+#include "src/sched/fifo.h"
+#include "src/sim/decision_log.h"
+#include "src/sim/simulator.h"
+#include "src/workload/synthetic.h"
+
+namespace lyra {
+namespace {
+
+TEST(DecisionLog, AppendAndAccess) {
+  DecisionLog log;
+  log.Append(1.0, DecisionKind::kJobStart, 7, 4);
+  log.Append(2.0, DecisionKind::kJobFinish, 7, 0);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].kind, DecisionKind::kJobStart);
+  EXPECT_EQ(log.records()[0].subject, 7);
+  EXPECT_EQ(log.records()[0].detail, 4);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(DecisionLog, IdenticalLogsDoNotDiverge) {
+  DecisionLog a;
+  DecisionLog b;
+  for (int i = 0; i < 10; ++i) {
+    a.Append(i * 10.0, DecisionKind::kJobStart, i, 2);
+    b.Append(i * 10.0, DecisionKind::kJobStart, i, 2);
+  }
+  EXPECT_FALSE(CompareDecisionLogs(a, b).diverged);
+}
+
+TEST(DecisionLog, SmallTimeSkewWithinToleranceIsAccepted) {
+  DecisionLog a;
+  DecisionLog b;
+  a.Append(10.0, DecisionKind::kJobStart, 1, 2);
+  b.Append(11.5, DecisionKind::kJobStart, 1, 2);  // 1.5s skew < 2s tolerance
+  EXPECT_FALSE(CompareDecisionLogs(a, b, 2.0).diverged);
+  EXPECT_TRUE(CompareDecisionLogs(a, b, 1.0).diverged);
+}
+
+TEST(DecisionLog, FindsFirstWrongDecision) {
+  DecisionLog a;
+  DecisionLog b;
+  a.Append(10.0, DecisionKind::kJobStart, 1, 2);
+  a.Append(20.0, DecisionKind::kJobStart, 2, 2);
+  b.Append(10.0, DecisionKind::kJobStart, 1, 2);
+  b.Append(20.0, DecisionKind::kJobStart, 3, 2);  // different job started
+  const LogDivergence d = CompareDecisionLogs(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_NE(d.description.find("mismatch"), std::string::npos);
+}
+
+TEST(DecisionLog, DetectsTruncatedLog) {
+  DecisionLog a;
+  DecisionLog b;
+  a.Append(10.0, DecisionKind::kJobStart, 1, 2);
+  a.Append(20.0, DecisionKind::kJobFinish, 1, 0);
+  b.Append(10.0, DecisionKind::kJobStart, 1, 2);
+  const LogDivergence d = CompareDecisionLogs(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_NE(d.description.find("ends early"), std::string::npos);
+}
+
+TEST(DecisionLog, CsvRoundTrip) {
+  DecisionLog log;
+  log.Append(12.5, DecisionKind::kServersLoaned, 4, 0);
+  log.Append(300.0, DecisionKind::kJobScale, 9, 6);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lyra_decision_log.csv").string();
+  ASSERT_TRUE(log.SaveCsv(path).ok());
+  const StatusOr<DecisionLog> loaded = DecisionLog::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(CompareDecisionLogs(log, loaded.value(), 0.0).diverged);
+  std::remove(path.c_str());
+}
+
+TEST(DecisionLog, LoadMissingFileFails) {
+  EXPECT_FALSE(DecisionLog::LoadCsv("/does/not/exist.csv").ok());
+}
+
+// --- Simulator integration: the calibration workflow -----------------------
+
+Trace SmallTrace() {
+  SyntheticTraceOptions options;
+  options.duration = 12 * kHour;
+  options.training_gpus = 8 * 8;
+  options.target_utilization = 0.9;
+  options.seed = 31;
+  return SyntheticTraceGenerator(options).Generate();
+}
+
+DecisionLog RunAndLog(const Trace& trace, JobScheduler* scheduler) {
+  SimulatorOptions options;
+  options.training_servers = 8;
+  options.enable_loaning = false;
+  options.record_decisions = true;
+  LyraReclaimPolicy reclaim;
+  Simulator sim(options, trace, scheduler, &reclaim, nullptr);
+  sim.Run();
+  return sim.decision_log();
+}
+
+TEST(CalibrationWorkflow, RepeatedRunsProduceIdenticalLogs) {
+  const Trace trace = SmallTrace();
+  LyraScheduler a;
+  LyraScheduler b;
+  const DecisionLog log_a = RunAndLog(trace, &a);
+  const DecisionLog log_b = RunAndLog(trace, &b);
+  EXPECT_GT(log_a.size(), 10u);
+  const LogDivergence d = CompareDecisionLogs(log_a, log_b, 0.0);
+  EXPECT_FALSE(d.diverged) << d.description;
+}
+
+TEST(CalibrationWorkflow, DifferentSchedulersDivergeAndAreLocated) {
+  const Trace trace = SmallTrace();
+  LyraScheduler lyra_scheduler;
+  FifoScheduler fifo;
+  const DecisionLog log_a = RunAndLog(trace, &lyra_scheduler);
+  const DecisionLog log_b = RunAndLog(trace, &fifo);
+  const LogDivergence d = CompareDecisionLogs(log_a, log_b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_FALSE(d.description.empty());
+}
+
+TEST(CalibrationWorkflow, LogCoversTheJobLifecycle) {
+  const Trace trace = SmallTrace();
+  LyraScheduler scheduler;
+  const DecisionLog log = RunAndLog(trace, &scheduler);
+  bool saw_start = false;
+  bool saw_finish = false;
+  bool saw_scale = false;
+  for (const DecisionRecord& r : log.records()) {
+    saw_start |= r.kind == DecisionKind::kJobStart;
+    saw_finish |= r.kind == DecisionKind::kJobFinish;
+    saw_scale |= r.kind == DecisionKind::kJobScale;
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_finish);
+  EXPECT_TRUE(saw_scale);
+}
+
+}  // namespace
+}  // namespace lyra

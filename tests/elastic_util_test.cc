@@ -1,0 +1,104 @@
+// Tests for the elastic-demand helpers (nominal worker accounting).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sched/elastic_util.h"
+
+namespace lyra {
+namespace {
+
+std::unique_ptr<Job> MakeJob(std::int64_t id, int min_w, int max_w, int gpw = 2) {
+  JobSpec spec;
+  spec.id = JobId(id);
+  spec.gpus_per_worker = gpw;
+  spec.min_workers = min_w;
+  spec.max_workers = max_w;
+  spec.total_work = 1000.0;
+  spec.fungible = true;
+  return std::make_unique<Job>(spec);
+}
+
+TEST(ElasticUtil, PlacedWorkersOnTraining) {
+  ClusterState cluster;
+  cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  auto job = MakeJob(0, 2, 4);
+  EXPECT_EQ(PlacedWorkers(cluster, *job), 0);
+  cluster.Place(JobId(0), ServerId(0), 4, false);
+  EXPECT_EQ(PlacedWorkers(cluster, *job), 2);
+  cluster.Place(JobId(0), ServerId(0), 2, true);
+  EXPECT_EQ(PlacedWorkers(cluster, *job), 3);
+  EXPECT_EQ(PlacedFlexibleWorkers(cluster, *job), 1);
+}
+
+TEST(ElasticUtil, PlacedWorkersNormalizeT4) {
+  ClusterState cluster;
+  cluster.AddServer(GpuType::kInferenceT4, 8, ServerPool::kOnLoan);
+  cluster.AddServer(GpuType::kInferenceT4, 8, ServerPool::kOnLoan);
+  auto job = MakeJob(0, 2, 4);
+  // 6 physical workers x 2 GPUs on T4 = 12 GPUs = 2 nominal workers.
+  cluster.Place(JobId(0), ServerId(0), 8, false);
+  cluster.Place(JobId(0), ServerId(1), 4, false);
+  EXPECT_EQ(PlacedWorkers(cluster, *job), 2);
+}
+
+TEST(ElasticUtil, ShrinkFlexibleToTarget) {
+  ClusterState cluster;
+  cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  auto job = MakeJob(0, 1, 4);
+  cluster.Place(JobId(0), ServerId(0), 2, false);
+  cluster.Place(JobId(0), ServerId(0), 4, true);
+  cluster.Place(JobId(0), ServerId(1), 2, true);
+  EXPECT_EQ(PlacedFlexibleWorkers(cluster, *job), 3);
+  const int released = ShrinkFlexibleTo(cluster, *job, 1);
+  EXPECT_EQ(released, 4);
+  EXPECT_EQ(PlacedFlexibleWorkers(cluster, *job), 1);
+  // Base demand untouched.
+  EXPECT_EQ(cluster.FindPlacement(JobId(0))->base_gpus(), 2);
+}
+
+TEST(ElasticUtil, ShrinkToCurrentIsNoop) {
+  ClusterState cluster;
+  cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  auto job = MakeJob(0, 1, 4);
+  cluster.Place(JobId(0), ServerId(0), 2, true);
+  EXPECT_EQ(ShrinkFlexibleTo(cluster, *job, 1), 0);
+}
+
+TEST(ElasticUtil, ShrinkUnplacedJobIsNoop) {
+  ClusterState cluster;
+  auto job = MakeJob(0, 1, 4);
+  EXPECT_EQ(ShrinkFlexibleTo(cluster, *job, 0), 0);
+}
+
+TEST(ElasticUtil, HarvestTakesRoundRobinAcrossJobs) {
+  ClusterState cluster;
+  cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  auto job_a = MakeJob(0, 1, 4);
+  auto job_b = MakeJob(1, 1, 4);
+  cluster.Place(JobId(0), ServerId(0), 2, false);
+  cluster.Place(JobId(0), ServerId(0), 4, true);
+  cluster.Place(JobId(1), ServerId(1), 2, false);
+  cluster.Place(JobId(1), ServerId(1), 4, true);
+  std::vector<Job*> running = {job_a.get(), job_b.get()};
+  const int released = HarvestFlexibleGpus(cluster, running, 4);
+  EXPECT_GE(released, 4);
+  // Round-robin: both jobs lost one worker rather than one losing both.
+  EXPECT_EQ(PlacedFlexibleWorkers(cluster, *job_a), 1);
+  EXPECT_EQ(PlacedFlexibleWorkers(cluster, *job_b), 1);
+}
+
+TEST(ElasticUtil, HarvestStopsWhenNothingFlexibleRemains) {
+  ClusterState cluster;
+  cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  auto job = MakeJob(0, 2, 4);
+  cluster.Place(JobId(0), ServerId(0), 4, false);
+  std::vector<Job*> running = {job.get()};
+  EXPECT_EQ(HarvestFlexibleGpus(cluster, running, 100), 0);
+  EXPECT_EQ(cluster.FindPlacement(JobId(0))->total_gpus(), 4);
+}
+
+}  // namespace
+}  // namespace lyra

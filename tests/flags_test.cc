@@ -1,0 +1,116 @@
+// Tests for the command-line flag library.
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace lyra {
+namespace {
+
+struct Parsed {
+  bool verbose = false;
+  int count = 7;
+  double rate = 1.5;
+  std::string name = "default";
+};
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  FlagSet MakeSet() {
+    FlagSet flags("test tool");
+    flags.AddBool("verbose", &parsed_.verbose, "be chatty");
+    flags.AddInt("count", &parsed_.count, "how many");
+    flags.AddDouble("rate", &parsed_.rate, "how fast");
+    flags.AddString("name", &parsed_.name, "what to call it");
+    return flags;
+  }
+
+  Status Parse(FlagSet& flags, std::vector<const char*> args) {
+    args.insert(args.begin(), "prog");
+    return flags.Parse(static_cast<int>(args.size()), args.data());
+  }
+
+  Parsed parsed_;
+};
+
+TEST_F(FlagsTest, DefaultsSurviveEmptyParse) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {}).ok());
+  EXPECT_FALSE(parsed_.verbose);
+  EXPECT_EQ(parsed_.count, 7);
+  EXPECT_DOUBLE_EQ(parsed_.rate, 1.5);
+  EXPECT_EQ(parsed_.name, "default");
+}
+
+TEST_F(FlagsTest, EqualsSyntax) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(
+      Parse(flags, {"--count=42", "--rate=0.25", "--name=x", "--verbose=true"}).ok());
+  EXPECT_TRUE(parsed_.verbose);
+  EXPECT_EQ(parsed_.count, 42);
+  EXPECT_DOUBLE_EQ(parsed_.rate, 0.25);
+  EXPECT_EQ(parsed_.name, "x");
+}
+
+TEST_F(FlagsTest, SpaceSeparatedSyntax) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"--count", "13", "--name", "hello"}).ok());
+  EXPECT_EQ(parsed_.count, 13);
+  EXPECT_EQ(parsed_.name, "hello");
+}
+
+TEST_F(FlagsTest, BareBoolSetsTrueAndNoPrefixClears) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"--verbose"}).ok());
+  EXPECT_TRUE(parsed_.verbose);
+  ASSERT_TRUE(Parse(flags, {"--no-verbose"}).ok());
+  EXPECT_FALSE(parsed_.verbose);
+}
+
+TEST_F(FlagsTest, PositionalArgumentsCollected) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"input.csv", "--count=1", "more"}).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST_F(FlagsTest, DoubleDashEndsFlagParsing) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"--", "--count=9"}).ok());
+  EXPECT_EQ(parsed_.count, 7);  // untouched
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--count=9");
+}
+
+TEST_F(FlagsTest, UnknownFlagIsAnError) {
+  FlagSet flags = MakeSet();
+  const Status status = Parse(flags, {"--bogus=1"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bogus"), std::string::npos);
+}
+
+TEST_F(FlagsTest, MalformedValuesAreErrors) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(Parse(flags, {"--count=abc"}).ok());
+  EXPECT_FALSE(Parse(flags, {"--rate=fast"}).ok());
+  EXPECT_FALSE(Parse(flags, {"--verbose=maybe"}).ok());
+}
+
+TEST_F(FlagsTest, MissingValueIsAnError) {
+  FlagSet flags = MakeSet();
+  EXPECT_FALSE(Parse(flags, {"--count"}).ok());
+}
+
+TEST_F(FlagsTest, HelpRequestedIsNotAnError) {
+  FlagSet flags = MakeSet();
+  ASSERT_TRUE(Parse(flags, {"--help"}).ok());
+  EXPECT_TRUE(flags.help_requested());
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+  EXPECT_NE(usage.find("test tool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lyra

@@ -1,0 +1,140 @@
+// Tests for the inference-cluster model: diurnal traffic calibration (Fig 1)
+// and loaning instructions (§4, §7.1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/stats.h"
+#include "src/sim/inference_cluster.h"
+
+namespace lyra {
+namespace {
+
+DiurnalTrafficOptions WeekOptions() {
+  DiurnalTrafficOptions options;
+  options.duration = 7 * kDay;
+  options.seed = 3;
+  return options;
+}
+
+TEST(DiurnalTraffic, CalibratedToFigure1) {
+  const DiurnalTrafficModel model(WeekOptions());
+  const std::vector<double>& samples = model.samples();
+  ASSERT_GT(samples.size(), 2000u);
+  const double mean = Mean(samples);
+  const double lo = Percentile(samples, 2.0);
+  const double hi = Percentile(samples, 98.0);
+  // Fig 1: trough ~42%, peak ~95%, average ~65%, peak-to-trough ~2.2.
+  EXPECT_NEAR(mean, 0.65, 0.08);
+  EXPECT_NEAR(lo, 0.42, 0.08);
+  EXPECT_NEAR(hi, 0.95, 0.08);
+  EXPECT_NEAR(hi / lo, 2.2, 0.5);
+  for (double s : samples) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(DiurnalTraffic, MedianFiveMinuteBurstNearTwoPercent) {
+  // §7.1: the median inference traffic burst within five minutes is ~2% of
+  // the cluster capacity — the basis for the 2% headroom.
+  const DiurnalTrafficModel model(WeekOptions());
+  const std::vector<double>& samples = model.samples();
+  std::vector<double> moves;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    moves.push_back(std::abs(samples[i] - samples[i - 1]));
+  }
+  const double median_move = Percentile(moves, 50.0);
+  EXPECT_GT(median_move, 0.005);
+  EXPECT_LT(median_move, 0.04);
+}
+
+TEST(DiurnalTraffic, HasDailyPeriodicity) {
+  const DiurnalTrafficModel model(WeekOptions());
+  // Peak-time samples exceed dawn samples on every weekday.
+  for (int day = 0; day < 5; ++day) {
+    const double peak = model.ServingFractionAt(day * kDay + 21 * kHour);
+    const double trough = model.ServingFractionAt(day * kDay + 9 * kHour);
+    EXPECT_GT(peak, trough + 0.2) << "day " << day;
+  }
+}
+
+TEST(DiurnalTraffic, DeterministicForSeed) {
+  const DiurnalTrafficModel a(WeekOptions());
+  const DiurnalTrafficModel b(WeekOptions());
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); i += 97) {
+    EXPECT_DOUBLE_EQ(a.samples()[i], b.samples()[i]);
+  }
+}
+
+TEST(DiurnalTraffic, ClampsTimeBeyondDuration) {
+  const DiurnalTrafficModel model(WeekOptions());
+  EXPECT_NO_FATAL_FAILURE(model.ServingFractionAt(100 * kDay));
+}
+
+class InferenceClusterTest : public ::testing::Test {
+ protected:
+  static InferenceCluster Make(std::unique_ptr<UsagePredictor> predictor = nullptr) {
+    InferenceClusterOptions options;
+    options.num_servers = 100;
+    return InferenceCluster(options, DiurnalTrafficModel(WeekOptions()),
+                            std::move(predictor));
+  }
+};
+
+TEST_F(InferenceClusterTest, TargetLoanedWithinBounds) {
+  InferenceCluster cluster = Make();
+  for (double t = 0.0; t < 3 * kDay; t += 5 * kMinute) {
+    const int target = cluster.TargetLoanedServers(t);
+    EXPECT_GE(target, 0);
+    EXPECT_LE(target, 100);
+  }
+}
+
+TEST_F(InferenceClusterTest, LowTrafficLoansMoreThanPeak) {
+  InferenceCluster cluster = Make();
+  const int at_trough = cluster.TargetLoanedServers(9 * kHour);
+  const int at_peak = cluster.TargetLoanedServers(21 * kHour);
+  EXPECT_GT(at_trough, at_peak);
+}
+
+TEST_F(InferenceClusterTest, HeadroomIsNeverLoaned) {
+  InferenceClusterOptions options;
+  options.num_servers = 100;
+  options.headroom_fraction = 0.10;
+  options.server_packing_spread = 1.0;
+  DiurnalTrafficOptions quiet = WeekOptions();
+  quiet.trough = 0.0;
+  quiet.peak = 0.001;
+  quiet.noise_sigma = 0.0;
+  quiet.bursts_per_day = 0.0;
+  InferenceCluster cluster(options, DiurnalTrafficModel(quiet), nullptr);
+  // Even with no traffic at all, 10 servers stay home.
+  EXPECT_LE(cluster.TargetLoanedServers(9 * kHour), 90);
+  EXPECT_GE(cluster.TargetLoanedServers(9 * kHour), 85);
+}
+
+TEST_F(InferenceClusterTest, PredictorTriggersEarlyReclaim) {
+  // A predictor that always foresees full load forces target 0 even at the
+  // trough: reclaiming happens in advance of the traffic increase (§6).
+  class AlwaysFull : public UsagePredictor {
+   public:
+    const char* name() const override { return "always-full"; }
+    void Observe(double) override {}
+    double PredictNext() override { return 1.0; }
+  };
+  InferenceCluster cluster = Make(std::make_unique<AlwaysFull>());
+  EXPECT_EQ(cluster.TargetLoanedServers(9 * kHour), 0);
+}
+
+TEST_F(InferenceClusterTest, BusyGpusFollowServingFraction) {
+  InferenceCluster cluster = Make();
+  const double busy = cluster.BusyGpusAt(21 * kHour);
+  const double serving = cluster.ServingFractionAt(21 * kHour);
+  EXPECT_NEAR(busy, serving * 0.54 * 800.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lyra

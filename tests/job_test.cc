@@ -1,0 +1,188 @@
+// Unit tests for the job model: lifecycle, progress accounting, preemption.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/workload/job.h"
+
+namespace lyra {
+namespace {
+
+JobSpec MakeSpec(double work = 1000.0, int min_w = 2, int max_w = 4) {
+  JobSpec spec;
+  spec.id = JobId(0);
+  spec.submit_time = 100.0;
+  spec.gpus_per_worker = 2;
+  spec.min_workers = min_w;
+  spec.max_workers = max_w;
+  spec.total_work = work;
+  return spec;
+}
+
+TEST(JobSpec, ElasticityAndDemands) {
+  JobSpec spec = MakeSpec();
+  EXPECT_TRUE(spec.elastic());
+  EXPECT_EQ(spec.base_gpus(), 4);
+  EXPECT_EQ(spec.max_gpus(), 8);
+  EXPECT_DOUBLE_EQ(spec.MinRunningTime(), 250.0);
+  EXPECT_DOUBLE_EQ(spec.BaseRunningTime(), 500.0);
+  spec.min_workers = spec.max_workers = 3;
+  EXPECT_FALSE(spec.elastic());
+}
+
+TEST(JobSpec, RequestedWorkersDefaultsToMax) {
+  JobSpec spec = MakeSpec();
+  EXPECT_EQ(spec.RequestedWorkers(), 4);
+  spec.requested_workers = 2;
+  EXPECT_EQ(spec.RequestedWorkers(), 2);
+}
+
+TEST(Job, StartsPendingWithFullWork) {
+  Job job(MakeSpec());
+  EXPECT_EQ(job.state(), JobState::kPending);
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 1000.0);
+  EXPECT_EQ(job.preemptions(), 0);
+}
+
+TEST(Job, LinearProgressAndFinish) {
+  Job job(MakeSpec(1000.0));
+  job.Start(200.0, /*rate=*/4.0, /*workers=*/4);
+  EXPECT_DOUBLE_EQ(job.QueuingTime(), 100.0);
+  EXPECT_DOUBLE_EQ(job.PredictedFinish(200.0), 200.0 + 250.0);
+  job.AdvanceProgress(300.0);
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 1000.0 - 4.0 * 100.0);
+  job.Finish(450.0);
+  EXPECT_EQ(job.state(), JobState::kFinished);
+  EXPECT_DOUBLE_EQ(job.Jct(), 450.0 - 100.0);
+}
+
+TEST(Job, RateChangeRecomputesFinish) {
+  Job job(MakeSpec(1000.0));
+  job.Start(0.0, 2.0, 2);
+  EXPECT_DOUBLE_EQ(job.PredictedFinish(0.0), 500.0);
+  job.UpdateRate(100.0, 4.0, 4);  // 800 work left at rate 4
+  EXPECT_DOUBLE_EQ(job.PredictedFinish(100.0), 100.0 + 200.0);
+  EXPECT_EQ(job.scaling_operations(), 1);
+}
+
+TEST(Job, UpdateRateWithSameWorkersIsNotAScalingOp) {
+  Job job(MakeSpec());
+  job.Start(0.0, 2.0, 2);
+  job.UpdateRate(10.0, 1.5, 2);  // e.g. heterogeneity penalty changed
+  EXPECT_EQ(job.scaling_operations(), 0);
+}
+
+TEST(Job, PredictedFinishAccountsForElapsedSinceUpdate) {
+  Job job(MakeSpec(1000.0));
+  job.Start(0.0, 2.0, 2);
+  // At t=100, 200 work done even though AdvanceProgress was not called.
+  EXPECT_DOUBLE_EQ(job.PredictedFinish(100.0), 500.0);
+}
+
+TEST(Job, PreemptWithoutCheckpointLosesAllProgress) {
+  Job job(MakeSpec(1000.0));
+  job.Start(0.0, 2.0, 2);
+  job.Preempt(400.0, 63.0);  // 800 work done, all lost
+  EXPECT_EQ(job.state(), JobState::kPending);
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 1000.0);
+  EXPECT_EQ(job.preemptions(), 1);
+  EXPECT_EQ(job.current_workers(), 0);
+  EXPECT_TRUE(std::isinf(job.PredictedFinish(500.0)));
+}
+
+TEST(Job, PreemptWithCheckpointChargesFixedOverhead) {
+  JobSpec spec = MakeSpec(1000.0);
+  spec.checkpointing = true;
+  Job job(spec);
+  job.Start(0.0, 2.0, 2);
+  job.Preempt(100.0, 63.0);  // 200 done -> 800 left + 63s * 2 base workers
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 800.0 + 63.0 * 2);
+}
+
+TEST(Job, PeriodicCheckpointLosesProgressSinceLastCheckpoint) {
+  JobSpec spec = MakeSpec(1000.0);
+  spec.checkpointing = true;
+  Job job(spec);
+  job.Start(0.0, 2.0, 2);
+  // 700 work done; checkpoints every 300 worker-seconds -> last at 600.
+  job.Preempt(350.0, 0.0, /*checkpoint_chunk_work=*/300.0);
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 1000.0 - 600.0);
+}
+
+TEST(Job, PeriodicCheckpointBeforeFirstCheckpointLosesEverything) {
+  JobSpec spec = MakeSpec(1000.0);
+  spec.checkpointing = true;
+  Job job(spec);
+  job.Start(0.0, 2.0, 2);
+  job.Preempt(100.0, 0.0, /*checkpoint_chunk_work=*/300.0);  // 200 < 300 done
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 1000.0);
+}
+
+TEST(Job, CheckpointOverheadNeverExceedsFullRestart) {
+  JobSpec spec = MakeSpec(100.0);
+  spec.checkpointing = true;
+  Job job(spec);
+  job.Start(0.0, 2.0, 2);
+  job.Preempt(1.0, 63.0);  // overhead would exceed total work; clamped
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 100.0);
+}
+
+TEST(Job, RestartAfterPreemptionKeepsFirstStartTime) {
+  Job job(MakeSpec(1000.0));
+  job.Start(200.0, 2.0, 2);
+  job.Preempt(300.0, 63.0);
+  job.Start(400.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(job.QueuingTime(), 100.0);  // still relative to first start
+  EXPECT_EQ(job.state(), JobState::kRunning);
+}
+
+TEST(Job, EstimatedRemainingTimeTracksProgressFraction) {
+  Job job(MakeSpec(1000.0));
+  EXPECT_DOUBLE_EQ(job.EstimatedRemainingTime(2), 500.0);
+  EXPECT_DOUBLE_EQ(job.EstimatedRemainingTime(4), 250.0);
+  job.Start(0.0, 2.0, 2);
+  job.AdvanceProgress(250.0);  // half done
+  EXPECT_DOUBLE_EQ(job.EstimatedRemainingTime(2), 250.0);
+}
+
+TEST(Job, EstimatedRemainingTimeUsesInjectedEstimate) {
+  Job job(MakeSpec(1000.0));
+  job.set_estimated_total_work(1200.0);  // 20% over-estimate (Table 9)
+  EXPECT_DOUBLE_EQ(job.EstimatedRemainingTime(2), 600.0);
+  // Ground-truth progress is unaffected by the wrong estimate.
+  job.Start(0.0, 2.0, 2);
+  EXPECT_DOUBLE_EQ(job.PredictedFinish(0.0), 500.0);
+}
+
+TEST(Job, ZeroRateStallsProgress) {
+  Job job(MakeSpec(1000.0));
+  job.Start(0.0, 2.0, 2);
+  job.UpdateRate(100.0, 0.0, 2);
+  job.AdvanceProgress(500.0);
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 800.0);
+  EXPECT_TRUE(std::isinf(job.PredictedFinish(600.0)));
+}
+
+TEST(Job, WorkNeverGoesNegative) {
+  Job job(MakeSpec(100.0));
+  job.Start(0.0, 10.0, 4);
+  job.AdvanceProgress(1000.0);
+  EXPECT_DOUBLE_EQ(job.work_remaining(), 0.0);
+}
+
+TEST(Job, TunedFlag) {
+  Job job(MakeSpec());
+  EXPECT_FALSE(job.tuned());
+  job.set_tuned(true);
+  EXPECT_TRUE(job.tuned());
+}
+
+TEST(Job, OnLoanFlagSticks) {
+  Job job(MakeSpec());
+  EXPECT_FALSE(job.ever_on_loaned_server());
+  job.set_ever_on_loaned_server();
+  EXPECT_TRUE(job.ever_on_loaned_server());
+}
+
+}  // namespace
+}  // namespace lyra

@@ -1,0 +1,256 @@
+// Tests for the resource-manager execution layer (§6) and its reconciler.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/lyra/lyra_scheduler.h"
+#include "src/rm/reconciler.h"
+#include "src/rm/resource_manager.h"
+#include "src/sched/fifo.h"
+#include "src/sim/simulator.h"
+#include "src/workload/synthetic.h"
+
+namespace lyra {
+namespace {
+
+class ResourceManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rm_.RegisterNode(ServerId(0), GpuType::kTrainingV100, 8,
+                     SchedulerDomain::kTrainingScheduler, 0.0);
+    rm_.RegisterNode(ServerId(1), GpuType::kInferenceT4, 8,
+                     SchedulerDomain::kInferenceScheduler, 0.0);
+  }
+
+  ResourceManager rm_;
+};
+
+TEST_F(ResourceManagerTest, NodeRegistrationAndDomains) {
+  ASSERT_NE(rm_.FindNode(ServerId(0)), nullptr);
+  EXPECT_EQ(rm_.FindNode(ServerId(0))->domain, SchedulerDomain::kTrainingScheduler);
+  EXPECT_EQ(rm_.NodesInDomain(SchedulerDomain::kTrainingScheduler).size(), 1u);
+  EXPECT_EQ(rm_.NodesInDomain(SchedulerDomain::kInferenceScheduler).size(), 1u);
+  EXPECT_EQ(rm_.FindNode(ServerId(9)), nullptr);
+}
+
+TEST_F(ResourceManagerTest, ContainerLifecycle) {
+  const StatusOr<ContainerId> launched =
+      rm_.LaunchContainer(JobId(5), ServerId(0), 4, false, 10.0);
+  ASSERT_TRUE(launched.ok());
+  EXPECT_EQ(rm_.FreeGpus(ServerId(0)), 4);
+  EXPECT_EQ(rm_.running_containers(), 1);
+  const Container* container = rm_.FindContainer(launched.value());
+  ASSERT_NE(container, nullptr);
+  EXPECT_EQ(container->job, JobId(5));
+  EXPECT_EQ(container->state, ContainerState::kRunning);
+  EXPECT_DOUBLE_EQ(container->launched_at, 10.0);
+
+  ASSERT_TRUE(rm_.StopContainer(launched.value(), /*kill=*/false, 50.0).ok());
+  EXPECT_EQ(rm_.FreeGpus(ServerId(0)), 8);
+  EXPECT_EQ(rm_.running_containers(), 0);
+  EXPECT_EQ(rm_.FindContainer(launched.value())->state, ContainerState::kStopped);
+  // Double stop fails.
+  EXPECT_FALSE(rm_.StopContainer(launched.value(), false, 60.0).ok());
+}
+
+TEST_F(ResourceManagerTest, LaunchRejectsBadRequests) {
+  // Unknown node.
+  EXPECT_FALSE(rm_.LaunchContainer(JobId(1), ServerId(7), 2, false, 0.0).ok());
+  // Node outside the training whitelist.
+  EXPECT_FALSE(rm_.LaunchContainer(JobId(1), ServerId(1), 2, false, 0.0).ok());
+  // Over capacity.
+  EXPECT_FALSE(rm_.LaunchContainer(JobId(1), ServerId(0), 9, false, 0.0).ok());
+  // Zero GPUs.
+  EXPECT_FALSE(rm_.LaunchContainer(JobId(1), ServerId(0), 0, false, 0.0).ok());
+}
+
+TEST_F(ResourceManagerTest, WhitelistMoveRequiresIdleNode) {
+  ASSERT_TRUE(
+      rm_.LaunchContainer(JobId(1), ServerId(0), 2, false, 0.0).ok());
+  EXPECT_FALSE(
+      rm_.MoveNode(ServerId(0), SchedulerDomain::kInferenceScheduler, 1.0).ok());
+  rm_.StopJob(JobId(1), false, 2.0);
+  EXPECT_TRUE(
+      rm_.MoveNode(ServerId(0), SchedulerDomain::kInferenceScheduler, 3.0).ok());
+}
+
+TEST_F(ResourceManagerTest, LoanAndReturnViaWhitelist) {
+  // Loan the inference node, launch on it, then return it after stopping.
+  ASSERT_TRUE(
+      rm_.MoveNode(ServerId(1), SchedulerDomain::kTrainingScheduler, 1.0).ok());
+  const StatusOr<ContainerId> c =
+      rm_.LaunchContainer(JobId(2), ServerId(1), 6, true, 2.0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(
+      rm_.MoveNode(ServerId(1), SchedulerDomain::kInferenceScheduler, 3.0).ok());
+  ASSERT_TRUE(rm_.StopContainer(c.value(), /*kill=*/true, 4.0).ok());
+  EXPECT_EQ(rm_.containers_killed(), 1);
+  EXPECT_TRUE(
+      rm_.MoveNode(ServerId(1), SchedulerDomain::kInferenceScheduler, 5.0).ok());
+}
+
+TEST_F(ResourceManagerTest, StopJobEndsAllItsContainers) {
+  ASSERT_TRUE(rm_.LaunchContainer(JobId(3), ServerId(0), 2, false, 0.0).ok());
+  ASSERT_TRUE(rm_.LaunchContainer(JobId(3), ServerId(0), 2, true, 0.0).ok());
+  ASSERT_TRUE(rm_.LaunchContainer(JobId(4), ServerId(0), 2, false, 0.0).ok());
+  EXPECT_EQ(rm_.StopJob(JobId(3), /*kill=*/true, 5.0), 2);
+  EXPECT_EQ(rm_.running_containers(), 1);
+  EXPECT_EQ(rm_.RunningContainersOf(JobId(4)).size(), 1u);
+}
+
+TEST_F(ResourceManagerTest, EventHistoryIsRecorded) {
+  ASSERT_TRUE(rm_.LaunchContainer(JobId(1), ServerId(0), 2, false, 1.0).ok());
+  rm_.StopJob(JobId(1), false, 2.0);
+  bool saw_launch = false;
+  bool saw_stop = false;
+  for (const RmEvent& event : rm_.events()) {
+    saw_launch |= event.kind == RmEventKind::kContainerLaunched;
+    saw_stop |= event.kind == RmEventKind::kContainerStopped;
+  }
+  EXPECT_TRUE(saw_launch);
+  EXPECT_TRUE(saw_stop);
+}
+
+// --- Reconciler -------------------------------------------------------------
+
+TEST(Reconciler, MirrorsPlacementsAndIsIdempotent) {
+  ClusterState cluster;
+  const ServerId s0 = cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  const ServerId s1 = cluster.AddServer(GpuType::kInferenceT4, 8, ServerPool::kOnLoan);
+  cluster.Place(JobId(1), s0, 4, false);
+  cluster.Place(JobId(1), s1, 2, true);
+
+  ResourceManager rm;
+  RmReconciler reconciler;
+  const ReconcileStats stats = reconciler.Reconcile(cluster, rm, 0.0);
+  EXPECT_EQ(stats.launches, 2);
+  EXPECT_TRUE(RmReconciler::Consistent(cluster, rm));
+
+  const ReconcileStats again = reconciler.Reconcile(cluster, rm, 1.0);
+  EXPECT_EQ(again.launches, 0);
+  EXPECT_EQ(again.stops, 0);
+  EXPECT_EQ(again.node_moves, 0);
+}
+
+TEST(Reconciler, ScaleInStopsGracefullyPreemptionKills) {
+  ClusterState cluster;
+  const ServerId s0 = cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  cluster.Place(JobId(1), s0, 2, false);
+  cluster.Place(JobId(1), s0, 2, true);
+  cluster.Place(JobId(2), s0, 4, false);
+  ResourceManager rm;
+  RmReconciler reconciler;
+  reconciler.Reconcile(cluster, rm, 0.0);
+
+  // Scale job 1 in (drop flexible), fully remove job 2 (preemption).
+  cluster.RemoveAllFlexible(JobId(1));
+  cluster.RemoveJob(JobId(2));
+  const ReconcileStats stats = reconciler.Reconcile(cluster, rm, 10.0);
+  EXPECT_EQ(stats.stops, 1);
+  EXPECT_EQ(stats.kills, 1);
+  EXPECT_TRUE(RmReconciler::Consistent(cluster, rm));
+  EXPECT_EQ(rm.containers_killed(), 1);
+}
+
+TEST(Reconciler, LoanAndReturnMoveNodes) {
+  ClusterState cluster;
+  const ServerId inference =
+      cluster.AddServer(GpuType::kInferenceT4, 8, ServerPool::kInference);
+  ResourceManager rm;
+  RmReconciler reconciler;
+  reconciler.Reconcile(cluster, rm, 0.0);
+  EXPECT_EQ(rm.FindNode(inference)->domain, SchedulerDomain::kInferenceScheduler);
+
+  ASSERT_TRUE(cluster.LoanServer(inference).ok());
+  EXPECT_EQ(reconciler.Reconcile(cluster, rm, 1.0).node_moves, 1);
+  EXPECT_EQ(rm.FindNode(inference)->domain, SchedulerDomain::kTrainingScheduler);
+
+  ASSERT_TRUE(cluster.ReturnServer(inference).ok());
+  EXPECT_EQ(reconciler.Reconcile(cluster, rm, 2.0).node_moves, 1);
+  EXPECT_EQ(rm.FindNode(inference)->domain, SchedulerDomain::kInferenceScheduler);
+}
+
+TEST(Reconciler, GrowthTopsUpExistingGroup) {
+  ClusterState cluster;
+  const ServerId s0 = cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  cluster.Place(JobId(1), s0, 2, true);
+  ResourceManager rm;
+  RmReconciler reconciler;
+  reconciler.Reconcile(cluster, rm, 0.0);
+  cluster.Place(JobId(1), s0, 2, true);  // scale out by 2 GPUs
+  const ReconcileStats stats = reconciler.Reconcile(cluster, rm, 1.0);
+  EXPECT_EQ(stats.launches, 1);
+  EXPECT_EQ(stats.stops, 0);
+  EXPECT_TRUE(RmReconciler::Consistent(cluster, rm));
+}
+
+TEST(Reconciler, RandomizedMutationsStayConsistent) {
+  Rng rng(99);
+  ClusterState cluster;
+  std::vector<ServerId> servers;
+  for (int i = 0; i < 6; ++i) {
+    servers.push_back(cluster.AddServer(
+        i < 4 ? GpuType::kTrainingV100 : GpuType::kInferenceT4, 8,
+        i < 4 ? ServerPool::kTraining : ServerPool::kOnLoan));
+  }
+  ResourceManager rm;
+  RmReconciler reconciler;
+  for (int step = 0; step < 500; ++step) {
+    const JobId job(rng.UniformInt(0, 9));
+    const ServerId server = servers[static_cast<std::size_t>(rng.UniformInt(0, 5))];
+    switch (rng.UniformInt(0, 3)) {
+      case 0: {
+        const int free = cluster.server(server).free_gpus();
+        if (free > 0) {
+          cluster.Place(job, server, static_cast<int>(rng.UniformInt(1, free)),
+                        rng.NextBernoulli(0.5));
+        }
+        break;
+      }
+      case 1:
+        cluster.RemoveJob(job);
+        break;
+      case 2:
+        cluster.RemoveAllFlexible(job);
+        break;
+      default:
+        cluster.RemoveFlexible(job, server, static_cast<int>(rng.UniformInt(1, 4)));
+        break;
+    }
+    reconciler.Reconcile(cluster, rm, static_cast<double>(step));
+    ASSERT_TRUE(RmReconciler::Consistent(cluster, rm)) << "step " << step;
+  }
+  EXPECT_GT(reconciler.lifetime_stats().launches, 50);
+}
+
+TEST(RmIntegration, SimulatorMirroringStaysConsistentEndToEnd) {
+  SyntheticTraceOptions trace_options;
+  trace_options.duration = 12 * kHour;
+  trace_options.training_gpus = 10 * 8;
+  trace_options.target_utilization = 0.9;
+  const Trace trace = SyntheticTraceGenerator(trace_options).Generate();
+
+  DiurnalTrafficOptions traffic;
+  traffic.duration = 5 * kDay;
+  InferenceClusterOptions io;
+  io.num_servers = 12;
+  auto inference = std::make_unique<InferenceCluster>(
+      io, DiurnalTrafficModel(traffic), nullptr);
+
+  SimulatorOptions options;
+  options.training_servers = 10;
+  options.enable_loaning = true;
+  options.mirror_resource_manager = true;
+  LyraScheduler scheduler;
+  LyraReclaimPolicy reclaim;
+  Simulator sim(options, trace, &scheduler, &reclaim, std::move(inference));
+  const SimulationResult result = sim.Run();
+
+  EXPECT_EQ(result.finished_jobs, result.total_jobs);
+  EXPECT_GT(result.rm_stats.launches, static_cast<int>(result.total_jobs) / 2);
+  // Everything is torn down at the end: no containers left running.
+  EXPECT_EQ(sim.resource_manager().running_containers(), 0);
+  EXPECT_EQ(sim.resource_manager().containers_launched(), result.rm_stats.launches);
+}
+
+}  // namespace
+}  // namespace lyra

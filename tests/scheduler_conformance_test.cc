@@ -1,0 +1,150 @@
+// Conformance property suite: every scheduler implementation must uphold the
+// same placement contracts on randomized instances — no server overcommit, no
+// allocation outside [0 or min, max] workers, no GPU-type mixing for
+// non-heterogeneous jobs, no loaned placement for non-fungible jobs, and no
+// touching of running jobs' base demand (the non-preemptive rule, §5.2).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/lyra/lyra_scheduler.h"
+#include "src/sched/afs.h"
+#include "src/sched/elastic_util.h"
+#include "src/sched/fifo.h"
+#include "src/sched/gandiva.h"
+#include "src/sched/opportunistic.h"
+#include "src/sched/placement_util.h"
+#include "src/sched/pollux.h"
+
+namespace lyra {
+namespace {
+
+enum class Kind { kFifo, kSjf, kGandiva, kAfs, kPollux, kLyra, kLyraAgnostic };
+
+std::unique_ptr<JobScheduler> Make(Kind kind) {
+  switch (kind) {
+    case Kind::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case Kind::kSjf:
+      return std::make_unique<SjfScheduler>();
+    case Kind::kGandiva:
+      return std::make_unique<GandivaScheduler>();
+    case Kind::kAfs:
+      return std::make_unique<AfsScheduler>();
+    case Kind::kPollux: {
+      PolluxOptions options;
+      options.iterations = 30;
+      options.ga_interval = 0.0;
+      return std::make_unique<PolluxScheduler>(options);
+    }
+    case Kind::kLyra:
+      return std::make_unique<LyraScheduler>();
+    case Kind::kLyraAgnostic: {
+      LyraSchedulerOptions options;
+      options.information_agnostic = true;
+      return std::make_unique<LyraScheduler>(options);
+    }
+  }
+  return nullptr;
+}
+
+class SchedulerConformance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchedulerConformance, PlacementContractsHold) {
+  const auto [kind_index, seed] = GetParam();
+  const Kind kind = static_cast<Kind>(kind_index);
+  Rng rng(static_cast<std::uint64_t>(seed) * 1717 + kind_index);
+
+  ClusterState cluster;
+  const int training = static_cast<int>(rng.UniformInt(2, 6));
+  const int loaned = static_cast<int>(rng.UniformInt(0, 4));
+  for (int i = 0; i < training; ++i) {
+    cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  }
+  for (int i = 0; i < loaned; ++i) {
+    cluster.AddServer(GpuType::kInferenceT4, 8, ServerPool::kOnLoan);
+  }
+
+  // A mix of running and pending jobs.
+  std::vector<std::unique_ptr<Job>> jobs;
+  SchedulerContext ctx;
+  ctx.now = 600.0;
+  ctx.cluster = &cluster;
+  ThroughputModel model;
+  ctx.throughput = &model;
+  const int num_jobs = static_cast<int>(rng.UniformInt(2, 10));
+  for (int j = 0; j < num_jobs; ++j) {
+    JobSpec spec;
+    spec.id = JobId(j);
+    spec.submit_time = rng.Uniform(0.0, 500.0);
+    spec.gpus_per_worker = static_cast<int>(rng.UniformInt(1, 4));
+    spec.min_workers = static_cast<int>(rng.UniformInt(1, 3));
+    spec.max_workers = spec.min_workers * (rng.NextBernoulli(0.6) ? 2 : 1);
+    spec.requested_workers = spec.min_workers;
+    spec.total_work = rng.Uniform(100.0, 20000.0);
+    spec.fungible = rng.NextBernoulli(0.4);
+    jobs.push_back(std::make_unique<Job>(spec));
+    Job* job = jobs.back().get();
+    // Start roughly half of the jobs at base demand on the training pool.
+    if (rng.NextBernoulli(0.5) &&
+        TryPlaceWorkers(cluster, BaseRequest(*job, spec.min_workers,
+                                             PoolPreference::kTrainingOnly))) {
+      job->Start(0.0, spec.min_workers, spec.min_workers);
+      ctx.running.push_back(job);
+    } else {
+      cluster.RemoveJob(job->id());  // in case of partial placement
+      ctx.pending.push_back(job);
+    }
+  }
+
+  // Snapshot running jobs' base GPUs: schedulers must never reduce them.
+  std::vector<std::pair<JobId, int>> base_before;
+  for (const Job* job : ctx.running) {
+    base_before.emplace_back(job->id(),
+                             cluster.FindPlacement(job->id())->base_gpus());
+  }
+
+  std::unique_ptr<JobScheduler> scheduler = Make(kind);
+  scheduler->Schedule(ctx);
+
+  // Contract 1: no server overcommit.
+  for (const Server& server : cluster.servers()) {
+    ASSERT_LE(server.used_gpus(), server.num_gpus()) << scheduler->name();
+    ASSERT_GE(server.used_gpus(), 0) << scheduler->name();
+  }
+  // Contract 2: allocations within bounds; contract 3: type uniformity;
+  // contract 4: no loaned placement for non-fungible jobs.
+  for (const auto& job : jobs) {
+    const JobPlacement* p = cluster.FindPlacement(job->id());
+    if (p == nullptr) {
+      continue;
+    }
+    const int workers = PlacedWorkers(cluster, *job);
+    EXPECT_LE(workers, job->spec().max_workers) << scheduler->name();
+    EXPECT_GE(workers, 1) << scheduler->name();
+    GpuType type;
+    EXPECT_TRUE(CurrentGpuType(cluster, job->id(), &type)) << scheduler->name();
+    if (!job->spec().fungible && !job->spec().heterogeneous) {
+      for (const auto& [server_id, share] : p->shares) {
+        EXPECT_NE(cluster.server(server_id).pool(), ServerPool::kOnLoan)
+            << scheduler->name();
+      }
+    }
+  }
+  // Contract 5: non-preemptive — running jobs keep at least their base GPUs.
+  for (const auto& [job_id, base_gpus] : base_before) {
+    const JobPlacement* p = cluster.FindPlacement(job_id);
+    ASSERT_NE(p, nullptr) << scheduler->name();
+    EXPECT_GE(p->base_gpus(), base_gpus) << scheduler->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulersAndSeeds, SchedulerConformance,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Range(1, 9)));
+
+}  // namespace
+}  // namespace lyra

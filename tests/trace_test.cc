@@ -1,0 +1,289 @@
+// Tests for trace containers, CSV I/O, the synthetic generator's calibration,
+// scenario transforms, and bootstrap resampling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/rng.h"
+#include "src/workload/bootstrap.h"
+#include "src/workload/synthetic.h"
+#include "src/workload/trace.h"
+
+namespace lyra {
+namespace {
+
+JobSpec SimpleJob(double submit, double work = 100.0) {
+  JobSpec job;
+  job.submit_time = submit;
+  job.total_work = work;
+  return job;
+}
+
+TEST(Trace, NormalizeSortsAndReassignsIds) {
+  Trace trace;
+  trace.jobs.push_back(SimpleJob(50.0));
+  trace.jobs.push_back(SimpleJob(10.0));
+  trace.jobs.push_back(SimpleJob(30.0));
+  trace.Normalize();
+  EXPECT_DOUBLE_EQ(trace.jobs[0].submit_time, 10.0);
+  EXPECT_DOUBLE_EQ(trace.jobs[2].submit_time, 50.0);
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(trace.jobs[i].id.value, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(Trace, AggregateStatistics) {
+  Trace trace;
+  JobSpec inelastic = SimpleJob(0.0, 100.0);
+  inelastic.gpus_per_worker = 2;
+  JobSpec elastic = SimpleJob(0.0, 300.0);
+  elastic.gpus_per_worker = 2;
+  elastic.min_workers = 1;
+  elastic.max_workers = 2;
+  elastic.fungible = true;
+  trace.jobs = {inelastic, elastic};
+  EXPECT_DOUBLE_EQ(trace.TotalGpuWork(), 200.0 + 600.0);
+  EXPECT_DOUBLE_EQ(trace.ElasticWorkFraction(), 600.0 / 800.0);
+  EXPECT_DOUBLE_EQ(trace.FungibleJobFraction(), 0.5);
+}
+
+TEST(TraceCsv, RoundTripsAllFields) {
+  Trace trace;
+  trace.duration = 1234.5;
+  JobSpec job;
+  job.id = JobId(0);
+  job.submit_time = 17.25;
+  job.gpus_per_worker = 2;
+  job.min_workers = 3;
+  job.max_workers = 6;
+  job.requested_workers = 3;
+  job.fungible = true;
+  job.heterogeneous = true;
+  job.checkpointing = true;
+  job.model = ModelFamily::kBert;
+  job.total_work = 9876.5;
+  trace.jobs.push_back(job);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lyra_trace_test.csv").string();
+  ASSERT_TRUE(SaveTraceCsv(trace, path).ok());
+  const StatusOr<Trace> loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const Trace& t = loaded.value();
+  ASSERT_EQ(t.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.duration, 1234.5);
+  const JobSpec& j = t.jobs[0];
+  EXPECT_DOUBLE_EQ(j.submit_time, 17.25);
+  EXPECT_EQ(j.gpus_per_worker, 2);
+  EXPECT_EQ(j.min_workers, 3);
+  EXPECT_EQ(j.max_workers, 6);
+  EXPECT_EQ(j.requested_workers, 3);
+  EXPECT_TRUE(j.fungible);
+  EXPECT_TRUE(j.heterogeneous);
+  EXPECT_TRUE(j.checkpointing);
+  EXPECT_EQ(j.model, ModelFamily::kBert);
+  EXPECT_DOUBLE_EQ(j.total_work, 9876.5);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsv, MissingFileReportsNotFound) {
+  const StatusOr<Trace> loaded = LoadTraceCsv("/nonexistent/path/trace.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+class SyntheticTraceTest : public ::testing::Test {
+ protected:
+  static Trace MakeDefault() {
+    SyntheticTraceOptions options;
+    options.duration = 5 * kDay;
+    options.training_gpus = 1024;
+    options.seed = 11;
+    return SyntheticTraceGenerator(options).Generate();
+  }
+};
+
+TEST_F(SyntheticTraceTest, CalibratedToPaperAggregates) {
+  const Trace trace = MakeDefault();
+  ASSERT_GT(trace.jobs.size(), 500u);
+  // ~36% of GPU-work from elastic jobs (§2.2).
+  EXPECT_NEAR(trace.ElasticWorkFraction(), 0.36, 0.05);
+  // ~21% of jobs fungible (§2.1).
+  EXPECT_NEAR(trace.FungibleJobFraction(), 0.21, 0.04);
+  // Offered load ~= target * capacity * duration.
+  const double offered =
+      trace.TotalGpuWork() / (1024.0 * trace.duration);
+  EXPECT_NEAR(offered, 0.95, 0.06);
+  // Elastic jobs are a small share of submissions (~5% in the paper).
+  std::size_t elastic = 0;
+  for (const JobSpec& job : trace.jobs) {
+    if (job.elastic()) {
+      ++elastic;
+    }
+  }
+  const double elastic_fraction =
+      static_cast<double>(elastic) / static_cast<double>(trace.jobs.size());
+  EXPECT_GT(elastic_fraction, 0.02);
+  EXPECT_LT(elastic_fraction, 0.10);
+}
+
+TEST_F(SyntheticTraceTest, JobShapesAreValid) {
+  const Trace trace = MakeDefault();
+  for (const JobSpec& job : trace.jobs) {
+    EXPECT_GE(job.min_workers, 1);
+    EXPECT_GE(job.max_workers, job.min_workers);
+    EXPECT_GE(job.gpus_per_worker, 1);
+    EXPECT_LE(job.gpus_per_worker, 8);  // a worker fits one server
+    EXPECT_GT(job.total_work, 0.0);
+    EXPECT_GE(job.submit_time, 0.0);
+    EXPECT_LT(job.submit_time, trace.duration);
+    if (job.elastic()) {
+      EXPECT_EQ(job.max_workers, job.min_workers * 2);  // limited elasticity
+      EXPECT_EQ(job.RequestedWorkers(), job.min_workers);
+      EXPECT_NE(job.model, ModelFamily::kOther);
+    }
+  }
+}
+
+TEST_F(SyntheticTraceTest, ElasticRunningTimesAverageNear14Hours) {
+  const Trace trace = MakeDefault();
+  double sum = 0.0;
+  int count = 0;
+  for (const JobSpec& job : trace.jobs) {
+    if (job.elastic()) {
+      sum += job.total_work / job.RequestedWorkers();
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 10);
+  EXPECT_NEAR(sum / count / kHour, 14.2, 4.0);  // §2.2
+}
+
+TEST_F(SyntheticTraceTest, DeterministicForSeed) {
+  SyntheticTraceOptions options;
+  options.duration = 2 * kDay;
+  options.training_gpus = 256;
+  options.seed = 99;
+  const Trace a = SyntheticTraceGenerator(options).Generate();
+  const Trace b = SyntheticTraceGenerator(options).Generate();
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+    EXPECT_DOUBLE_EQ(a.jobs[i].total_work, b.jobs[i].total_work);
+  }
+}
+
+TEST(TestbedTrace, MatchesSection75Setup) {
+  const Trace trace = MakeTestbedTrace({});
+  EXPECT_EQ(trace.jobs.size(), 180u);
+  std::size_t elastic = 0;
+  for (const JobSpec& job : trace.jobs) {
+    EXPECT_LE(job.max_gpus(), 32);  // capped demand
+    EXPECT_LE(job.submit_time, 8 * kHour);
+    const double duration = job.total_work / job.RequestedWorkers();
+    EXPECT_GE(duration, 2 * kMinute - 1);
+    EXPECT_LE(duration, 2 * kHour + 1);
+    if (job.elastic()) {
+      ++elastic;
+    }
+  }
+  EXPECT_EQ(elastic, 10u);
+}
+
+TEST(ScenarioTransforms, IdealMakesEverythingElasticAndFlexible) {
+  SyntheticTraceOptions options;
+  options.duration = 1 * kDay;
+  options.training_gpus = 256;
+  Trace trace = SyntheticTraceGenerator(options).Generate();
+  ApplyIdealScenario(trace);
+  for (const JobSpec& job : trace.jobs) {
+    EXPECT_TRUE(job.elastic());
+    EXPECT_TRUE(job.fungible);
+    EXPECT_TRUE(job.heterogeneous);
+    EXPECT_EQ(job.max_workers, job.RequestedWorkers() * 2);
+  }
+}
+
+TEST(ScenarioTransforms, HeterogeneousFractionApproximatelyMet) {
+  SyntheticTraceOptions options;
+  options.duration = 2 * kDay;
+  options.training_gpus = 512;
+  Trace trace = SyntheticTraceGenerator(options).Generate();
+  Rng rng(3);
+  ApplyHeterogeneousFraction(trace, 0.10, rng);
+  std::size_t hetero = 0;
+  for (const JobSpec& job : trace.jobs) {
+    hetero += job.heterogeneous ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hetero) / trace.jobs.size(), 0.10, 0.04);
+}
+
+TEST(ScenarioTransforms, ElasticFractionGrowsPopulation) {
+  SyntheticTraceOptions options;
+  options.duration = 2 * kDay;
+  options.training_gpus = 512;
+  Trace trace = SyntheticTraceGenerator(options).Generate();
+  Rng rng(5);
+  ApplyElasticFraction(trace, 0.60, rng);
+  std::size_t elastic = 0;
+  for (const JobSpec& job : trace.jobs) {
+    elastic += job.elastic() ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(elastic) / trace.jobs.size(), 0.60, 0.02);
+}
+
+TEST(ScenarioTransforms, ElasticFractionBelowCurrentIsNoop) {
+  SyntheticTraceOptions options;
+  options.duration = 1 * kDay;
+  options.training_gpus = 256;
+  Trace trace = SyntheticTraceGenerator(options).Generate();
+  const Trace before = trace;
+  Rng rng(5);
+  ApplyElasticFraction(trace, 0.0, rng);
+  ASSERT_EQ(trace.jobs.size(), before.jobs.size());
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    EXPECT_EQ(trace.jobs[i].max_workers, before.jobs[i].max_workers);
+  }
+}
+
+TEST(ScenarioTransforms, ClearFungible) {
+  SyntheticTraceOptions options;
+  options.duration = 1 * kDay;
+  options.training_gpus = 256;
+  Trace trace = SyntheticTraceGenerator(options).Generate();
+  ClearFungibleFlags(trace);
+  for (const JobSpec& job : trace.jobs) {
+    EXPECT_FALSE(job.fungible);
+  }
+}
+
+TEST(Bootstrap, ProducesRequestedDaysAndPreservesOffsets) {
+  SyntheticTraceOptions options;
+  options.duration = 5 * kDay;
+  options.training_gpus = 512;
+  const Trace source = SyntheticTraceGenerator(options).Generate();
+  Rng rng(8);
+  const Trace resampled = BootstrapTrace(source, 10, rng);
+  EXPECT_DOUBLE_EQ(resampled.duration, 10 * kDay);
+  EXPECT_GT(resampled.jobs.size(), source.jobs.size());  // 10 days from 5
+  for (const JobSpec& job : resampled.jobs) {
+    EXPECT_GE(job.submit_time, 0.0);
+    EXPECT_LT(job.submit_time, resampled.duration);
+  }
+}
+
+TEST(Bootstrap, DifferentSeedsGiveDifferentDayMixes) {
+  SyntheticTraceOptions options;
+  options.duration = 5 * kDay;
+  options.training_gpus = 512;
+  const Trace source = SyntheticTraceGenerator(options).Generate();
+  Rng rng_a(1);
+  Rng rng_b(2);
+  const Trace a = BootstrapTrace(source, 10, rng_a);
+  const Trace b = BootstrapTrace(source, 10, rng_b);
+  EXPECT_NE(a.jobs.size(), b.jobs.size());
+}
+
+}  // namespace
+}  // namespace lyra

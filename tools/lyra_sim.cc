@@ -1,0 +1,220 @@
+// lyra_sim: flag-driven experiment runner.
+//
+// Runs one simulation with any scheduler/reclaim combination on a synthetic
+// trace (or a CSV trace file), and optionally dumps the usage series and the
+// decision log for offline analysis.
+//
+//   ./build/tools/lyra_sim --scheduler=lyra --scale=0.5 --days=6 --loaning
+//   ./build/tools/lyra_sim --scheduler=pollux --trace=/path/trace.csv
+//   ./build/tools/lyra_sim --help
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/lyra/lyra_scheduler.h"
+#include "src/lyra/reclaim.h"
+#include "src/predict/lstm.h"
+#include "src/sched/afs.h"
+#include "src/sched/fifo.h"
+#include "src/sched/gandiva.h"
+#include "src/sched/opportunistic.h"
+#include "src/sched/pollux.h"
+#include "src/sim/simulator.h"
+#include "src/workload/synthetic.h"
+
+namespace {
+
+std::unique_ptr<lyra::JobScheduler> MakeScheduler(const std::string& name,
+                                                  bool info_agnostic, bool tuned) {
+  if (name == "fifo") {
+    return std::make_unique<lyra::FifoScheduler>();
+  }
+  if (name == "sjf") {
+    return std::make_unique<lyra::SjfScheduler>();
+  }
+  if (name == "gandiva") {
+    return std::make_unique<lyra::GandivaScheduler>();
+  }
+  if (name == "afs") {
+    return std::make_unique<lyra::AfsScheduler>();
+  }
+  if (name == "pollux") {
+    return std::make_unique<lyra::PolluxScheduler>();
+  }
+  if (name == "opportunistic") {
+    return std::make_unique<lyra::OpportunisticScheduler>();
+  }
+  if (name == "lyra") {
+    lyra::LyraSchedulerOptions options;
+    options.information_agnostic = info_agnostic;
+    options.tuned_jobs = tuned;
+    return std::make_unique<lyra::LyraScheduler>(options);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<lyra::ReclaimPolicy> MakeReclaim(const std::string& name) {
+  if (name == "lyra") {
+    return std::make_unique<lyra::LyraReclaimPolicy>();
+  }
+  if (name == "random") {
+    return std::make_unique<lyra::RandomReclaimPolicy>();
+  }
+  if (name == "scf") {
+    return std::make_unique<lyra::ScfReclaimPolicy>();
+  }
+  if (name == "optimal") {
+    return std::make_unique<lyra::OptimalReclaimPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scheduler_name = "lyra";
+  std::string reclaim_name = "lyra";
+  std::string trace_path;
+  std::string series_csv;
+  std::string decisions_csv;
+  double scale = 0.25;
+  double days = 3.0;
+  double offered_load = 0.95;
+  double elastic_population = 0.0;
+  bool loaning = true;
+  bool ideal = false;
+  bool profiler = false;
+  bool lstm = false;
+  bool info_agnostic = false;
+  bool tuned = false;
+  int seed = 42;
+
+  lyra::FlagSet flags(
+      "lyra_sim: run one cluster-scheduling experiment and print its metrics");
+  flags.AddString("scheduler", &scheduler_name,
+                  "fifo | sjf | gandiva | afs | pollux | opportunistic | lyra");
+  flags.AddString("reclaim", &reclaim_name, "lyra | random | scf | optimal");
+  flags.AddString("trace", &trace_path,
+                  "CSV trace to replay (default: synthesize one)");
+  flags.AddString("series-csv", &series_csv, "write 5-minute usage series here");
+  flags.AddString("decisions-csv", &decisions_csv, "write the decision log here");
+  flags.AddDouble("scale", &scale, "cluster scale (1.0 = 443+520 servers)");
+  flags.AddDouble("days", &days, "trace length in days");
+  flags.AddDouble("load", &offered_load, "offered load vs training capacity");
+  flags.AddDouble("elastic", &elastic_population,
+                  "grow elastic jobs to this fraction of the population");
+  flags.AddBool("loaning", &loaning, "enable capacity loaning");
+  flags.AddBool("ideal", &ideal, "apply the Ideal scenario transform");
+  flags.AddBool("profiler", &profiler, "estimate running times with the profiler");
+  flags.AddBool("lstm", &lstm, "use the LSTM usage predictor (slower)");
+  flags.AddBool("info-agnostic", &info_agnostic,
+                "Lyra without running-time estimates (LAS)");
+  flags.AddBool("tuned", &tuned, "Lyra+TunedJobs hyperparameter tuning");
+  flags.AddInt("seed", &seed, "random seed");
+
+  const lyra::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.message().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.Usage().c_str(), stdout);
+    return 0;
+  }
+
+  std::unique_ptr<lyra::JobScheduler> scheduler =
+      MakeScheduler(scheduler_name, info_agnostic, tuned);
+  std::unique_ptr<lyra::ReclaimPolicy> reclaim = MakeReclaim(reclaim_name);
+  if (scheduler == nullptr || reclaim == nullptr) {
+    std::fprintf(stderr, "unknown --scheduler or --reclaim\n%s", flags.Usage().c_str());
+    return 1;
+  }
+
+  const int training_servers = std::max(1, static_cast<int>(443 * scale));
+  const int inference_servers = std::max(1, static_cast<int>(520 * scale));
+
+  lyra::Trace trace;
+  if (!trace_path.empty()) {
+    const lyra::StatusOr<lyra::Trace> loaded = lyra::LoadTraceCsv(trace_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load trace: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    trace = loaded.value();
+  } else {
+    lyra::SyntheticTraceOptions options;
+    options.duration = days * lyra::kDay;
+    options.training_gpus = training_servers * 8;
+    options.target_utilization = offered_load;
+    options.seed = static_cast<std::uint64_t>(seed);
+    trace = lyra::SyntheticTraceGenerator(options).Generate();
+  }
+  lyra::Rng transform_rng(static_cast<std::uint64_t>(seed) ^ 0x5eed);
+  if (ideal) {
+    lyra::ApplyIdealScenario(trace);
+  }
+  if (elastic_population > 0.0) {
+    lyra::ApplyElasticFraction(trace, elastic_population, transform_rng);
+  }
+
+  lyra::DiurnalTrafficOptions traffic;
+  traffic.duration = trace.duration + 8 * lyra::kDay;
+  traffic.seed = static_cast<std::uint64_t>(seed) ^ 0x7aff1c;
+  lyra::InferenceClusterOptions inference_options;
+  inference_options.num_servers = inference_servers;
+  std::unique_ptr<lyra::UsagePredictor> predictor;
+  if (lstm) {
+    predictor = std::make_unique<lyra::LstmPredictor>();
+  } else {
+    predictor = std::make_unique<lyra::SeasonalNaivePredictor>();
+  }
+  auto inference = std::make_unique<lyra::InferenceCluster>(
+      inference_options, lyra::DiurnalTrafficModel(traffic), std::move(predictor));
+
+  lyra::SimulatorOptions options;
+  options.training_servers = training_servers;
+  options.enable_loaning = loaning;
+  options.use_profiler = profiler;
+  options.record_series = !series_csv.empty();
+  options.record_decisions = !decisions_csv.empty();
+  options.seed = static_cast<std::uint64_t>(seed);
+  lyra::Simulator simulator(options, trace, scheduler.get(), reclaim.get(),
+                            std::move(inference));
+  const lyra::SimulationResult result = simulator.Run();
+
+  std::printf("scheduler=%s reclaim=%s jobs=%zu finished=%zu\n", scheduler->name(),
+              reclaim_name.c_str(), result.total_jobs, result.finished_jobs);
+  std::printf("queuing  mean=%.0fs p50=%.0fs p95=%.0fs\n", result.queuing.mean,
+              result.queuing.p50, result.queuing.p95);
+  std::printf("jct      mean=%.0fs p50=%.0fs p95=%.0fs\n", result.jct.mean,
+              result.jct.p50, result.jct.p95);
+  std::printf("usage    training=%.1f%% overall=%.1f%% on-loan=%.1f%%\n",
+              result.training_usage * 100, result.overall_usage * 100,
+              result.onloan_usage * 100);
+  std::printf("loaning  borrowed=%d returned=%d preemptions=%d (%.2f%%)\n",
+              result.orchestrator.servers_loaned, result.orchestrator.servers_returned,
+              result.preemptions, result.preemption_ratio * 100);
+  if (profiler) {
+    std::printf("profiler mean relative error=%.0f%%\n", result.profiler_error * 100);
+  }
+
+  if (!series_csv.empty()) {
+    std::ofstream out(series_csv);
+    out << "time,overall_usage,training_usage,onloan_usage,loaned_servers,pending\n";
+    for (const lyra::SeriesPoint& p : result.series) {
+      out << p.time << ',' << p.overall_usage << ',' << p.training_usage << ','
+          << p.onloan_usage << ',' << p.loaned_servers << ',' << p.pending_jobs << '\n';
+    }
+    std::printf("series   wrote %zu samples to %s\n", result.series.size(),
+                series_csv.c_str());
+  }
+  if (!decisions_csv.empty()) {
+    const lyra::Status saved = simulator.decision_log().SaveCsv(decisions_csv);
+    std::printf("decisions wrote %zu records to %s (%s)\n",
+                simulator.decision_log().size(), decisions_csv.c_str(),
+                saved.ok() ? "ok" : saved.message().c_str());
+  }
+  return 0;
+}

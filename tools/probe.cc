@@ -1,0 +1,61 @@
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/lyra/lyra_scheduler.h"
+#include "src/lyra/reclaim.h"
+#include "src/predict/lstm.h"
+#include "src/sched/fifo.h"
+#include "src/sim/simulator.h"
+#include "src/workload/synthetic.h"
+
+using namespace lyra;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::stod(argv[1]) : 0.15;
+  double days = argc > 2 ? std::stod(argv[2]) : 3.0;
+  double util = argc > 3 ? std::stod(argv[3]) : 0.82;
+  double burst = argc > 4 ? std::stod(argv[4]) : 0.45;
+  SyntheticTraceOptions to;
+  to.duration = days * kDay;
+  to.training_gpus = static_cast<int>(443 * scale) * 8;
+  to.target_utilization = util;
+  to.arrival_burstiness = burst;
+  Trace trace = SyntheticTraceGenerator(to).Generate();
+  std::printf("scale=%.2f days=%.0f jobs=%zu elastic_work=%.2f fungible=%.2f\n", scale, days,
+              trace.jobs.size(), trace.ElasticWorkFraction(), trace.FungibleJobFraction());
+
+  auto make_inf = [&]() {
+    DiurnalTrafficOptions dt; dt.duration = (days + 8) * kDay;
+    InferenceClusterOptions io; io.num_servers = static_cast<int>(520 * scale);
+    return std::make_unique<InferenceCluster>(io, DiurnalTrafficModel(dt),
+                                              std::make_unique<SeasonalNaivePredictor>());
+  };
+  auto run = [&](JobScheduler* s, ReclaimPolicy* r, bool loan, const char* label) {
+    SimulatorOptions so; so.training_servers = static_cast<int>(443 * scale);
+    so.enable_loaning = loan;
+    auto t0 = std::chrono::steady_clock::now();
+    Simulator sim(so, trace, s, r, make_inf());
+    auto res = sim.Run();
+    double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    std::printf("%-18s queue mean=%6.0f p50=%5.0f p95=%6.0f | jct mean=%7.0f p50=%6.0f p95=%7.0f | train=%.2f overall=%.2f onloan=%.2f | preempt=%.2f%% fin=%zu/%zu | %.1fs\n",
+                label, res.queuing.mean, res.queuing.p50, res.queuing.p95, res.jct.mean,
+                res.jct.p50, res.jct.p95, res.training_usage, res.overall_usage,
+                res.onloan_usage, res.preemption_ratio * 100, res.finished_jobs,
+                res.total_jobs, secs);
+    std::printf("   orch: loans=%d(ops %d) returned=%d(ops %d) preempted=%d collateral=%.2f scaleops=%d\n",
+                res.orchestrator.servers_loaned, res.orchestrator.loan_operations,
+                res.orchestrator.servers_returned, res.orchestrator.reclaim_operations,
+                res.orchestrator.jobs_preempted, res.collateral_damage,
+                res.scaling_operations);
+  };
+  FifoScheduler fifo;
+  LyraScheduler lyra_s;
+  LyraReclaimPolicy lr;
+  RandomReclaimPolicy rr;
+  run(&fifo, &rr, false, "FIFO baseline");
+  run(&fifo, &lr, true, "FIFO + loaning");
+  run(&lyra_s, &lr, true, "Lyra full");
+  return 0;
+}
