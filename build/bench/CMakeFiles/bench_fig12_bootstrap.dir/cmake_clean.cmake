@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_bootstrap.dir/bench_fig12_bootstrap.cpp.o"
+  "CMakeFiles/bench_fig12_bootstrap.dir/bench_fig12_bootstrap.cpp.o.d"
+  "bench_fig12_bootstrap"
+  "bench_fig12_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_checkpointing.dir/bench_fig13_checkpointing.cpp.o"
+  "CMakeFiles/bench_fig13_checkpointing.dir/bench_fig13_checkpointing.cpp.o.d"
+  "bench_fig13_checkpointing"
+  "bench_fig13_checkpointing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_checkpointing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

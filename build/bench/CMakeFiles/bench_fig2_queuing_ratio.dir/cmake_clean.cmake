@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_queuing_ratio.dir/bench_fig2_queuing_ratio.cpp.o"
+  "CMakeFiles/bench_fig2_queuing_ratio.dir/bench_fig2_queuing_ratio.cpp.o.d"
+  "bench_fig2_queuing_ratio"
+  "bench_fig2_queuing_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_queuing_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_throughput_scaling.cpp" "bench/CMakeFiles/bench_fig3_throughput_scaling.dir/bench_fig3_throughput_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_throughput_scaling.dir/bench_fig3_throughput_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lyra_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lyra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/lyra_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/lyra_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lyra/CMakeFiles/lyra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lyra_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lyra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lyra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/hetero/CMakeFiles/lyra_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/lyra_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lyra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_onloan_jobs.dir/bench_table7_onloan_jobs.cpp.o"
+  "CMakeFiles/bench_table7_onloan_jobs.dir/bench_table7_onloan_jobs.cpp.o.d"
+  "bench_table7_onloan_jobs"
+  "bench_table7_onloan_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_onloan_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_percentiles.dir/bench_table8_percentiles.cpp.o"
+  "CMakeFiles/bench_table8_percentiles.dir/bench_table8_percentiles.cpp.o.d"
+  "bench_table8_percentiles"
+  "bench_table8_percentiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables1_4_worked_examples.dir/bench_tables1_4_worked_examples.cpp.o"
+  "CMakeFiles/bench_tables1_4_worked_examples.dir/bench_tables1_4_worked_examples.cpp.o.d"
+  "bench_tables1_4_worked_examples"
+  "bench_tables1_4_worked_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables1_4_worked_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

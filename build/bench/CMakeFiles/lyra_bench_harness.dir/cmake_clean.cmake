@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/lyra_bench_harness.dir/harness.cc.o.d"
+  "liblyra_bench_harness.a"
+  "liblyra_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_loaning.dir/capacity_loaning.cpp.o"
+  "CMakeFiles/capacity_loaning.dir/capacity_loaning.cpp.o.d"
+  "capacity_loaning"
+  "capacity_loaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_loaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_cluster.dir/cluster_state.cc.o"
+  "CMakeFiles/lyra_cluster.dir/cluster_state.cc.o.d"
+  "CMakeFiles/lyra_cluster.dir/server.cc.o"
+  "CMakeFiles/lyra_cluster.dir/server.cc.o.d"
+  "liblyra_cluster.a"
+  "liblyra_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_common.dir/flags.cc.o"
+  "CMakeFiles/lyra_common.dir/flags.cc.o.d"
+  "CMakeFiles/lyra_common.dir/log.cc.o"
+  "CMakeFiles/lyra_common.dir/log.cc.o.d"
+  "CMakeFiles/lyra_common.dir/rng.cc.o"
+  "CMakeFiles/lyra_common.dir/rng.cc.o.d"
+  "CMakeFiles/lyra_common.dir/stats.cc.o"
+  "CMakeFiles/lyra_common.dir/stats.cc.o.d"
+  "CMakeFiles/lyra_common.dir/table.cc.o"
+  "CMakeFiles/lyra_common.dir/table.cc.o.d"
+  "liblyra_common.a"
+  "liblyra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_hetero.dir/load_balancer.cc.o"
+  "CMakeFiles/lyra_hetero.dir/load_balancer.cc.o.d"
+  "liblyra_hetero.a"
+  "liblyra_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

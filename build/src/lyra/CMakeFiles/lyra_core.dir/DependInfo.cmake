@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lyra/allocation.cc" "src/lyra/CMakeFiles/lyra_core.dir/allocation.cc.o" "gcc" "src/lyra/CMakeFiles/lyra_core.dir/allocation.cc.o.d"
+  "/root/repo/src/lyra/lyra_scheduler.cc" "src/lyra/CMakeFiles/lyra_core.dir/lyra_scheduler.cc.o" "gcc" "src/lyra/CMakeFiles/lyra_core.dir/lyra_scheduler.cc.o.d"
+  "/root/repo/src/lyra/mckp.cc" "src/lyra/CMakeFiles/lyra_core.dir/mckp.cc.o" "gcc" "src/lyra/CMakeFiles/lyra_core.dir/mckp.cc.o.d"
+  "/root/repo/src/lyra/orchestrator.cc" "src/lyra/CMakeFiles/lyra_core.dir/orchestrator.cc.o" "gcc" "src/lyra/CMakeFiles/lyra_core.dir/orchestrator.cc.o.d"
+  "/root/repo/src/lyra/placement.cc" "src/lyra/CMakeFiles/lyra_core.dir/placement.cc.o" "gcc" "src/lyra/CMakeFiles/lyra_core.dir/placement.cc.o.d"
+  "/root/repo/src/lyra/reclaim.cc" "src/lyra/CMakeFiles/lyra_core.dir/reclaim.cc.o" "gcc" "src/lyra/CMakeFiles/lyra_core.dir/reclaim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/lyra_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lyra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lyra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lyra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hetero/CMakeFiles/lyra_hetero.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_core.dir/allocation.cc.o"
+  "CMakeFiles/lyra_core.dir/allocation.cc.o.d"
+  "CMakeFiles/lyra_core.dir/lyra_scheduler.cc.o"
+  "CMakeFiles/lyra_core.dir/lyra_scheduler.cc.o.d"
+  "CMakeFiles/lyra_core.dir/mckp.cc.o"
+  "CMakeFiles/lyra_core.dir/mckp.cc.o.d"
+  "CMakeFiles/lyra_core.dir/orchestrator.cc.o"
+  "CMakeFiles/lyra_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/lyra_core.dir/placement.cc.o"
+  "CMakeFiles/lyra_core.dir/placement.cc.o.d"
+  "CMakeFiles/lyra_core.dir/reclaim.cc.o"
+  "CMakeFiles/lyra_core.dir/reclaim.cc.o.d"
+  "liblyra_core.a"
+  "liblyra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_predict.dir/lstm.cc.o"
+  "CMakeFiles/lyra_predict.dir/lstm.cc.o.d"
+  "CMakeFiles/lyra_predict.dir/predictor.cc.o"
+  "CMakeFiles/lyra_predict.dir/predictor.cc.o.d"
+  "liblyra_predict.a"
+  "liblyra_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

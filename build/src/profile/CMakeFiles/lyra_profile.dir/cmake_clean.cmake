@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_profile.dir/job_profiler.cc.o"
+  "CMakeFiles/lyra_profile.dir/job_profiler.cc.o.d"
+  "liblyra_profile.a"
+  "liblyra_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_rm.dir/reconciler.cc.o"
+  "CMakeFiles/lyra_rm.dir/reconciler.cc.o.d"
+  "CMakeFiles/lyra_rm.dir/resource_manager.cc.o"
+  "CMakeFiles/lyra_rm.dir/resource_manager.cc.o.d"
+  "liblyra_rm.a"
+  "liblyra_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/afs.cc" "src/sched/CMakeFiles/lyra_sched.dir/afs.cc.o" "gcc" "src/sched/CMakeFiles/lyra_sched.dir/afs.cc.o.d"
+  "/root/repo/src/sched/elastic_util.cc" "src/sched/CMakeFiles/lyra_sched.dir/elastic_util.cc.o" "gcc" "src/sched/CMakeFiles/lyra_sched.dir/elastic_util.cc.o.d"
+  "/root/repo/src/sched/fifo.cc" "src/sched/CMakeFiles/lyra_sched.dir/fifo.cc.o" "gcc" "src/sched/CMakeFiles/lyra_sched.dir/fifo.cc.o.d"
+  "/root/repo/src/sched/gandiva.cc" "src/sched/CMakeFiles/lyra_sched.dir/gandiva.cc.o" "gcc" "src/sched/CMakeFiles/lyra_sched.dir/gandiva.cc.o.d"
+  "/root/repo/src/sched/opportunistic.cc" "src/sched/CMakeFiles/lyra_sched.dir/opportunistic.cc.o" "gcc" "src/sched/CMakeFiles/lyra_sched.dir/opportunistic.cc.o.d"
+  "/root/repo/src/sched/placement_util.cc" "src/sched/CMakeFiles/lyra_sched.dir/placement_util.cc.o" "gcc" "src/sched/CMakeFiles/lyra_sched.dir/placement_util.cc.o.d"
+  "/root/repo/src/sched/pollux.cc" "src/sched/CMakeFiles/lyra_sched.dir/pollux.cc.o" "gcc" "src/sched/CMakeFiles/lyra_sched.dir/pollux.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/lyra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lyra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lyra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hetero/CMakeFiles/lyra_hetero.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_sched.dir/afs.cc.o"
+  "CMakeFiles/lyra_sched.dir/afs.cc.o.d"
+  "CMakeFiles/lyra_sched.dir/elastic_util.cc.o"
+  "CMakeFiles/lyra_sched.dir/elastic_util.cc.o.d"
+  "CMakeFiles/lyra_sched.dir/fifo.cc.o"
+  "CMakeFiles/lyra_sched.dir/fifo.cc.o.d"
+  "CMakeFiles/lyra_sched.dir/gandiva.cc.o"
+  "CMakeFiles/lyra_sched.dir/gandiva.cc.o.d"
+  "CMakeFiles/lyra_sched.dir/opportunistic.cc.o"
+  "CMakeFiles/lyra_sched.dir/opportunistic.cc.o.d"
+  "CMakeFiles/lyra_sched.dir/placement_util.cc.o"
+  "CMakeFiles/lyra_sched.dir/placement_util.cc.o.d"
+  "CMakeFiles/lyra_sched.dir/pollux.cc.o"
+  "CMakeFiles/lyra_sched.dir/pollux.cc.o.d"
+  "liblyra_sched.a"
+  "liblyra_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

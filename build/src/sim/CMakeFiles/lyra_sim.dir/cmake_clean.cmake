@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_sim.dir/decision_log.cc.o"
+  "CMakeFiles/lyra_sim.dir/decision_log.cc.o.d"
+  "CMakeFiles/lyra_sim.dir/inference_cluster.cc.o"
+  "CMakeFiles/lyra_sim.dir/inference_cluster.cc.o.d"
+  "CMakeFiles/lyra_sim.dir/simulator.cc.o"
+  "CMakeFiles/lyra_sim.dir/simulator.cc.o.d"
+  "liblyra_sim.a"
+  "liblyra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bootstrap.cc" "src/workload/CMakeFiles/lyra_workload.dir/bootstrap.cc.o" "gcc" "src/workload/CMakeFiles/lyra_workload.dir/bootstrap.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/lyra_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/lyra_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/throughput.cc" "src/workload/CMakeFiles/lyra_workload.dir/throughput.cc.o" "gcc" "src/workload/CMakeFiles/lyra_workload.dir/throughput.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/lyra_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/lyra_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hetero/CMakeFiles/lyra_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/lyra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lyra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_workload.dir/bootstrap.cc.o"
+  "CMakeFiles/lyra_workload.dir/bootstrap.cc.o.d"
+  "CMakeFiles/lyra_workload.dir/synthetic.cc.o"
+  "CMakeFiles/lyra_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/lyra_workload.dir/throughput.cc.o"
+  "CMakeFiles/lyra_workload.dir/throughput.cc.o.d"
+  "CMakeFiles/lyra_workload.dir/trace.cc.o"
+  "CMakeFiles/lyra_workload.dir/trace.cc.o.d"
+  "liblyra_workload.a"
+  "liblyra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_log_test.dir/decision_log_test.cc.o"
+  "CMakeFiles/decision_log_test.dir/decision_log_test.cc.o.d"
+  "decision_log_test"
+  "decision_log_test.pdb"
+  "decision_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_util_test.dir/elastic_util_test.cc.o"
+  "CMakeFiles/elastic_util_test.dir/elastic_util_test.cc.o.d"
+  "elastic_util_test"
+  "elastic_util_test.pdb"
+  "elastic_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_cluster_test.dir/inference_cluster_test.cc.o"
+  "CMakeFiles/inference_cluster_test.dir/inference_cluster_test.cc.o.d"
+  "inference_cluster_test"
+  "inference_cluster_test.pdb"
+  "inference_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

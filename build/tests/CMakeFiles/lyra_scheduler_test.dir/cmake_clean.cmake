@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lyra_scheduler_test.dir/lyra_scheduler_test.cc.o"
+  "CMakeFiles/lyra_scheduler_test.dir/lyra_scheduler_test.cc.o.d"
+  "lyra_scheduler_test"
+  "lyra_scheduler_test.pdb"
+  "lyra_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lyra_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_test.dir/throughput_test.cc.o"
+  "CMakeFiles/throughput_test.dir/throughput_test.cc.o.d"
+  "throughput_test"
+  "throughput_test.pdb"
+  "throughput_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

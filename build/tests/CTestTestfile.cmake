@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/job_test[1]_include.cmake")
+include("/root/repo/build/tests/throughput_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/mckp_test[1]_include.cmake")
+include("/root/repo/build/tests/reclaim_test[1]_include.cmake")
+include("/root/repo/build/tests/allocation_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/elastic_util_test[1]_include.cmake")
+include("/root/repo/build/tests/predictor_test[1]_include.cmake")
+include("/root/repo/build/tests/inference_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/orchestrator_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lyra_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/decision_log_test[1]_include.cmake")
+include("/root/repo/build/tests/rm_test[1]_include.cmake")
+include("/root/repo/build/tests/hetero_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
