@@ -3,7 +3,10 @@
 //     354 items and 245 GPUs),
 //   - Lyra's greedy reclaiming vs the exhaustive optimal (paper: 1-3 ms vs
 //     ~420,000x more),
-//   - supporting primitives (preemption cost, BFD placement, LSTM step).
+//   - supporting primitives (preemption cost, BFD placement, LSTM step),
+//   - ClusterState hot operations at 1000-server scale: the incremental
+//     counters / pool indices vs brute-force recomputation over the server
+//     vector (the pre-optimization behavior, kept here as the baseline).
 #include <benchmark/benchmark.h>
 
 #include "src/common/rng.h"
@@ -62,8 +65,8 @@ lyra::ClusterState ReclaimInstance(int servers, std::uint64_t seed) {
     const int spans = static_cast<int>(rng.UniformInt(1, 3));
     const int start = static_cast<int>(rng.UniformInt(0, servers - 1));
     for (int k = 0; k < spans; ++k) {
-      auto& server =
-          cluster.mutable_server(ids[static_cast<std::size_t>((start + k) % servers)]);
+      const auto& server =
+          cluster.server(ids[static_cast<std::size_t>((start + k) % servers)]);
       if (server.free_gpus() >= 2) {
         cluster.Place(lyra::JobId(j), server.id(), 2, false);
       }
@@ -129,6 +132,225 @@ void BM_BestFitPlacement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BestFitPlacement);
+
+// --- ClusterState hot operations at 1000-server scale ----------------------
+//
+// The scheduler tick queries capacity and lists pools many times per event;
+// these benchmarks compare the maintained counters/indices against the
+// brute-force full-vector recomputation the code used before the
+// incremental-accounting rewrite.
+
+lyra::ClusterState BigCluster(int servers, std::uint64_t seed) {
+  lyra::Rng rng(seed);
+  lyra::ClusterState cluster;
+  std::vector<lyra::ServerId> training;
+  for (int s = 0; s < servers; ++s) {
+    // 70/30 training/inference mix; a slice of inference is out on loan.
+    if (s % 10 < 7) {
+      training.push_back(cluster.AddServer(lyra::GpuType::kTrainingV100, 8,
+                                           lyra::ServerPool::kTraining));
+    } else {
+      const lyra::ServerId id = cluster.AddServer(
+          lyra::GpuType::kInferenceT4, 8, lyra::ServerPool::kInference);
+      if (s % 30 == 9) {
+        (void)cluster.LoanServer(id);
+      }
+    }
+  }
+  // ~60% occupancy, 1-8 GPUs per job, one server per job.
+  for (int j = 0; j < servers; ++j) {
+    const lyra::ServerId id = training[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(training.size()) - 1))];
+    const auto& server = cluster.server(id);
+    if (server.free_gpus() > 0) {
+      cluster.Place(lyra::JobId(j), id,
+                    static_cast<int>(rng.UniformInt(1, server.free_gpus())),
+                    j % 4 == 0);
+    }
+  }
+  return cluster;
+}
+
+// The pre-rewrite implementations: full scans over the server vector.
+int BruteTotalGpus(const lyra::ClusterState& cluster, lyra::ServerPool pool) {
+  int total = 0;
+  for (const lyra::Server& s : cluster.servers()) {
+    if (s.pool() == pool) total += s.num_gpus();
+  }
+  return total;
+}
+
+int BruteUsedGpus(const lyra::ClusterState& cluster, lyra::ServerPool pool) {
+  int total = 0;
+  for (const lyra::Server& s : cluster.servers()) {
+    if (s.pool() == pool) total += s.used_gpus();
+  }
+  return total;
+}
+
+std::vector<lyra::ServerId> BruteServersInPool(const lyra::ClusterState& cluster,
+                                               lyra::ServerPool pool) {
+  std::vector<lyra::ServerId> out;
+  for (const lyra::Server& s : cluster.servers()) {
+    if (s.pool() == pool) out.push_back(s.id());
+  }
+  return out;
+}
+
+constexpr lyra::ServerPool kAllPools[] = {lyra::ServerPool::kTraining,
+                                          lyra::ServerPool::kInference,
+                                          lyra::ServerPool::kOnLoan};
+
+void BM_CapacityQueriesIncremental(benchmark::State& state) {
+  const lyra::ClusterState cluster = BigCluster(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    int sum = 0;
+    for (lyra::ServerPool pool : kAllPools) {
+      sum += cluster.TotalGpus(pool) + cluster.UsedGpus(pool) + cluster.FreeGpus(pool);
+    }
+    sum += cluster.TrainingSideFreeGpus();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CapacityQueriesIncremental)->Arg(1000);
+
+void BM_CapacityQueriesBruteForce(benchmark::State& state) {
+  const lyra::ClusterState cluster = BigCluster(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    int sum = 0;
+    for (lyra::ServerPool pool : kAllPools) {
+      const int total = BruteTotalGpus(cluster, pool);
+      const int used = BruteUsedGpus(cluster, pool);
+      sum += total + used + (total - used);
+    }
+    sum += BruteTotalGpus(cluster, lyra::ServerPool::kTraining) -
+           BruteUsedGpus(cluster, lyra::ServerPool::kTraining) +
+           BruteTotalGpus(cluster, lyra::ServerPool::kOnLoan) -
+           BruteUsedGpus(cluster, lyra::ServerPool::kOnLoan);
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CapacityQueriesBruteForce)->Arg(1000);
+
+void BM_PoolListingIndexed(benchmark::State& state) {
+  const lyra::ClusterState cluster = BigCluster(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    std::size_t n = 0;
+    for (lyra::ServerPool pool : kAllPools) {
+      n += cluster.ServersInPool(pool).size();  // const ref, no allocation
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_PoolListingIndexed)->Arg(1000);
+
+void BM_PoolListingBruteForce(benchmark::State& state) {
+  const lyra::ClusterState cluster = BigCluster(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    std::size_t n = 0;
+    for (lyra::ServerPool pool : kAllPools) {
+      n += BruteServersInPool(cluster, pool).size();
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_PoolListingBruteForce)->Arg(1000);
+
+// Mutation + query churn: the shape of a scheduler tick — place, query the
+// training-side headroom, remove — repeated across the cluster. With the
+// incremental counters the queries are O(1); the baseline pays a full scan
+// per query.
+void BM_ChurnIncremental(benchmark::State& state) {
+  lyra::ClusterState cluster = BigCluster(static_cast<int>(state.range(0)), 17);
+  const auto& training = cluster.ServersInPool(lyra::ServerPool::kTraining);
+  int next = 1 << 20;
+  for (auto _ : state) {
+    int headroom = 0;
+    for (std::size_t i = 0; i < training.size(); ++i) {
+      const lyra::ServerId id = training[i];
+      if (cluster.server(id).free_gpus() == 0) continue;
+      const lyra::JobId job(next++);
+      cluster.Place(job, id, 1, true);
+      headroom += cluster.TrainingSideFreeGpus();
+      cluster.RemoveJob(job);
+    }
+    benchmark::DoNotOptimize(headroom);
+  }
+}
+BENCHMARK(BM_ChurnIncremental)->Arg(1000);
+
+void BM_ChurnBruteForce(benchmark::State& state) {
+  lyra::ClusterState cluster = BigCluster(static_cast<int>(state.range(0)), 17);
+  const std::vector<lyra::ServerId> training =
+      BruteServersInPool(cluster, lyra::ServerPool::kTraining);
+  int next = 1 << 20;
+  for (auto _ : state) {
+    int headroom = 0;
+    for (std::size_t i = 0; i < training.size(); ++i) {
+      const lyra::ServerId id = training[i];
+      if (cluster.server(id).free_gpus() == 0) continue;
+      const lyra::JobId job(next++);
+      cluster.Place(job, id, 1, true);
+      headroom += BruteTotalGpus(cluster, lyra::ServerPool::kTraining) -
+                  BruteUsedGpus(cluster, lyra::ServerPool::kTraining) +
+                  BruteTotalGpus(cluster, lyra::ServerPool::kOnLoan) -
+                  BruteUsedGpus(cluster, lyra::ServerPool::kOnLoan);
+      cluster.RemoveJob(job);
+    }
+    benchmark::DoNotOptimize(headroom);
+  }
+}
+BENCHMARK(BM_ChurnBruteForce)->Arg(1000);
+
+// Batch worker placement: one 400-worker launch on a 443-server cluster.
+// The heap-based best-fit builds the candidate heap once and pays O(log n)
+// per worker; the pre-rewrite baseline rescanned every server per worker
+// (O(workers x servers)).
+void BM_BatchPlaceHeap(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    lyra::ClusterState cluster;
+    for (int s = 0; s < 443; ++s) {
+      cluster.AddServer(lyra::GpuType::kTrainingV100, 8, lyra::ServerPool::kTraining);
+    }
+    lyra::PlaceRequest request;
+    request.job = lyra::JobId(0);
+    request.gpus_per_worker = 8;
+    request.workers = 400;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(lyra::TryPlaceWorkers(cluster, request));
+  }
+}
+BENCHMARK(BM_BatchPlaceHeap);
+
+void BM_BatchPlaceLinearScan(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    lyra::ClusterState cluster;
+    std::vector<lyra::ServerId> ids;
+    for (int s = 0; s < 443; ++s) {
+      ids.push_back(cluster.AddServer(lyra::GpuType::kTrainingV100, 8,
+                                      lyra::ServerPool::kTraining));
+    }
+    state.ResumeTiming();
+    for (int w = 0; w < 400; ++w) {
+      lyra::ServerId best;
+      int best_free = 0;
+      for (lyra::ServerId id : ids) {
+        const int free = cluster.server(id).free_gpus();
+        if (free >= 8 && (!best.valid() || free < best_free)) {
+          best = id;
+          best_free = free;
+        }
+      }
+      if (best.valid()) {
+        cluster.Place(lyra::JobId(0), best, 8, false);
+      }
+    }
+    benchmark::DoNotOptimize(cluster.UsedGpus(lyra::ServerPool::kTraining));
+  }
+}
+BENCHMARK(BM_BatchPlaceLinearScan);
 
 void BM_LstmTrainStep(benchmark::State& state) {
   lyra::LstmOptions options;

@@ -36,16 +36,27 @@ int main() {
   ExperimentConfig config = lyra::WithEnvOverrides({});
   lyra::PrintBanner("Table 5: scenarios x schemes", config);
 
-  lyra::TextTable table({"scenario", "scheme", "queue mean", "queue p50", "queue p95",
-                         "JCT mean", "JCT p50", "JCT p95", "train use", "overall use",
-                         "preempt"});
+  // All 14 rows are independent simulations: declare them up front and fan
+  // them out over the harness thread pool.
+  struct Row {
+    const char* scenario;
+    const char* scheme;
+    bool overall_na;
+  };
+  std::vector<Row> rows;
+  std::vector<lyra::ExperimentRun> runs;
+  auto add = [&](const char* scenario, const char* scheme, bool overall_na,
+                 const ExperimentConfig& cfg, const RunSpec& spec) {
+    rows.push_back({scenario, scheme, overall_na});
+    runs.push_back({std::string(scenario) + "/" + scheme, cfg, spec});
+  };
 
   // Row 1: Baseline — FIFO, no loaning, no scaling.
   {
     RunSpec spec;
     spec.scheduler = SchedulerKind::kFifo;
     spec.loaning = false;
-    AddRow(table, "-", "Baseline", RunExperiment(config, spec), false);
+    add("-", "Baseline", false, config, spec);
   }
   // Rows 2-5: Lyra across scenarios.
   {
@@ -53,20 +64,20 @@ int main() {
     spec.scheduler = SchedulerKind::kLyra;
     spec.reclaim = ReclaimKind::kLyra;
     spec.loaning = true;
-    AddRow(table, "Basic", "Lyra", RunExperiment(config, spec), false);
+    add("Basic", "Lyra", false, config, spec);
 
     ExperimentConfig advanced = config;
     advanced.heterogeneous_fraction = 0.10;
-    AddRow(table, "Advanced", "Lyra", RunExperiment(advanced, spec), false);
+    add("Advanced", "Lyra", false, advanced, spec);
 
     ExperimentConfig heterogeneous = advanced;
     heterogeneous.clear_fungible = true;
-    AddRow(table, "Heterogeneous", "Lyra", RunExperiment(heterogeneous, spec), false);
+    add("Heterogeneous", "Lyra", false, heterogeneous, spec);
 
     ExperimentConfig ideal = config;
     ideal.ideal = true;
     spec.throughput.heterogeneous_efficiency = 1.0;  // ideal performance
-    AddRow(table, "Ideal", "Lyra", RunExperiment(ideal, spec), false);
+    add("Ideal", "Lyra", false, ideal, spec);
   }
   // Rows 6-9: capacity loaning only (no elastic scaling).
   {
@@ -74,33 +85,42 @@ int main() {
     spec.scheduler = SchedulerKind::kOpportunistic;
     spec.reclaim = ReclaimKind::kRandom;
     spec.loaning = true;
-    AddRow(table, "Loaning", "Opportunity", RunExperiment(config, spec), false);
+    add("Loaning", "Opportunity", false, config, spec);
 
     spec.scheduler = SchedulerKind::kLyraNoElastic;
     spec.reclaim = ReclaimKind::kRandom;
-    AddRow(table, "Loaning", "Random", RunExperiment(config, spec), false);
+    add("Loaning", "Random", false, config, spec);
     spec.reclaim = ReclaimKind::kScf;
-    AddRow(table, "Loaning", "SCF", RunExperiment(config, spec), false);
+    add("Loaning", "SCF", false, config, spec);
     spec.reclaim = ReclaimKind::kLyra;
-    AddRow(table, "Loaning", "Lyra", RunExperiment(config, spec), false);
+    add("Loaning", "Lyra", false, config, spec);
   }
   // Rows 10-14: elastic scaling only (no capacity loaning).
   {
     RunSpec spec;
     spec.loaning = false;
     spec.scheduler = SchedulerKind::kGandiva;
-    AddRow(table, "Scaling", "Gandiva", RunExperiment(config, spec), true);
+    add("Scaling", "Gandiva", true, config, spec);
     spec.scheduler = SchedulerKind::kAfs;
-    AddRow(table, "Scaling", "AFS", RunExperiment(config, spec), true);
+    add("Scaling", "AFS", true, config, spec);
     spec.scheduler = SchedulerKind::kPollux;
-    AddRow(table, "Scaling", "Pollux", RunExperiment(config, spec), true);
+    add("Scaling", "Pollux", true, config, spec);
     spec.scheduler = SchedulerKind::kLyra;
-    AddRow(table, "Scaling", "Lyra", RunExperiment(config, spec), true);
+    add("Scaling", "Lyra", true, config, spec);
     spec.scheduler = SchedulerKind::kLyraTuned;
-    AddRow(table, "Scaling", "Lyra+TunedJobs", RunExperiment(config, spec), true);
+    add("Scaling", "Lyra+TunedJobs", true, config, spec);
   }
 
+  const std::vector<SimulationResult> results = lyra::RunExperiments(runs);
+
+  lyra::TextTable table({"scenario", "scheme", "queue mean", "queue p50", "queue p95",
+                         "JCT mean", "JCT p50", "JCT p95", "train use", "overall use",
+                         "preempt"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    AddRow(table, rows[i].scenario, rows[i].scheme, results[i], rows[i].overall_na);
+  }
   table.Print();
+  lyra::WritePerfReport("table5_scenarios");
   std::printf(
       "\nPaper reference (Table 5): Baseline queue 3072s mean / 55s p50 / 8357s p95;\n"
       "Lyra Basic improves queuing 1.53x and JCT 1.48x over Baseline; Ideal is the\n"

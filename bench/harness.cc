@@ -1,8 +1,12 @@
 #include "bench/harness.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 
 #include "src/common/check.h"
 #include "src/lyra/lyra_scheduler.h"
@@ -20,6 +24,49 @@ namespace {
 double EnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   return value != nullptr ? std::atof(value) : fallback;
+}
+
+// Perf profile of one completed experiment run, for the BENCH_perf.json
+// report. Guarded by g_perf_mutex: runs complete on pool threads.
+struct PerfEntry {
+  std::string label;
+  std::string scheduler;
+  std::string reclaim;
+  std::size_t total_jobs = 0;
+  std::size_t finished_jobs = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+std::mutex g_perf_mutex;
+std::vector<PerfEntry>& PerfEntries() {
+  static std::vector<PerfEntry> entries;
+  return entries;
+}
+
+void RecordPerf(const std::string& label, const RunSpec& spec,
+                const SimulationResult& result) {
+  PerfEntry entry;
+  entry.label = label;
+  entry.scheduler = SchedulerKindName(spec.scheduler);
+  entry.reclaim = ReclaimKindName(spec.reclaim);
+  entry.total_jobs = result.total_jobs;
+  entry.finished_jobs = result.finished_jobs;
+  entry.events = result.events_processed;
+  entry.wall_seconds = result.wall_seconds;
+  entry.events_per_sec = result.events_per_sec;
+  std::lock_guard<std::mutex> lock(g_perf_mutex);
+  PerfEntries().push_back(std::move(entry));
+}
+
+void JsonEscapeTo(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
 }
 
 }  // namespace
@@ -103,7 +150,10 @@ const char* ReclaimKindName(ReclaimKind kind) {
   return "?";
 }
 
-SimulationResult RunExperiment(const ExperimentConfig& config, const RunSpec& spec) {
+namespace {
+
+SimulationResult RunOne(const ExperimentConfig& config, const RunSpec& spec,
+                        const std::string& label) {
   const Trace trace = MakeTrace(config);
 
   std::unique_ptr<JobScheduler> scheduler;
@@ -187,7 +237,151 @@ SimulationResult RunExperiment(const ExperimentConfig& config, const RunSpec& sp
   options.checkpoint_interval = spec.checkpoint_interval;
   options.record_series = spec.record_series;
   Simulator simulator(options, trace, scheduler.get(), reclaim.get(), std::move(inference));
-  return simulator.Run();
+  SimulationResult result = simulator.Run();
+  RecordPerf(label, spec, result);
+  return result;
+}
+
+}  // namespace
+
+SimulationResult RunExperiment(const ExperimentConfig& config, const RunSpec& spec) {
+  return RunOne(config, spec, SchedulerKindName(spec.scheduler));
+}
+
+int BenchJobs() {
+  const char* value = std::getenv("LYRA_BENCH_JOBS");
+  if (value != nullptr) {
+    const int jobs = std::atoi(value);
+    if (jobs >= 1) {
+      return jobs;
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+std::vector<SimulationResult> RunExperiments(const std::vector<ExperimentRun>& runs) {
+  std::vector<SimulationResult> results(runs.size());
+  if (runs.empty()) {
+    return results;
+  }
+  const int workers =
+      std::min(BenchJobs(), static_cast<int>(runs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      results[i] = RunOne(runs[i].config, runs[i].spec, runs[i].label);
+    }
+    return results;
+  }
+  // Work-stealing over the run list: each simulation is independent and
+  // seed-deterministic, so results land in input order regardless of which
+  // thread picks which run.
+  std::atomic<std::size_t> next{0};
+  auto drain = [&]() {
+    for (std::size_t i = next.fetch_add(1); i < runs.size(); i = next.fetch_add(1)) {
+      results[i] = RunOne(runs[i].config, runs[i].spec, runs[i].label);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) {
+    pool.emplace_back(drain);
+  }
+  drain();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+std::vector<SimulationResult> RunExperiments(const ExperimentConfig& config,
+                                             const std::vector<RunSpec>& specs) {
+  std::vector<ExperimentRun> runs;
+  runs.reserve(specs.size());
+  for (const RunSpec& spec : specs) {
+    runs.push_back({SchedulerKindName(spec.scheduler), config, spec});
+  }
+  return RunExperiments(runs);
+}
+
+std::vector<SimulationResult> RunSeedSweep(const ExperimentConfig& config,
+                                           const RunSpec& spec,
+                                           const std::vector<std::uint64_t>& seeds) {
+  std::vector<ExperimentRun> runs;
+  runs.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    ExperimentRun run;
+    run.label = std::string(SchedulerKindName(spec.scheduler)) + "/seed=" +
+                std::to_string(seed);
+    run.config = config;
+    run.config.seed = seed;
+    run.spec = spec;
+    runs.push_back(std::move(run));
+  }
+  return RunExperiments(runs);
+}
+
+void WritePerfReport(const std::string& experiment) {
+  const char* path = std::getenv("LYRA_BENCH_PERF_JSON");
+  if (path != nullptr && std::string(path) == "0") {
+    return;
+  }
+  const std::string file = path != nullptr ? path : "BENCH_perf.json";
+
+  std::vector<PerfEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(g_perf_mutex);
+    entries = PerfEntries();
+  }
+  double total_wall = 0.0;
+  std::uint64_t total_events = 0;
+  for (const PerfEntry& e : entries) {
+    total_wall += e.wall_seconds;
+    total_events += e.events;
+  }
+
+  std::string json = "{\n  \"experiment\": \"";
+  JsonEscapeTo(json, experiment);
+  json += "\",\n  \"bench_jobs\": " + std::to_string(BenchJobs());
+  json += ",\n  \"total_runs\": " + std::to_string(entries.size());
+  json += ",\n  \"total_events\": " + std::to_string(total_events);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", total_wall);
+  json += ",\n  \"total_sim_wall_sec\": ";
+  json += buf;
+  json += ",\n  \"runs\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const PerfEntry& e = entries[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"label\": \"";
+    JsonEscapeTo(json, e.label);
+    json += "\", \"scheduler\": \"";
+    JsonEscapeTo(json, e.scheduler);
+    json += "\", \"reclaim\": \"";
+    JsonEscapeTo(json, e.reclaim);
+    json += "\", \"total_jobs\": " + std::to_string(e.total_jobs);
+    json += ", \"finished_jobs\": " + std::to_string(e.finished_jobs);
+    json += ", \"events\": " + std::to_string(e.events);
+    std::snprintf(buf, sizeof(buf), "%.6f", e.wall_seconds);
+    json += ", \"wall_sec\": ";
+    json += buf;
+    std::snprintf(buf, sizeof(buf), "%.1f", e.events_per_sec);
+    json += ", \"events_per_sec\": ";
+    json += buf;
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* out = std::fopen(file.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "WritePerfReport: cannot open %s\n", file.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("\nperf: %zu run(s), %llu events in %.2fs simulator wall-clock -> %s\n",
+              entries.size(), static_cast<unsigned long long>(total_events),
+              total_wall, file.c_str());
 }
 
 std::string Secs(double seconds) {

@@ -5,11 +5,19 @@
 // reclaiming schemes) and a single RunExperiment entry point so benches stay
 // declarative. Cluster scale and trace length default to the paper's values
 // and can be reduced via LYRA_BENCH_SCALE / LYRA_BENCH_DAYS for quick runs.
+//
+// Independent runs fan out over a thread pool via RunExperiments /
+// RunSeedSweep (simulations are seed-deterministic and share no mutable
+// state), and every run's perf profile — events processed, wall-clock,
+// events/sec — is recorded and written as machine-readable JSON by
+// WritePerfReport so the repo's perf trajectory stays measurable.
 #ifndef BENCH_HARNESS_H_
 #define BENCH_HARNESS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/sim/simulator.h"
 #include "src/workload/synthetic.h"
@@ -80,6 +88,41 @@ struct RunSpec {
 };
 
 SimulationResult RunExperiment(const ExperimentConfig& config, const RunSpec& spec);
+
+// One independent simulation in a batch: its own config, spec, and a label
+// for the perf report.
+struct ExperimentRun {
+  std::string label;
+  ExperimentConfig config;
+  RunSpec spec;
+};
+
+// Number of worker threads the harness fans experiments out over:
+// LYRA_BENCH_JOBS if set (>= 1), else std::thread::hardware_concurrency().
+int BenchJobs();
+
+// Runs every experiment in the batch, fanning out over a pool of BenchJobs()
+// threads. Results come back in input order and are identical to running
+// RunExperiment sequentially per entry: each simulation is seed-deterministic
+// and shares no mutable state with its siblings.
+std::vector<SimulationResult> RunExperiments(const std::vector<ExperimentRun>& runs);
+
+// Convenience batch: the same config across several specs.
+std::vector<SimulationResult> RunExperiments(const ExperimentConfig& config,
+                                             const std::vector<RunSpec>& specs);
+
+// Seed-sweep variant: the same (config, spec) across several seeds, e.g. for
+// confidence intervals.
+std::vector<SimulationResult> RunSeedSweep(const ExperimentConfig& config,
+                                           const RunSpec& spec,
+                                           const std::vector<std::uint64_t>& seeds);
+
+// Writes the perf profile of every experiment run so far by this process —
+// label, scheduler/reclaim scheme, events processed, wall-clock seconds,
+// events/sec — as JSON (the BENCH_perf.json schema). Path defaults to
+// BENCH_perf.json in the working directory, overridable via
+// LYRA_BENCH_PERF_JSON; LYRA_BENCH_PERF_JSON=0 disables the report.
+void WritePerfReport(const std::string& experiment);
 
 // Formats seconds with no decimals, e.g. for table cells.
 std::string Secs(double seconds);

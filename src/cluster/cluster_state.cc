@@ -32,12 +32,19 @@ ClusterState ClusterState::Clone() const {
   ClusterState copy;
   copy.servers_ = servers_;
   copy.placements_ = placements_;
+  copy.total_gpus_ = total_gpus_;
+  copy.used_gpus_ = used_gpus_;
+  copy.free_gpus_by_type_ = free_gpus_by_type_;
+  copy.pool_servers_ = pool_servers_;
   return copy;
 }
 
 ServerId ClusterState::AddServer(GpuType gpu_type, int num_gpus, ServerPool pool) {
   const ServerId id(static_cast<std::int64_t>(servers_.size()));
   servers_.emplace_back(id, gpu_type, num_gpus, pool);
+  total_gpus_[PoolIndex(pool)] += num_gpus;
+  free_gpus_by_type_[PoolIndex(pool)][TypeIndex(gpu_type)] += num_gpus;
+  PoolInsert(pool, id);
   return id;
 }
 
@@ -51,29 +58,55 @@ Server& ClusterState::mutable_server(ServerId id) {
   return const_cast<Server&>(static_cast<const ClusterState*>(this)->server(id));
 }
 
-std::vector<ServerId> ClusterState::ServersInPool(ServerPool pool) const {
-  std::vector<ServerId> out;
-  for (const Server& s : servers_) {
-    if (s.pool() == pool) {
-      out.push_back(s.id());
-    }
+void ClusterState::PoolInsert(ServerPool pool, ServerId id) {
+  std::vector<ServerId>& members = pool_servers_[PoolIndex(pool)];
+  // Ids are almost always appended in order; fall back to a sorted insert for
+  // servers re-entering a pool (loan/return).
+  if (members.empty() || members.back() < id) {
+    members.push_back(id);
+    return;
   }
-  return out;
+  members.insert(std::lower_bound(members.begin(), members.end(), id), id);
+}
+
+void ClusterState::PoolErase(ServerPool pool, ServerId id) {
+  std::vector<ServerId>& members = pool_servers_[PoolIndex(pool)];
+  auto it = std::lower_bound(members.begin(), members.end(), id);
+  LYRA_CHECK(it != members.end() && *it == id);
+  members.erase(it);
+}
+
+void ClusterState::MoveServerCounters(const Server& srv, ServerPool from,
+                                      ServerPool to) {
+  const int type = TypeIndex(srv.gpu_type());
+  total_gpus_[PoolIndex(from)] -= srv.num_gpus();
+  total_gpus_[PoolIndex(to)] += srv.num_gpus();
+  used_gpus_[PoolIndex(from)] -= srv.used_gpus();
+  used_gpus_[PoolIndex(to)] += srv.used_gpus();
+  free_gpus_by_type_[PoolIndex(from)][type] -= srv.free_gpus();
+  free_gpus_by_type_[PoolIndex(to)][type] += srv.free_gpus();
+  PoolErase(from, srv.id());
+  PoolInsert(to, srv.id());
+}
+
+void ClusterState::AccountUsage(const Server& srv, int gpus) {
+  used_gpus_[PoolIndex(srv.pool())] += gpus;
+  free_gpus_by_type_[PoolIndex(srv.pool())][TypeIndex(srv.gpu_type())] -= gpus;
 }
 
 std::vector<ServerId> ClusterState::TrainingVisibleServers() const {
-  std::vector<ServerId> out;
-  for (const Server& s : servers_) {
-    if (s.pool() == ServerPool::kTraining || s.pool() == ServerPool::kOnLoan) {
-      out.push_back(s.id());
-    }
-  }
+  // Training servers are created before any server is loaned, so the
+  // concatenation preserves ascending-id order in practice.
+  std::vector<ServerId> out = pool_servers_[PoolIndex(ServerPool::kTraining)];
+  const std::vector<ServerId>& loaned = pool_servers_[PoolIndex(ServerPool::kOnLoan)];
+  out.insert(out.end(), loaned.begin(), loaned.end());
   return out;
 }
 
 void ClusterState::Place(JobId job, ServerId server_id, int gpus, bool flexible) {
   Server& srv = mutable_server(server_id);
   srv.Place(job, gpus, flexible);
+  AccountUsage(srv, gpus);
   GpuShare& share = placements_[job].shares[server_id];
   if (flexible) {
     share.flexible_gpus += gpus;
@@ -88,7 +121,9 @@ void ClusterState::RemoveJob(JobId job) {
     return;
   }
   for (const auto& [server_id, share] : it->second.shares) {
-    mutable_server(server_id).RemoveJob(job);
+    Server& srv = mutable_server(server_id);
+    srv.RemoveJob(job);
+    AccountUsage(srv, -share.total());
   }
   placements_.erase(it);
 }
@@ -102,7 +137,9 @@ int ClusterState::RemoveFlexible(JobId job, ServerId server_id, int gpus) {
   if (share_it == it->second.shares.end()) {
     return 0;
   }
-  const int removed = mutable_server(server_id).RemoveFlexible(job, gpus);
+  Server& srv = mutable_server(server_id);
+  const int removed = srv.RemoveFlexible(job, gpus);
+  AccountUsage(srv, -removed);
   share_it->second.flexible_gpus -= removed;
   LYRA_CHECK_GE(share_it->second.flexible_gpus, 0);
   if (share_it->second.total() == 0) {
@@ -149,6 +186,7 @@ Status ClusterState::LoanServer(ServerId id) {
     return Status::FailedPrecondition("server is not in the inference pool");
   }
   srv.set_pool(ServerPool::kOnLoan);
+  MoveServerCounters(srv, ServerPool::kInference, ServerPool::kOnLoan);
   return Status::Ok();
 }
 
@@ -161,31 +199,8 @@ Status ClusterState::ReturnServer(ServerId id) {
     return Status::FailedPrecondition("server still has running workers");
   }
   srv.set_pool(ServerPool::kInference);
+  MoveServerCounters(srv, ServerPool::kOnLoan, ServerPool::kInference);
   return Status::Ok();
-}
-
-int ClusterState::TotalGpus(ServerPool pool) const {
-  int total = 0;
-  for (const Server& s : servers_) {
-    if (s.pool() == pool) {
-      total += s.num_gpus();
-    }
-  }
-  return total;
-}
-
-int ClusterState::UsedGpus(ServerPool pool) const {
-  int total = 0;
-  for (const Server& s : servers_) {
-    if (s.pool() == pool) {
-      total += s.used_gpus();
-    }
-  }
-  return total;
-}
-
-int ClusterState::FreeGpus(ServerPool pool) const {
-  return TotalGpus(pool) - UsedGpus(pool);
 }
 
 int ClusterState::TrainingSideFreeGpus() const {
@@ -202,12 +217,69 @@ int ClusterState::TrainingSideUsedGpus() const {
 
 double ClusterState::TrainingSideFreeNormalized() const {
   double total = 0.0;
-  for (const Server& s : servers_) {
-    if (s.pool() == ServerPool::kTraining || s.pool() == ServerPool::kOnLoan) {
-      total += s.free_gpus() * GpuComputeFactor(s.gpu_type());
+  for (ServerPool pool : {ServerPool::kTraining, ServerPool::kOnLoan}) {
+    for (int type = 0; type < kNumGpuTypes; ++type) {
+      total += free_gpus_by_type_[PoolIndex(pool)][type] *
+               GpuComputeFactor(static_cast<GpuType>(type));
     }
   }
   return total;
+}
+
+void ClusterState::AuditInvariants() const {
+  std::array<int, kNumPools> total{};
+  std::array<int, kNumPools> used{};
+  std::array<std::array<int, kNumGpuTypes>, kNumPools> free_by_type{};
+  std::array<std::vector<ServerId>, kNumPools> members;
+
+  for (const Server& srv : servers_) {
+    const int pool = PoolIndex(srv.pool());
+    total[pool] += srv.num_gpus();
+    used[pool] += srv.used_gpus();
+    free_by_type[pool][TypeIndex(srv.gpu_type())] += srv.free_gpus();
+    members[pool].push_back(srv.id());
+
+    // Server-side per-job shares must sum to the server's used count and be
+    // mirrored exactly in the job-side placement map.
+    int server_used = 0;
+    for (const auto& [job, share] : srv.jobs()) {
+      LYRA_CHECK_GE(share.base_gpus, 0);
+      LYRA_CHECK_GE(share.flexible_gpus, 0);
+      LYRA_CHECK_GT(share.total(), 0);
+      server_used += share.total();
+      auto it = placements_.find(job);
+      LYRA_CHECK(it != placements_.end());
+      auto share_it = it->second.shares.find(srv.id());
+      LYRA_CHECK(share_it != it->second.shares.end());
+      LYRA_CHECK_EQ(share_it->second.base_gpus, share.base_gpus);
+      LYRA_CHECK_EQ(share_it->second.flexible_gpus, share.flexible_gpus);
+    }
+    LYRA_CHECK_EQ(server_used, srv.used_gpus());
+    LYRA_CHECK_LE(srv.used_gpus(), srv.num_gpus());
+  }
+
+  // Job-side shares must all exist on the server side (with the mirror check
+  // above, the two views are then identical).
+  for (const auto& [job, placement] : placements_) {
+    LYRA_CHECK(!placement.shares.empty());
+    for (const auto& [server_id, share] : placement.shares) {
+      const Server& srv = server(server_id);
+      auto it = srv.jobs().find(job);
+      LYRA_CHECK(it != srv.jobs().end());
+      LYRA_CHECK_EQ(it->second.base_gpus, share.base_gpus);
+      LYRA_CHECK_EQ(it->second.flexible_gpus, share.flexible_gpus);
+    }
+  }
+
+  for (int pool = 0; pool < kNumPools; ++pool) {
+    LYRA_CHECK_EQ(total[pool], total_gpus_[pool]);
+    LYRA_CHECK_EQ(used[pool], used_gpus_[pool]);
+    for (int type = 0; type < kNumGpuTypes; ++type) {
+      LYRA_CHECK_EQ(free_by_type[pool][type], free_gpus_by_type_[pool][type]);
+    }
+    LYRA_CHECK(members[pool] == pool_servers_[pool]);
+    LYRA_CHECK(std::is_sorted(pool_servers_[pool].begin(), pool_servers_[pool].end()));
+  }
 }
 
 }  // namespace lyra

@@ -6,9 +6,17 @@
 // implements the whitelist semantics of capacity loaning (§6): loaning moves
 // a server from the inference pool to the on-loan pool (visible to the
 // training scheduler), returning moves it back once it is idle.
+//
+// Capacity accounting is incremental: per-pool GPU totals, usage, and
+// per-GPU-type free counts, plus sorted per-pool server-id membership lists,
+// are maintained in O(1) (amortized) at every mutation point. All capacity
+// queries are counter reads and pool listings return the maintained index —
+// nothing on the query path scans the server vector. AuditInvariants()
+// recomputes everything from scratch and is wired into the tests.
 #ifndef SRC_CLUSTER_CLUSTER_STATE_H_
 #define SRC_CLUSTER_CLUSTER_STATE_H_
 
+#include <array>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -47,11 +55,20 @@ class ClusterState {
   ServerId AddServer(GpuType gpu_type, int num_gpus, ServerPool pool);
 
   const Server& server(ServerId id) const;
-  Server& mutable_server(ServerId id);
   int num_servers() const { return static_cast<int>(servers_.size()); }
   const std::vector<Server>& servers() const { return servers_; }
 
-  std::vector<ServerId> ServersInPool(ServerPool pool) const;
+  // Ids of the servers in the pool, ascending. Returns the maintained
+  // membership index: O(1), no allocation. The reference is invalidated by
+  // AddServer/LoanServer/ReturnServer — callers that move servers between
+  // pools while iterating must copy first.
+  const std::vector<ServerId>& ServersInPool(ServerPool pool) const {
+    return pool_servers_[PoolIndex(pool)];
+  }
+
+  int NumServersInPool(ServerPool pool) const {
+    return static_cast<int>(pool_servers_[PoolIndex(pool)].size());
+  }
 
   // Servers visible to the training scheduler: the training pool plus the
   // on-loan pool (the training whitelist).
@@ -94,10 +111,14 @@ class ClusterState {
   Status ReturnServer(ServerId id);
 
   // --- Capacity queries -------------------------------------------------------
+  //
+  // All O(1) counter reads.
 
-  int TotalGpus(ServerPool pool) const;
-  int UsedGpus(ServerPool pool) const;
-  int FreeGpus(ServerPool pool) const;
+  int TotalGpus(ServerPool pool) const { return total_gpus_[PoolIndex(pool)]; }
+  int UsedGpus(ServerPool pool) const { return used_gpus_[PoolIndex(pool)]; }
+  int FreeGpus(ServerPool pool) const {
+    return total_gpus_[PoolIndex(pool)] - used_gpus_[PoolIndex(pool)];
+  }
 
   // Physical free GPUs on training-visible servers.
   int TrainingSideFreeGpus() const;
@@ -108,9 +129,44 @@ class ClusterState {
   // inference GPUs count at their normalization factor (§5.2).
   double TrainingSideFreeNormalized() const;
 
+  // --- Debug ----------------------------------------------------------------
+
+  // Recomputes every maintained counter and index from the server vector and
+  // cross-checks the job-side placement view against the server-side one.
+  // LYRA_CHECK-aborts on any divergence. O(#servers + #placements); intended
+  // for tests and debug builds, never for the hot path.
+  void AuditInvariants() const;
+
  private:
+  static constexpr int kNumPools = 3;
+  static constexpr int kNumGpuTypes = 2;
+
+  static constexpr int PoolIndex(ServerPool pool) {
+    return static_cast<int>(pool);
+  }
+  static constexpr int TypeIndex(GpuType type) { return static_cast<int>(type); }
+
+  Server& mutable_server(ServerId id);
+
+  // Membership index maintenance: ids are kept ascending per pool.
+  void PoolInsert(ServerPool pool, ServerId id);
+  void PoolErase(ServerPool pool, ServerId id);
+
+  // Moves the counter contribution of a server between pools (loan/return).
+  void MoveServerCounters(const Server& srv, ServerPool from, ServerPool to);
+
+  // Adjusts used/free counters for `gpus` placed (positive) or removed
+  // (negative) on the server.
+  void AccountUsage(const Server& srv, int gpus);
+
   std::vector<Server> servers_;
   std::unordered_map<JobId, JobPlacement> placements_;
+
+  // Incremental accounting (see class comment).
+  std::array<int, kNumPools> total_gpus_{};
+  std::array<int, kNumPools> used_gpus_{};
+  std::array<std::array<int, kNumGpuTypes>, kNumPools> free_gpus_by_type_{};
+  std::array<std::vector<ServerId>, kNumPools> pool_servers_;
 };
 
 }  // namespace lyra

@@ -7,13 +7,16 @@ namespace lyra {
 
 ReclaimResult ResourceOrchestrator::Reconcile(ClusterState& cluster, int target_loaned) {
   LYRA_CHECK_GE(target_loaned, 0);
-  const int current = static_cast<int>(cluster.ServersInPool(ServerPool::kOnLoan).size());
+  const int current = cluster.NumServersInPool(ServerPool::kOnLoan);
 
   if (target_loaned > current) {
-    // Loan: move idle inference servers into the training whitelist.
+    // Loan: move idle inference servers into the training whitelist. Copy the
+    // membership list: LoanServer edits it while we iterate.
     int to_loan = target_loaned - current;
     int loaned = 0;
-    for (ServerId id : cluster.ServersInPool(ServerPool::kInference)) {
+    const std::vector<ServerId> inference =
+        cluster.ServersInPool(ServerPool::kInference);
+    for (ServerId id : inference) {
       if (loaned >= to_loan) {
         break;
       }
@@ -37,7 +40,8 @@ ReclaimResult ResourceOrchestrator::Reconcile(ClusterState& cluster, int target_
   // go back for free; the policy picks among the occupied ones.
   int to_return = current - target_loaned;
   int returned = 0;
-  for (ServerId id : cluster.ServersInPool(ServerPool::kOnLoan)) {
+  const std::vector<ServerId> on_loan = cluster.ServersInPool(ServerPool::kOnLoan);
+  for (ServerId id : on_loan) {
     if (returned >= to_return) {
       break;
     }

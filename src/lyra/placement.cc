@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
+#include <tuple>
 
 #include "src/common/check.h"
 #include "src/sched/elastic_util.h"
@@ -35,46 +37,47 @@ double TierCapacityWorkers(const ClusterState& cluster, const std::vector<Candid
 
 // Places physical workers into the candidate set until `workers` nominal
 // worker credit is reached; returns the credit placed. Placement key per
-// worker: (tier, empty-last, best-fit free GPUs).
+// worker: (tier, empty-last, best-fit free GPUs), ties broken by candidate
+// order. Candidates live in a min-heap on that key instead of being rescanned
+// per worker: only the chosen server's key changes between picks (its free
+// count shrinks and it stops being empty), so one pop + one push per placed
+// worker keeps the heap exact — O((workers + |set|) log |set|) instead of
+// O(workers x |set|). Candidates too small for one worker are dropped for
+// good, which the rescan loop could not do.
 double PlaceBestFit(ClusterState& cluster, JobId job, int gpus_per_worker, int workers,
                     bool flexible, const std::vector<Candidate>& set) {
+  struct Entry {
+    int tier;
+    bool empty;
+    int free;
+    std::size_t index;  // position in `set`: preserves first-seen tie-breaks
+    ServerId id;
+
+    std::tuple<int, bool, int, std::size_t> key() const {
+      return {tier, empty, free, index};
+    }
+    bool operator>(const Entry& other) const { return key() > other.key(); }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const Server& server = cluster.server(set[i].id);
+    const int free = server.free_gpus();
+    if (free >= gpus_per_worker) {
+      heap.push({set[i].tier, server.idle(), free, i, set[i].id});
+    }
+  }
+
   double placed = 0.0;
-  while (placed + kCreditEpsilon < static_cast<double>(workers)) {
-    const Candidate* best = nullptr;
-    // Key: lower tier first, then non-empty before empty, then tightest fit.
-    auto better = [&](const Candidate& c, int free, const Candidate* cur, int cur_free,
-                      bool cur_empty) {
-      if (cur == nullptr) {
-        return true;
-      }
-      if (c.tier != cur->tier) {
-        return c.tier < cur->tier;
-      }
-      const bool empty = cluster.server(c.id).idle();
-      if (empty != cur_empty) {
-        return !empty;
-      }
-      return free < cur_free;
-    };
-    int best_free = 0;
-    bool best_empty = false;
-    for (const Candidate& c : set) {
-      const Server& server = cluster.server(c.id);
-      const int free = server.free_gpus();
-      if (free < gpus_per_worker) {
-        continue;
-      }
-      if (better(c, free, best, best_free, best_empty)) {
-        best = &c;
-        best_free = free;
-        best_empty = server.idle();
-      }
+  while (placed + kCreditEpsilon < static_cast<double>(workers) && !heap.empty()) {
+    Entry best = heap.top();
+    heap.pop();
+    cluster.Place(job, best.id, gpus_per_worker, flexible);
+    placed += GpuComputeFactor(cluster.server(best.id).gpu_type());
+    best.free -= gpus_per_worker;
+    best.empty = false;
+    if (best.free >= gpus_per_worker) {
+      heap.push(best);
     }
-    if (best == nullptr) {
-      break;
-    }
-    cluster.Place(job, best->id, gpus_per_worker, flexible);
-    placed += GpuComputeFactor(cluster.server(best->id).gpu_type());
   }
   return placed;
 }

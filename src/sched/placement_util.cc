@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
+#include <utility>
 
 #include "src/common/check.h"
 
@@ -103,23 +105,38 @@ double GroupCapacityCredit(const ClusterState& cluster, const std::vector<Server
 // Places physical workers into the group until `nominal_workers` of credit is
 // accumulated. Within the group best-fit prefers the earlier (preferred) pool
 // position only implicitly through equal tie handling; the primary key is the
-// tightest fit.
+// tightest fit. A min-heap on (free GPUs, group position) replaces the
+// per-worker rescan: only the chosen server's free count changes between
+// picks, so pop + push keeps the heap exact and servers that drop below one
+// worker's demand leave the heap for good.
 void PlaceIntoGroup(ClusterState& cluster, const PlaceRequest& request,
                     const std::vector<ServerId>& group, int nominal_workers) {
+  // (free GPUs, position in group, server id); tuple order reproduces the
+  // rescan's first-seen tie-break.
+  using Entry = std::tuple<int, std::size_t, ServerId>;
+  auto worse = [](const Entry& a, const Entry& b) {
+    return std::tie(std::get<0>(a), std::get<1>(a)) >
+           std::tie(std::get<0>(b), std::get<1>(b));
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const int free = cluster.server(group[i]).free_gpus();
+    if (free >= request.gpus_per_worker) {
+      heap.push({free, i, group[i]});
+    }
+  }
+
   double credit = 0.0;
   while (credit + kCreditEpsilon < static_cast<double>(nominal_workers)) {
-    ServerId best;
-    int best_free = std::numeric_limits<int>::max();
-    for (ServerId id : group) {
-      const int free = cluster.server(id).free_gpus();
-      if (free >= request.gpus_per_worker && free < best_free) {
-        best = id;
-        best_free = free;
-      }
-    }
-    LYRA_CHECK(best.valid());
+    LYRA_CHECK(!heap.empty());
+    auto [free, index, best] = heap.top();
+    heap.pop();
     cluster.Place(request.job, best, request.gpus_per_worker, request.flexible);
     credit += ServerWorkerCredit(cluster.server(best));
+    free -= request.gpus_per_worker;
+    if (free >= request.gpus_per_worker) {
+      heap.push({free, index, best});
+    }
   }
 }
 

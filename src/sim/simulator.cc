@@ -1,6 +1,7 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/common/check.h"
@@ -229,8 +230,7 @@ void Simulator::HandleOrchestratorTick(TimeSec now) {
   }
   const int gpus_per_server =
       inference_ != nullptr ? inference_->options().gpus_per_server : 8;
-  const int current_loaned =
-      static_cast<int>(cluster_.ServersInPool(ServerPool::kOnLoan).size());
+  const int current_loaned = cluster_.NumServersInPool(ServerPool::kOnLoan);
   // Borrow only for pending demand that free training capacity cannot absorb:
   // pending jobs take training GPUs first, so loans sized to the raw pending
   // demand would sit idle (and be reclaimed under future jobs for nothing).
@@ -330,7 +330,7 @@ void Simulator::RecordSeriesPoint(TimeSec now) {
       onloan_total > 0
           ? static_cast<double>(cluster_.UsedGpus(ServerPool::kOnLoan)) / onloan_total
           : -1.0;
-  point.loaned_servers = static_cast<int>(cluster_.ServersInPool(ServerPool::kOnLoan).size());
+  point.loaned_servers = cluster_.NumServersInPool(ServerPool::kOnLoan);
   point.pending_jobs = static_cast<int>(pending_.size());
   result_.series.push_back(point);
 }
@@ -359,6 +359,7 @@ void Simulator::HandleFinish(TimeSec now, std::int64_t job_index,
 }
 
 SimulationResult Simulator::Run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   TimeSec now = 0.0;
   TimeSec next_scheduler_tick = 0.0;
   TimeSec next_orchestrator_tick = 0.0;
@@ -371,6 +372,7 @@ SimulationResult Simulator::Run() {
                        finished_count_, jobs_.size());
       break;
     }
+    ++result_.events_processed;
     LYRA_CHECK_GE(event.time, now);
     AdvanceMeters(event.time);
     now = event.time;
@@ -446,6 +448,13 @@ SimulationResult Simulator::Run() {
   result_.collateral_damage =
       demanded_gpus > 0
           ? static_cast<double>(result_.orchestrator.collateral_gpus) / demanded_gpus
+          : 0.0;
+  result_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  result_.events_per_sec =
+      result_.wall_seconds > 0.0
+          ? static_cast<double>(result_.events_processed) / result_.wall_seconds
           : 0.0;
   return result_;
 }

@@ -107,6 +107,13 @@ struct SimulationResult {
   double collateral_damage = 0.0;
   int scaling_operations = 0;
 
+  // Simulator performance: discrete events drained by Run() and the
+  // wall-clock it took. events_per_sec is their ratio (0 when wall-clock is
+  // too small to measure). Excluded from determinism comparisons.
+  std::uint64_t events_processed = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+
   OrchestratorStats orchestrator;
   std::vector<SeriesPoint> series;  // 5-minute cadence when record_series
   // Mean absolute relative error of the profiler's estimates (0 when the

@@ -1,0 +1,182 @@
+// Determinism contract of the parallel experiment runner: RunExperiments /
+// RunSeedSweep must produce results bit-identical to sequential
+// RunExperiment calls per spec, in input order, regardless of thread count.
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace lyra {
+namespace {
+
+// Field-by-field bit-identical comparison. Wall-clock fields are excluded:
+// they are the only intentionally nondeterministic outputs.
+void ExpectIdentical(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.total_jobs, b.total_jobs);
+  EXPECT_EQ(a.finished_jobs, b.finished_jobs);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+
+  EXPECT_EQ(a.queuing.count, b.queuing.count);
+  EXPECT_EQ(a.queuing.mean, b.queuing.mean);
+  EXPECT_EQ(a.queuing.p50, b.queuing.p50);
+  EXPECT_EQ(a.queuing.p95, b.queuing.p95);
+  EXPECT_EQ(a.queuing.p99, b.queuing.p99);
+  EXPECT_EQ(a.queuing.max, b.queuing.max);
+  EXPECT_EQ(a.jct.mean, b.jct.mean);
+  EXPECT_EQ(a.jct.p95, b.jct.p95);
+
+  EXPECT_EQ(a.queuing_samples, b.queuing_samples);
+  EXPECT_EQ(a.jct_samples, b.jct_samples);
+  EXPECT_EQ(a.queuing_on_loan_samples, b.queuing_on_loan_samples);
+  EXPECT_EQ(a.jct_on_loan_samples, b.jct_on_loan_samples);
+  EXPECT_EQ(a.queued_flags, b.queued_flags);
+
+  EXPECT_EQ(a.training_usage, b.training_usage);
+  EXPECT_EQ(a.overall_usage, b.overall_usage);
+  EXPECT_EQ(a.onloan_usage, b.onloan_usage);
+
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.preemption_ratio, b.preemption_ratio);
+  EXPECT_EQ(a.collateral_damage, b.collateral_damage);
+  EXPECT_EQ(a.scaling_operations, b.scaling_operations);
+
+  EXPECT_EQ(a.orchestrator.loan_operations, b.orchestrator.loan_operations);
+  EXPECT_EQ(a.orchestrator.reclaim_operations, b.orchestrator.reclaim_operations);
+  EXPECT_EQ(a.orchestrator.servers_loaned, b.orchestrator.servers_loaned);
+  EXPECT_EQ(a.orchestrator.servers_returned, b.orchestrator.servers_returned);
+  EXPECT_EQ(a.orchestrator.jobs_preempted, b.orchestrator.jobs_preempted);
+  EXPECT_EQ(a.orchestrator.collateral_gpus, b.orchestrator.collateral_gpus);
+}
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.scale = 0.04;
+  config.days = 0.6;
+  return config;
+}
+
+std::vector<RunSpec> MixedSpecs() {
+  std::vector<RunSpec> specs;
+  {
+    RunSpec spec;
+    spec.scheduler = SchedulerKind::kFifo;
+    spec.loaning = false;
+    specs.push_back(spec);
+  }
+  {
+    RunSpec spec;
+    spec.scheduler = SchedulerKind::kLyra;
+    spec.reclaim = ReclaimKind::kLyra;
+    spec.loaning = true;
+    specs.push_back(spec);
+  }
+  {
+    RunSpec spec;
+    spec.scheduler = SchedulerKind::kLyraNoElastic;
+    spec.reclaim = ReclaimKind::kScf;
+    spec.loaning = true;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+class BenchHarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Force a real pool even on single-core CI machines, and keep the perf
+    // registry from writing files from within tests.
+    setenv("LYRA_BENCH_JOBS", "4", 1);
+    setenv("LYRA_BENCH_PERF_JSON", "0", 1);
+  }
+  void TearDown() override {
+    unsetenv("LYRA_BENCH_JOBS");
+    unsetenv("LYRA_BENCH_PERF_JSON");
+  }
+};
+
+TEST_F(BenchHarnessTest, ParallelMatchesSequential) {
+  const ExperimentConfig config = SmallConfig();
+  const std::vector<RunSpec> specs = MixedSpecs();
+
+  std::vector<SimulationResult> sequential;
+  for (const RunSpec& spec : specs) {
+    sequential.push_back(RunExperiment(config, spec));
+  }
+  const std::vector<SimulationResult> parallel = RunExperiments(config, specs);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(SchedulerKindName(specs[i].scheduler));
+    ExpectIdentical(parallel[i], sequential[i]);
+  }
+}
+
+TEST_F(BenchHarnessTest, ParallelIsRepeatable) {
+  const ExperimentConfig config = SmallConfig();
+  const std::vector<RunSpec> specs = MixedSpecs();
+  const std::vector<SimulationResult> first = RunExperiments(config, specs);
+  const std::vector<SimulationResult> second = RunExperiments(config, specs);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ExpectIdentical(first[i], second[i]);
+  }
+}
+
+TEST_F(BenchHarnessTest, SeedSweepMatchesSequentialSeeds) {
+  const ExperimentConfig config = SmallConfig();
+  RunSpec spec;
+  spec.scheduler = SchedulerKind::kLyra;
+  spec.reclaim = ReclaimKind::kLyra;
+  spec.loaning = true;
+
+  const std::vector<std::uint64_t> seeds = {42, 7, 1234};
+  const std::vector<SimulationResult> sweep = RunSeedSweep(config, spec, seeds);
+  ASSERT_EQ(sweep.size(), seeds.size());
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    ExperimentConfig seeded = config;
+    seeded.seed = seeds[i];
+    SCOPED_TRACE(seeds[i]);
+    ExpectIdentical(sweep[i], RunExperiment(seeded, spec));
+  }
+  // Different seeds must actually produce different workloads.
+  EXPECT_NE(sweep[0].queuing.mean, sweep[1].queuing.mean);
+}
+
+TEST_F(BenchHarnessTest, MixedConfigBatchKeepsInputOrder) {
+  RunSpec fifo;
+  fifo.scheduler = SchedulerKind::kFifo;
+  fifo.loaning = false;
+
+  std::vector<ExperimentRun> runs;
+  for (double days : {0.4, 0.6, 0.8}) {
+    ExperimentConfig config = SmallConfig();
+    config.days = days;
+    runs.push_back({"days=" + std::to_string(days), config, fifo});
+  }
+  const std::vector<SimulationResult> results = RunExperiments(runs);
+  ASSERT_EQ(results.size(), runs.size());
+  // Each slot must hold exactly the result of its own config, proving the
+  // pool writes results back in input order.
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    SCOPED_TRACE(runs[i].label);
+    ExpectIdentical(results[i], RunExperiment(runs[i].config, runs[i].spec));
+  }
+  // The three configs genuinely differ, so a slot swap could not go unnoticed.
+  EXPECT_NE(results[0].total_jobs, results[1].total_jobs);
+  EXPECT_NE(results[1].total_jobs, results[2].total_jobs);
+}
+
+TEST(BenchJobsTest, EnvOverrideWins) {
+  setenv("LYRA_BENCH_JOBS", "3", 1);
+  EXPECT_EQ(BenchJobs(), 3);
+  setenv("LYRA_BENCH_JOBS", "0", 1);  // invalid: falls back to hardware
+  EXPECT_GE(BenchJobs(), 1);
+  unsetenv("LYRA_BENCH_JOBS");
+  EXPECT_GE(BenchJobs(), 1);
+}
+
+}  // namespace
+}  // namespace lyra

@@ -212,8 +212,8 @@ TEST_P(ReclaimComparisonProperty, LyraNeverBeatsOptimalAndBeatsRandomOnAverage) 
         const int spans = static_cast<int>(local.UniformInt(1, 3));
         const int start = static_cast<int>(local.UniformInt(0, 7));
         for (int k = 0; k < spans; ++k) {
-          Server& server =
-              cluster.mutable_server(servers[static_cast<std::size_t>((start + k) % 8)]);
+          const Server& server =
+              cluster.server(servers[static_cast<std::size_t>((start + k) % 8)]);
           if (server.free_gpus() >= 2) {
             cluster.Place(JobId(j), server.id(), 2, false);
           }
