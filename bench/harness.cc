@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +38,7 @@ struct PerfEntry {
   std::uint64_t events = 0;
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
+  std::vector<obs::PhaseStat> phases;
 };
 
 std::mutex g_perf_mutex;
@@ -56,6 +58,7 @@ void RecordPerf(const std::string& label, const RunSpec& spec,
   entry.events = result.events_processed;
   entry.wall_seconds = result.wall_seconds;
   entry.events_per_sec = result.events_per_sec;
+  entry.phases = result.phases;
   std::lock_guard<std::mutex> lock(g_perf_mutex);
   PerfEntries().push_back(std::move(entry));
 }
@@ -236,6 +239,19 @@ SimulationResult RunOne(const ExperimentConfig& config, const RunSpec& spec,
   options.misprediction_fraction = spec.misprediction_fraction;
   options.checkpoint_interval = spec.checkpoint_interval;
   options.record_series = spec.record_series;
+  // LYRA_BENCH_TRACE=<prefix> streams every run's events into
+  // <prefix><label>.trace.json (label sanitized to filename characters).
+  // Tracing is observational, so results stay identical to untraced runs.
+  if (const char* prefix = std::getenv("LYRA_BENCH_TRACE");
+      prefix != nullptr && *prefix != '\0' && std::string(prefix) != "0") {
+    std::string name = label;
+    for (char& c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '.') {
+        c = '_';
+      }
+    }
+    options.trace_path = std::string(prefix) + name + ".trace.json";
+  }
   Simulator simulator(options, trace, scheduler.get(), reclaim.get(), std::move(inference));
   SimulationResult result = simulator.Run();
   RecordPerf(label, spec, result);
@@ -368,7 +384,22 @@ void WritePerfReport(const std::string& experiment) {
     std::snprintf(buf, sizeof(buf), "%.1f", e.events_per_sec);
     json += ", \"events_per_sec\": ";
     json += buf;
-    json += "}";
+    json += ", \"phases\": [";
+    for (std::size_t p = 0; p < e.phases.size(); ++p) {
+      const obs::PhaseStat& stat = e.phases[p];
+      json += p == 0 ? "{" : ", {";
+      json += "\"name\": \"";
+      JsonEscapeTo(json, stat.name);
+      json += "\", \"calls\": " + std::to_string(stat.calls);
+      std::snprintf(buf, sizeof(buf), "%.6f", stat.total_sec);
+      json += ", \"total_sec\": ";
+      json += buf;
+      std::snprintf(buf, sizeof(buf), "%.6f", stat.self_sec);
+      json += ", \"self_sec\": ";
+      json += buf;
+      json += "}";
+    }
+    json += "]}";
   }
   json += "\n  ]\n}\n";
 

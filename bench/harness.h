@@ -9,8 +9,10 @@
 // Independent runs fan out over a thread pool via RunExperiments /
 // RunSeedSweep (simulations are seed-deterministic and share no mutable
 // state), and every run's perf profile — events processed, wall-clock,
-// events/sec — is recorded and written as machine-readable JSON by
-// WritePerfReport so the repo's perf trajectory stays measurable.
+// events/sec, per-phase profiler times — is recorded and written as
+// machine-readable JSON by WritePerfReport so the repo's perf trajectory
+// stays measurable. LYRA_BENCH_TRACE=<prefix> additionally writes a Chrome
+// trace-event JSON per run (open in ui.perfetto.dev; see tools/lyra_trace).
 #ifndef BENCH_HARNESS_H_
 #define BENCH_HARNESS_H_
 

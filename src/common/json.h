@@ -1,0 +1,62 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// Covers the full JSON grammar (objects, arrays, strings with escapes,
+// numbers, booleans, null) with object key order preserved. Used by the
+// lyra_trace CLI and the observability tests to parse exported trace-event /
+// metrics JSON back; it is a reader for files we or Perfetto-compatible tools
+// produce, not a streaming parser for adversarial input.
+#ifndef SRC_COMMON_JSON_H_
+#define SRC_COMMON_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace lyra {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses one JSON document (trailing whitespace allowed, nothing else).
+  static StatusOr<JsonValue> Parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; LYRA_CHECK on type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  std::int64_t AsInt() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Convenience: Find(key) as a number/string with a fallback.
+  double GetDouble(const std::string& key, double fallback = 0.0) const;
+  std::string GetString(const std::string& key, std::string fallback = "") const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace lyra
+
+#endif  // SRC_COMMON_JSON_H_

@@ -1,11 +1,17 @@
 #include "src/common/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <vector>
 
 namespace lyra {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// Relaxed atomic: readers on worker threads race benignly with SetLogLevel,
+// which only tests flip between runs.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_stderr_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,20 +31,36 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void Logf(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     return;
   }
-  std::fprintf(stderr, "[%s] ", LevelName(level));
+  // Format the whole line up front so concurrent loggers cannot interleave
+  // fragments; the mutex serializes the single write per message.
+  char stack_buf[512];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  std::vector<char> heap_buf;
+  const char* body = stack_buf;
+  if (needed >= static_cast<int>(sizeof(stack_buf))) {
+    heap_buf.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, args_copy);
+    body = heap_buf.data();
+  }
+  va_end(args_copy);
+
+  std::lock_guard<std::mutex> lock(g_stderr_mutex);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), needed < 0 ? fmt : body);
 }
 
 }  // namespace lyra

@@ -1,6 +1,8 @@
-// Lightweight leveled logging. The simulator is single-threaded so the logger
-// keeps no locks; verbosity is a process-global knob the benches set to
-// kWarning to keep table output clean.
+// Lightweight leveled logging. Thread-safe: the bench harness runs
+// simulations on worker threads, so each message is formatted into one
+// buffer and written under a mutex (messages never interleave mid-line).
+// Verbosity is a process-global knob the benches set to kWarning to keep
+// table output clean.
 #ifndef SRC_COMMON_LOG_H_
 #define SRC_COMMON_LOG_H_
 

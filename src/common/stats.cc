@@ -54,6 +54,8 @@ Summary Summarize(const std::vector<double>& samples) {
     return s;
   }
   s.mean = Mean(samples);
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.p25 = Percentile(samples, 25.0);
   s.p50 = Percentile(samples, 50.0);
   s.p75 = Percentile(samples, 75.0);
   s.p95 = Percentile(samples, 95.0);

@@ -21,6 +21,8 @@ double StdDev(const std::vector<double>& samples);
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
   double p50 = 0.0;
   double p75 = 0.0;
   double p95 = 0.0;

@@ -2,6 +2,7 @@
 
 #include "src/common/check.h"
 #include "src/common/log.h"
+#include "src/obs/obs.h"
 
 namespace lyra {
 
@@ -27,6 +28,7 @@ ReclaimResult ResourceOrchestrator::Reconcile(ClusterState& cluster, int target_
     if (loaned > 0) {
       ++stats_.loan_operations;
       stats_.servers_loaned += loaned;
+      obs::AddCounter("orch.servers_loaned", static_cast<std::uint64_t>(loaned));
       LYRA_LOG_DEBUG("orchestrator: loaned %d servers (target %d)", loaned, target_loaned);
     }
     return {};
@@ -53,7 +55,10 @@ ReclaimResult ResourceOrchestrator::Reconcile(ClusterState& cluster, int target_
 
   ReclaimResult result;
   if (returned < to_return) {
-    result = policy_->Reclaim(cluster, to_return - returned);
+    {
+      obs::PhaseSpan reclaim_span(obs::Phase::kReclaimPolicy);
+      result = policy_->Reclaim(cluster, to_return - returned);
+    }
     for (ServerId id : result.vacated) {
       if (returned >= to_return) {
         break;  // collateral vacating freed more than needed
@@ -67,6 +72,8 @@ ReclaimResult ResourceOrchestrator::Reconcile(ClusterState& cluster, int target_
   if (returned > 0) {
     ++stats_.reclaim_operations;
     stats_.servers_returned += returned;
+    obs::AddCounter("orch.servers_returned", static_cast<std::uint64_t>(returned));
+    obs::AddCounter("orch.jobs_preempted", result.preempted.size());
     LYRA_LOG_DEBUG("orchestrator: returned %d servers, %zu preemptions", returned,
                    result.preempted.size());
   }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/common/check.h"
+#include "src/obs/obs.h"
 
 namespace lyra {
 namespace {
@@ -35,16 +36,19 @@ void VacateServerImpl(ClusterState& cluster, ServerId server_id, VacateContext& 
   const Server& server = cluster.server(server_id);
   std::vector<std::pair<JobId, GpuShare>> hosted(server.jobs().begin(),
                                                  server.jobs().end());
+  obs::AddCounter("reclaim.servers_vacated");
   for (const auto& [job, share] : hosted) {
     if (share.base_gpus > 0) {
       // Base workers here: the whole job must be preempted, everywhere.
       ctx.preempted_snapshots.emplace(job, *cluster.FindPlacement(job));
       cluster.RemoveJob(job);
       ctx.result.preempted.push_back(job);
+      obs::AddCounter("reclaim.jobs_preempted");
     } else {
       // Flexible workers only: scale the job in, no preemption.
       cluster.RemoveFlexible(job, server_id, share.flexible_gpus);
       ctx.result.scaled_in.push_back(job);
+      obs::AddCounter("reclaim.jobs_scaled_in");
     }
   }
 }

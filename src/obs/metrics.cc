@@ -1,0 +1,162 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace lyra::obs {
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  LYRA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Record(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (upper_bounds.empty()) {
+      upper_bounds = DefaultBuckets();
+    }
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+std::vector<double> MetricsRegistry::DefaultBuckets() {
+  std::vector<double> bounds;
+  double b = 1.0;
+  for (int i = 0; i < 12; ++i) {
+    bounds.push_back(b);
+    b *= 4.0;
+  }
+  return bounds;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::string json = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    \"";
+    AppendEscaped(json, name);
+    json += "\": " + std::to_string(c->value());
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    \"";
+    AppendEscaped(json, name);
+    json += "\": ";
+    AppendDouble(json, g->value());
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    json += first ? "\n" : ",\n";
+    first = false;
+    json += "    \"";
+    AppendEscaped(json, name);
+    json += "\": {\"count\": " + std::to_string(h->count()) + ", \"sum\": ";
+    AppendDouble(json, h->sum());
+    json += ", \"min\": ";
+    AppendDouble(json, h->min());
+    json += ", \"max\": ";
+    AppendDouble(json, h->max());
+    json += ", \"bounds\": [";
+    for (std::size_t i = 0; i < h->upper_bounds().size(); ++i) {
+      if (i > 0) {
+        json += ", ";
+      }
+      AppendDouble(json, h->upper_bounds()[i]);
+    }
+    json += "], \"buckets\": [";
+    for (std::size_t i = 0; i < h->bucket_counts().size(); ++i) {
+      if (i > 0) {
+        json += ", ";
+      }
+      json += std::to_string(h->bucket_counts()[i]);
+    }
+    json += "]}";
+  }
+  json += first ? "}\n}\n" : "\n  }\n}\n";
+  return json;
+}
+
+std::string MetricsRegistry::ExportCsv() const {
+  std::string csv = "kind,name,count,sum,min,max,value\n";
+  for (const auto& [name, c] : counters_) {
+    csv += "counter," + name + ",,,,," + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    csv += "gauge," + name + ",,,,,";
+    AppendDouble(csv, g->value());
+    csv += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    csv += "histogram," + name + "," + std::to_string(h->count()) + ",";
+    AppendDouble(csv, h->sum());
+    csv += ",";
+    AppendDouble(csv, h->min());
+    csv += ",";
+    AppendDouble(csv, h->max());
+    csv += ",\n";
+  }
+  return csv;
+}
+
+}  // namespace lyra::obs

@@ -1,0 +1,108 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// A MetricsRegistry is scoped to one simulation (the Simulator owns one and
+// installs it as the thread-current ObsContext for the duration of Run), so
+// parallel bench runs never share metric state. Recording is handle-based:
+// components look a metric up once (map lookup) and then record through the
+// returned pointer, which is a plain member increment — cheap enough to sit
+// on hot paths. Export is deterministic (name-sorted) JSON or CSV.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lyra::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram: bucket i counts samples <= upper_bounds[i]; one
+// implicit overflow bucket catches the rest. Bounds are set at creation and
+// never reallocated, so Record is two comparisons plus an increment for
+// typical (small) bucket counts.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Record(double x);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  // Size is upper_bounds().size() + 1; the last entry is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Get-or-create; returned pointers stay valid for the registry's lifetime.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  // A second lookup of an existing histogram ignores `upper_bounds`.
+  Histogram* histogram(const std::string& name, std::vector<double> upper_bounds = {});
+
+  // Power-of-4 bounds from 1 up to ~4^12, a decade-ish spread that fits both
+  // microsecond timings and queue depths.
+  static std::vector<double> DefaultBuckets();
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}}, name-sorted.
+  std::string ExportJson() const;
+  // One metric per row: kind,name,count,sum,min,max,value.
+  std::string ExportCsv() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lyra::obs
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,214 @@
+#include "src/obs/trace_exporter.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace lyra::obs {
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kWallPid = 2;
+
+int TrackPid(TraceTrack track) {
+  return track == TraceTrack::kPhases ? kWallPid : kSimPid;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+// Microsecond stamps: whole values (the sim clock) print as integers, phase
+// spans keep their sub-microsecond fraction.
+void AppendMicros(std::string& out, double us) {
+  char buf[40];
+  if (us == std::floor(us) && std::fabs(us) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(us));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+  }
+  out += buf;
+}
+
+void AppendMetadata(std::string& out, const char* kind, int pid, int tid,
+                    const std::string& name) {
+  out += "    {\"name\": \"";
+  out += kind;
+  out += "\", \"ph\": \"M\", \"pid\": " + std::to_string(pid);
+  if (tid >= 0) {
+    out += ", \"tid\": " + std::to_string(tid);
+  }
+  out += ", \"args\": {\"name\": \"";
+  AppendEscaped(out, name);
+  out += "\"}},\n";
+}
+
+}  // namespace
+
+const char* TraceTrackName(TraceTrack track) {
+  switch (track) {
+    case TraceTrack::kJobs:
+      return "jobs";
+    case TraceTrack::kLoans:
+      return "loans";
+    case TraceTrack::kReclaims:
+      return "reclaims";
+    case TraceTrack::kDecisions:
+      return "decisions";
+    case TraceTrack::kPhases:
+      return "phases";
+  }
+  return "?";
+}
+
+TraceExporter::TraceExporter(std::size_t capacity) : capacity_(capacity) {
+  LYRA_CHECK_GT(capacity_, 0u);
+}
+
+std::int64_t TraceExporter::ToMicros(double seconds) {
+  return static_cast<std::int64_t>(std::llround(seconds * 1e6));
+}
+
+void TraceExporter::Push(Event event) {
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(event));
+    return;
+  }
+  events_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceExporter::Instant(TraceTrack track, const std::string& name, double sim_time,
+                            std::string args) {
+  Push(Event{name, std::move(args), static_cast<double>(ToMicros(sim_time)), 0.0,
+             -1, 'i', track});
+}
+
+void TraceExporter::Counter(TraceTrack track, const std::string& name, double sim_time,
+                            double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"value\": %.9g", value);
+  Push(Event{name, buf, static_cast<double>(ToMicros(sim_time)), 0.0, -1, 'C',
+             track});
+}
+
+void TraceExporter::AsyncBegin(TraceTrack track, const std::string& name,
+                               double sim_time, std::int64_t id, std::string args) {
+  Push(Event{name, std::move(args), static_cast<double>(ToMicros(sim_time)), 0.0,
+             id, 'b', track});
+}
+
+void TraceExporter::AsyncEnd(TraceTrack track, const std::string& name, double sim_time,
+                             std::int64_t id, std::string args) {
+  Push(Event{name, std::move(args), static_cast<double>(ToMicros(sim_time)), 0.0,
+             id, 'e', track});
+}
+
+void TraceExporter::Complete(TraceTrack track, const std::string& name, double sim_start,
+                             double sim_end, std::string args) {
+  Push(Event{name, std::move(args), static_cast<double>(ToMicros(sim_start)),
+             static_cast<double>(ToMicros(sim_end) - ToMicros(sim_start)), -1, 'X',
+             track});
+}
+
+void TraceExporter::PhaseSpan(const std::string& name,
+                              std::chrono::steady_clock::time_point start,
+                              double elapsed_sec, double self_sec) {
+  const double offset = std::chrono::duration<double>(start - wall_epoch_).count();
+  // Phase spans are often sub-microsecond; fractional microseconds keep the
+  // summed self times faithful to the profiler's (the trace format allows
+  // them).
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"self_us\": %.3f", self_sec * 1e6);
+  Push(Event{name, buf, offset * 1e6, elapsed_sec * 1e6, -1, 'X',
+             TraceTrack::kPhases});
+}
+
+std::string TraceExporter::ToJson() const {
+  std::string json = "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  AppendMetadata(json, "process_name", kSimPid, -1, "simulation (1 us = 1 sim us)");
+  AppendMetadata(json, "process_name", kWallPid, -1, "profiler (wall clock)");
+  for (TraceTrack track : {TraceTrack::kJobs, TraceTrack::kLoans, TraceTrack::kReclaims,
+                           TraceTrack::kDecisions, TraceTrack::kPhases}) {
+    AppendMetadata(json, "thread_name", TrackPid(track),
+                   static_cast<int>(track), TraceTrackName(track));
+  }
+
+  // Ring order: oldest first. head_ is 0 until the ring wraps.
+  const std::size_t n = events_.size();
+  if (n == 0) {
+    // Drop the trailing comma after the last metadata record.
+    json.erase(json.size() - 2, 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = events_[(head_ + i) % n];
+    json += "    {\"name\": \"";
+    AppendEscaped(json, e.name);
+    json += "\", \"cat\": \"";
+    json += TraceTrackName(e.track);
+    json += "\", \"ph\": \"";
+    json.push_back(e.ph);
+    json += "\", \"ts\": ";
+    AppendMicros(json, e.ts_us);
+    if (e.ph == 'X') {
+      json += ", \"dur\": ";
+      AppendMicros(json, e.dur_us);
+    }
+    if (e.ph == 'b' || e.ph == 'e') {
+      json += ", \"id\": " + std::to_string(e.id);
+    }
+    if (e.ph == 'i') {
+      json += ", \"s\": \"t\"";
+    }
+    json += ", \"pid\": " + std::to_string(TrackPid(e.track));
+    json += ", \"tid\": " + std::to_string(static_cast<int>(e.track));
+    json += ", \"args\": {";
+    json += e.args;
+    json += "}}";
+    json += i + 1 < n ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"otherData\": {\"dropped_events\": " + std::to_string(dropped_) +
+          "}\n}\n";
+  return json;
+}
+
+Status TraceExporter::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::InvalidArgument("cannot open trace file for writing: " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), out);
+  const bool closed = std::fclose(out) == 0;
+  if (written != json.size() || !closed) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace lyra::obs

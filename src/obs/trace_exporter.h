@@ -1,0 +1,90 @@
+// Trace exporter: ring-buffered Chrome trace-event stream.
+//
+// Opt-in via SimulatorOptions::trace_path. Events accumulate in a fixed-size
+// ring (oldest dropped on overflow, with a drop counter) and are written at
+// end of run as Chrome trace-event JSON, which ui.perfetto.dev and
+// chrome://tracing open directly. Two processes are emitted:
+//   pid 1 "simulation"  — tracks (jobs, loans, reclaims, decisions) on the
+//                         *simulated* clock (1 sim second = 1 trace second);
+//   pid 2 "profiler"    — scheduler-phase spans on the wall clock, relative
+//                         to the wall epoch (Simulator::Run start).
+// Job lifecycles use async begin/end pairs keyed by job id so each job gets
+// its own lane; loans are a counter track plus loan/return instants.
+#ifndef SRC_OBS_TRACE_EXPORTER_H_
+#define SRC_OBS_TRACE_EXPORTER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace lyra::obs {
+
+enum class TraceTrack : std::uint8_t {
+  kJobs = 1,
+  kLoans,
+  kReclaims,
+  kDecisions,
+  kPhases,
+};
+
+const char* TraceTrackName(TraceTrack track);
+
+class TraceExporter {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit TraceExporter(std::size_t capacity = kDefaultCapacity);
+
+  // Sets wall time zero for phase spans; call once when the run starts.
+  void SetWallEpoch(std::chrono::steady_clock::time_point epoch) { wall_epoch_ = epoch; }
+
+  // Simulated-clock events; `args` is pre-rendered inner JSON, e.g.
+  // "\"job\": 3, \"workers\": 2" (may be empty).
+  void Instant(TraceTrack track, const std::string& name, double sim_time,
+               std::string args = "");
+  void Counter(TraceTrack track, const std::string& name, double sim_time, double value);
+  void AsyncBegin(TraceTrack track, const std::string& name, double sim_time,
+                  std::int64_t id, std::string args = "");
+  void AsyncEnd(TraceTrack track, const std::string& name, double sim_time,
+                std::int64_t id, std::string args = "");
+  void Complete(TraceTrack track, const std::string& name, double sim_start,
+                double sim_end, std::string args = "");
+
+  // Wall-clock phase span (pid 2), stamped relative to the wall epoch.
+  void PhaseSpan(const std::string& name, std::chrono::steady_clock::time_point start,
+                 double elapsed_sec, double self_sec);
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string args;     // pre-rendered inner JSON (no braces), may be empty
+    double ts_us = 0.0;   // trace format allows fractional microseconds
+    double dur_us = 0.0;  // 'X' events only
+    std::int64_t id = -1;  // async events only
+    char ph = 'i';
+    TraceTrack track = TraceTrack::kJobs;
+  };
+
+  void Push(Event event);
+  static std::int64_t ToMicros(double seconds);
+
+  std::size_t capacity_;
+  std::vector<Event> events_;  // ring: oldest at head_ once full
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point wall_epoch_{};
+};
+
+}  // namespace lyra::obs
+
+#endif  // SRC_OBS_TRACE_EXPORTER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/sched/elastic_util.h"
 #include "src/sched/placement_util.h"
 #include "src/workload/throughput.h"
@@ -22,6 +23,7 @@ double MarginalGainPerGpu(const Job& job, int current_workers) {
 }  // namespace
 
 void AfsScheduler::Schedule(SchedulerContext& ctx) {
+  obs::PhaseSpan placement_span(obs::Phase::kPlacement);
   ClusterState& cluster = *ctx.cluster;
   const PoolPreference pref = ctx.allow_loaned_placement
                                   ? PoolPreference::kTrainingFirst

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/sched/placement_util.h"
 
 namespace lyra {
 namespace {
 
 void LaunchInOrder(SchedulerContext& ctx, std::vector<Job*> order) {
+  obs::PhaseSpan placement_span(obs::Phase::kPlacement);
   for (Job* job : order) {
     const int workers = job->spec().RequestedWorkers();
     PlaceRequest request = BaseRequest(*job, workers, PoolPreference::kTrainingFirst);

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/sched/elastic_util.h"
 #include "src/sched/placement_util.h"
 
 namespace lyra {
 
 void GandivaScheduler::Schedule(SchedulerContext& ctx) {
+  obs::PhaseSpan placement_span(obs::Phase::kPlacement);
   ClusterState& cluster = *ctx.cluster;
   const PoolPreference pref = ctx.allow_loaned_placement
                                   ? PoolPreference::kTrainingFirst

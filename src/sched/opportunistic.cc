@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/sched/placement_util.h"
 
 namespace lyra {
 
 void OpportunisticScheduler::Schedule(SchedulerContext& ctx) {
+  obs::PhaseSpan placement_span(obs::Phase::kPlacement);
   std::vector<Job*> order = ctx.pending;
   std::stable_sort(order.begin(), order.end(), [](const Job* a, const Job* b) {
     return a->spec().submit_time < b->spec().submit_time;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/obs.h"
 
 namespace lyra {
 namespace {
@@ -144,14 +145,17 @@ void PlaceIntoGroup(ClusterState& cluster, const PlaceRequest& request,
 
 bool TryPlaceWorkers(ClusterState& cluster, const PlaceRequest& request) {
   LYRA_CHECK_GT(request.workers, 0);
+  obs::AddCounter("placement.attempts");
   const auto groups = EligibleGroups(cluster, request);
   for (const auto& group : groups) {
     if (GroupCapacityCredit(cluster, group, request.gpus_per_worker) + kCreditEpsilon >=
         static_cast<double>(request.workers)) {
       PlaceIntoGroup(cluster, request, group, request.workers);
+      obs::AddCounter("placement.workers_placed", static_cast<std::uint64_t>(request.workers));
       return true;
     }
   }
+  obs::AddCounter("placement.failures");
   return false;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/sched/elastic_util.h"
 #include "src/sched/placement_util.h"
 #include "src/workload/throughput.h"
@@ -71,6 +72,7 @@ PolluxScheduler::PolluxScheduler(PolluxOptions options)
     : options_(options), rng_(options.seed) {}
 
 void PolluxScheduler::Schedule(SchedulerContext& ctx) {
+  obs::PhaseSpan placement_span(obs::Phase::kPlacement);
   ClusterState& cluster = *ctx.cluster;
   const PoolPreference pref = ctx.allow_loaned_placement
                                   ? PoolPreference::kTrainingFirst

@@ -53,6 +53,12 @@ std::string Describe(const DecisionRecord& r) {
 void DecisionLog::Append(TimeSec time, DecisionKind kind, std::int64_t subject,
                          int detail) {
   records_.push_back({time, kind, subject, detail});
+  if (trace_ != nullptr) {
+    char args[64];
+    std::snprintf(args, sizeof(args), "\"subject\": %lld, \"detail\": %d",
+                  static_cast<long long>(subject), detail);
+    trace_->Instant(obs::TraceTrack::kDecisions, DecisionKindName(kind), time, args);
+  }
 }
 
 Status DecisionLog::SaveCsv(const std::string& path) const {

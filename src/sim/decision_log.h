@@ -14,6 +14,7 @@
 
 #include "src/common/status.h"
 #include "src/common/types.h"
+#include "src/obs/trace_exporter.h"
 
 namespace lyra {
 
@@ -43,6 +44,12 @@ class DecisionLog {
  public:
   void Append(TimeSec time, DecisionKind kind, std::int64_t subject, int detail = 0);
 
+  // When set, every Append is mirrored as an instant event on the trace
+  // exporter's decisions track, so decision records land on the same Perfetto
+  // timeline as the scheduler spans. Recording (and the CSV round-trip) is
+  // unchanged. The exporter must outlive the log; pass nullptr to detach.
+  void set_trace_exporter(obs::TraceExporter* exporter) { trace_ = exporter; }
+
   const std::vector<DecisionRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
   void Clear() { records_.clear(); }
@@ -53,6 +60,7 @@ class DecisionLog {
 
  private:
   std::vector<DecisionRecord> records_;
+  obs::TraceExporter* trace_ = nullptr;  // not owned
 };
 
 struct LogDivergence {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/obs.h"
 
 namespace lyra {
 
@@ -85,7 +86,12 @@ int InferenceCluster::TargetLoanedServers(TimeSec now) {
   const double busy_fraction = std::min(1.0, usage * options_.server_packing_spread);
   const int needed = static_cast<int>(std::ceil(busy_fraction * n));
   const int headroom = static_cast<int>(std::ceil(options_.headroom_fraction * n));
-  return std::max(0, n - needed - headroom);
+  const int target = std::max(0, n - needed - headroom);
+  obs::AddCounter("inference.target_calls");
+  obs::SetGauge("inference.serving_fraction", current);
+  obs::SetGauge("inference.predicted_usage", usage);
+  obs::SetGauge("inference.target_loaned", target);
+  return target;
 }
 
 }  // namespace lyra

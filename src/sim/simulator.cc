@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/common/log.h"
@@ -12,6 +14,17 @@ namespace lyra {
 namespace {
 
 constexpr double kRateEpsilon = 1e-9;
+
+std::string JobArgs(std::int64_t job, int workers) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"job\": %lld, \"workers\": %d",
+                static_cast<long long>(job), workers);
+  return buf;
+}
+
+std::string JobTrackName(std::int64_t job) {
+  return "job " + std::to_string(job);
+}
 
 }  // namespace
 
@@ -58,6 +71,12 @@ Simulator::Simulator(SimulatorOptions options, const Trace& trace,
     options_.max_time = trace.duration + 7 * kDay;
   }
   meter_cutoff_ = trace.duration;
+
+  if (!options_.trace_path.empty()) {
+    trace_ = std::make_unique<obs::TraceExporter>(options_.trace_capacity);
+    obs_.trace = trace_.get();
+    decision_log_.set_trace_exporter(trace_.get());
+  }
 
   for (const auto& job : jobs_) {
     PushEvent(job->spec().submit_time, EventType::kJobArrival, job->id().value);
@@ -137,6 +156,10 @@ void Simulator::SyncAfterScheduling(TimeSec now) {
     const PlacementProfile profile = ProfileFor(cluster_, *job);
     const ThroughputModel model(options_.throughput);
     job->Start(now, model.Rate(job->spec(), profile, job->tuned()), profile.workers);
+    if (trace_ != nullptr) {
+      trace_->AsyncBegin(obs::TraceTrack::kJobs, JobTrackName(job->id().value), now,
+                         job->id().value, JobArgs(job->id().value, profile.workers));
+    }
     if (options_.record_decisions) {
       decision_log_.Append(now, DecisionKind::kJobStart, job->id().value,
                            profile.workers);
@@ -154,6 +177,10 @@ void Simulator::SyncAfterScheduling(TimeSec now) {
     const double rate = model.Rate(job->spec(), profile, job->tuned());
     if (std::fabs(rate - job->rate()) > kRateEpsilon ||
         profile.workers != job->current_workers()) {
+      if (trace_ != nullptr && profile.workers != job->current_workers()) {
+        trace_->Instant(obs::TraceTrack::kJobs, "scale", now,
+                        JobArgs(job->id().value, profile.workers));
+      }
       if (options_.record_decisions && profile.workers != job->current_workers()) {
         decision_log_.Append(now, DecisionKind::kJobScale, job->id().value,
                              profile.workers);
@@ -178,14 +205,19 @@ void Simulator::MirrorIntoResourceManager(TimeSec now) {
   if (!options_.mirror_resource_manager) {
     return;
   }
+  obs::PhaseSpan reconcile_span(obs::Phase::kRmReconcile);
   result_.rm_stats.Accumulate(reconciler_.Reconcile(cluster_, rm_, now));
   LYRA_CHECK(RmReconciler::Consistent(cluster_, rm_));
 }
 
 void Simulator::HandleSchedulerTick(TimeSec now) {
   if (!dirty_ && pending_.empty()) {
+    obs_.metrics.counter("sim.scheduler_ticks_skipped")->Add();
     return;
   }
+  obs::PhaseSpan tick_span(obs::Phase::kSchedulerTick);
+  obs_.metrics.histogram("sim.pending_jobs_per_tick")
+      ->Record(static_cast<double>(pending_.size()));
   SchedulerContext ctx;
   ctx.now = now;
   ctx.cluster = &cluster_;
@@ -207,6 +239,7 @@ void Simulator::HandleOrchestratorTick(TimeSec now) {
     RecordSeriesPoint(now);
     return;
   }
+  obs::PhaseSpan tick_span(obs::Phase::kOrchestratorTick);
   // The orchestrator is stateless apart from its counters; a fresh instance
   // per tick keeps the reconcile logic pure, with counters folded into the
   // run-level result below.
@@ -274,6 +307,22 @@ void Simulator::HandleOrchestratorTick(TimeSec now) {
       stats.servers_loaned > 0 || stats.servers_returned > 0) {
     dirty_ = true;
   }
+  if (trace_ != nullptr) {
+    trace_->Counter(obs::TraceTrack::kLoans, "loaned_servers", now,
+                    static_cast<double>(cluster_.NumServersInPool(ServerPool::kOnLoan)));
+    char args[96];
+    if (stats.servers_loaned > 0) {
+      std::snprintf(args, sizeof(args), "\"servers\": %d", stats.servers_loaned);
+      trace_->Instant(obs::TraceTrack::kLoans, "loan", now, args);
+    }
+    if (stats.servers_returned > 0) {
+      std::snprintf(args, sizeof(args),
+                    "\"servers\": %d, \"preempted\": %zu, \"scaled_in\": %zu",
+                    stats.servers_returned, reclaim.preempted.size(),
+                    reclaim.scaled_in.size());
+      trace_->Instant(obs::TraceTrack::kReclaims, "reclaim", now, args);
+    }
+  }
   if (options_.record_decisions) {
     if (stats.servers_loaned > 0) {
       decision_log_.Append(now, DecisionKind::kServersLoaned, stats.servers_loaned, 0);
@@ -289,6 +338,12 @@ void Simulator::HandleOrchestratorTick(TimeSec now) {
     LYRA_CHECK(job->state() == JobState::kRunning);
     job->Preempt(now, options_.preemption_overhead,
                  options_.checkpoint_interval * job->spec().min_workers);
+    if (trace_ != nullptr) {
+      trace_->Instant(obs::TraceTrack::kReclaims, "preempt", now,
+                      JobArgs(id.value, job->current_workers()));
+      trace_->AsyncEnd(obs::TraceTrack::kJobs, JobTrackName(id.value), now, id.value,
+                       "\"reason\": \"preempted\"");
+    }
     if (options_.record_decisions) {
       decision_log_.Append(now, DecisionKind::kJobPreempt, id.value, 0);
     }
@@ -346,6 +401,10 @@ void Simulator::HandleFinish(TimeSec now, std::int64_t job_index,
     return;
   }
   job->Finish(now);
+  if (trace_ != nullptr) {
+    trace_->AsyncEnd(obs::TraceTrack::kJobs, JobTrackName(job->id().value), now,
+                     job->id().value, "\"reason\": \"finished\"");
+  }
   if (options_.record_decisions) {
     decision_log_.Append(now, DecisionKind::kJobFinish, job->id().value, 0);
   }
@@ -359,96 +418,118 @@ void Simulator::HandleFinish(TimeSec now, std::int64_t job_index,
 }
 
 SimulationResult Simulator::Run() {
+  // Install this run's observability context on the current thread: all
+  // obs::AddCounter/PhaseSpan calls below (including ones deep inside the
+  // schedulers and reclaim policies) land in obs_, never in another
+  // simulation's registry. Parallel runs on different threads stay disjoint.
+  obs::ScopedObsContext obs_scope(&obs_);
   const auto wall_start = std::chrono::steady_clock::now();
+  if (trace_ != nullptr) {
+    trace_->SetWallEpoch(wall_start);
+  }
   TimeSec now = 0.0;
   TimeSec next_scheduler_tick = 0.0;
   TimeSec next_orchestrator_tick = 0.0;
 
-  while (!events_.empty() && finished_count_ < jobs_.size()) {
-    const Event event = events_.top();
-    events_.pop();
-    if (event.time > options_.max_time) {
-      LYRA_LOG_WARNING("simulation hit max_time with %zu/%zu jobs finished",
-                       finished_count_, jobs_.size());
-      break;
-    }
-    ++result_.events_processed;
-    LYRA_CHECK_GE(event.time, now);
-    AdvanceMeters(event.time);
-    now = event.time;
-
-    switch (event.type) {
-      case EventType::kJobArrival: {
-        Job* job = jobs_[static_cast<std::size_t>(event.job)].get();
-        if (options_.use_profiler) {
-          job->set_estimated_total_work(profiler_.EstimateTotalWork(job->spec()));
-        }
-        pending_.push_back(job);
-        dirty_ = true;
+  {
+    obs::PhaseSpan drain_span(obs::Phase::kEventDrain);
+    while (!events_.empty() && finished_count_ < jobs_.size()) {
+      const Event event = events_.top();
+      events_.pop();
+      if (event.time > options_.max_time) {
+        LYRA_LOG_WARNING("simulation hit max_time with %zu/%zu jobs finished",
+                         finished_count_, jobs_.size());
         break;
       }
-      case EventType::kJobFinish:
-        HandleFinish(now, event.job, event.generation);
-        break;
-      case EventType::kSchedulerTick:
-        HandleSchedulerTick(now);
-        if (now >= next_scheduler_tick) {
-          next_scheduler_tick = now + options_.scheduler_interval;
-          PushEvent(next_scheduler_tick, EventType::kSchedulerTick);
+      ++result_.events_processed;
+      LYRA_CHECK_GE(event.time, now);
+      AdvanceMeters(event.time);
+      now = event.time;
+
+      switch (event.type) {
+        case EventType::kJobArrival: {
+          obs_.metrics.counter("sim.events.arrival")->Add();
+          Job* job = jobs_[static_cast<std::size_t>(event.job)].get();
+          if (options_.use_profiler) {
+            job->set_estimated_total_work(profiler_.EstimateTotalWork(job->spec()));
+          }
+          pending_.push_back(job);
+          dirty_ = true;
+          break;
         }
-        break;
-      case EventType::kOrchestratorTick:
-        HandleOrchestratorTick(now);
-        if (now >= next_orchestrator_tick) {
-          next_orchestrator_tick = now + options_.orchestrator_interval;
-          PushEvent(next_orchestrator_tick, EventType::kOrchestratorTick);
-        }
-        break;
+        case EventType::kJobFinish:
+          obs_.metrics.counter("sim.events.finish")->Add();
+          HandleFinish(now, event.job, event.generation);
+          break;
+        case EventType::kSchedulerTick:
+          obs_.metrics.counter("sim.events.scheduler_tick")->Add();
+          HandleSchedulerTick(now);
+          if (now >= next_scheduler_tick) {
+            next_scheduler_tick = now + options_.scheduler_interval;
+            PushEvent(next_scheduler_tick, EventType::kSchedulerTick);
+          }
+          break;
+        case EventType::kOrchestratorTick:
+          obs_.metrics.counter("sim.events.orchestrator_tick")->Add();
+          HandleOrchestratorTick(now);
+          if (now >= next_orchestrator_tick) {
+            next_orchestrator_tick = now + options_.orchestrator_interval;
+            PushEvent(next_orchestrator_tick, EventType::kOrchestratorTick);
+          }
+          break;
+      }
     }
   }
 
-  // Close the usage meters at the end of the trace window: the run may end
-  // (all jobs finished) before the window does, leaving idle time uncounted.
-  AdvanceMeters(meter_cutoff_);
-  // Final reconcile so the execution layer tears down the last containers.
-  MirrorIntoResourceManager(now);
+  {
+    // Covers everything after the drain — meter close-out, final reconcile,
+    // and the result folding — so phase self times account for (nearly) all
+    // of wall_seconds.
+    obs::PhaseSpan finalize_span(obs::Phase::kFinalize);
+    // Close the usage meters at the end of the trace window: the run may end
+    // (all jobs finished) before the window does, leaving idle time uncounted.
+    AdvanceMeters(meter_cutoff_);
+    // Final reconcile so the execution layer tears down the last containers.
+    MirrorIntoResourceManager(now);
 
-  // --- Final metrics ---------------------------------------------------------
-  result_.finished_jobs = finished_count_;
-  for (const auto& job : jobs_) {
-    if (job->state() != JobState::kFinished) {
-      continue;
+    // --- Final metrics -------------------------------------------------------
+    result_.finished_jobs = finished_count_;
+    for (const auto& job : jobs_) {
+      if (job->state() != JobState::kFinished) {
+        continue;
+      }
+      const double queuing = job->QueuingTime();
+      const double jct = job->Jct();
+      result_.queuing_samples.push_back(queuing);
+      result_.jct_samples.push_back(jct);
+      if (job->ever_on_loaned_server()) {
+        result_.queuing_on_loan_samples.push_back(queuing);
+        result_.jct_on_loan_samples.push_back(jct);
+      }
+      result_.queued_flags[static_cast<std::size_t>(job->id().value)] =
+          queuing > options_.scheduler_interval + 1.0;
+      result_.scaling_operations += job->scaling_operations();
     }
-    const double queuing = job->QueuingTime();
-    const double jct = job->Jct();
-    result_.queuing_samples.push_back(queuing);
-    result_.jct_samples.push_back(jct);
-    if (job->ever_on_loaned_server()) {
-      result_.queuing_on_loan_samples.push_back(queuing);
-      result_.jct_on_loan_samples.push_back(jct);
-    }
-    result_.queued_flags[static_cast<std::size_t>(job->id().value)] =
-        queuing > options_.scheduler_interval + 1.0;
-    result_.scaling_operations += job->scaling_operations();
+    result_.queuing = Summarize(result_.queuing_samples);
+    result_.jct = Summarize(result_.jct_samples);
+    result_.queuing_on_loan = Summarize(result_.queuing_on_loan_samples);
+    result_.jct_on_loan = Summarize(result_.jct_on_loan_samples);
+    result_.profiler_error = profiler_.mean_relative_error();
+    result_.training_usage = training_meter_.mean();
+    result_.overall_usage =
+        inference_ != nullptr ? overall_meter_.mean() : training_meter_.mean();
+    result_.onloan_usage = onloan_meter_.mean();
+    result_.preemption_ratio =
+        jobs_.empty() ? 0.0
+                      : static_cast<double>(result_.preemptions) /
+                            static_cast<double>(jobs_.size());
+    const int demanded_gpus =
+        result_.orchestrator.servers_returned * options_.gpus_per_server;
+    result_.collateral_damage =
+        demanded_gpus > 0
+            ? static_cast<double>(result_.orchestrator.collateral_gpus) / demanded_gpus
+            : 0.0;
   }
-  result_.queuing = Summarize(result_.queuing_samples);
-  result_.jct = Summarize(result_.jct_samples);
-  result_.queuing_on_loan = Summarize(result_.queuing_on_loan_samples);
-  result_.jct_on_loan = Summarize(result_.jct_on_loan_samples);
-  result_.profiler_error = profiler_.mean_relative_error();
-  result_.training_usage = training_meter_.mean();
-  result_.overall_usage =
-      inference_ != nullptr ? overall_meter_.mean() : training_meter_.mean();
-  result_.onloan_usage = onloan_meter_.mean();
-  result_.preemption_ratio =
-      jobs_.empty() ? 0.0
-                    : static_cast<double>(result_.preemptions) /
-                          static_cast<double>(jobs_.size());
-  const int demanded_gpus = result_.orchestrator.servers_returned * options_.gpus_per_server;
-  result_.collateral_damage =
-      demanded_gpus > 0
-          ? static_cast<double>(result_.orchestrator.collateral_gpus) / demanded_gpus
-          : 0.0;
   result_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
           .count();
@@ -456,6 +537,15 @@ SimulationResult Simulator::Run() {
       result_.wall_seconds > 0.0
           ? static_cast<double>(result_.events_processed) / result_.wall_seconds
           : 0.0;
+  result_.phases = obs_.profiler.Stats();
+  if (trace_ != nullptr) {
+    result_.trace_events_dropped = trace_->dropped();
+    const Status status = trace_->WriteJson(options_.trace_path);
+    if (!status.ok()) {
+      LYRA_LOG_ERROR("failed to write trace to %s: %s", options_.trace_path.c_str(),
+                     status.message().c_str());
+    }
+  }
   return result_;
 }
 

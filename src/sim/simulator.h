@@ -14,10 +14,12 @@
 
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster_state.h"
 #include "src/common/stats.h"
+#include "src/obs/obs.h"
 #include "src/lyra/orchestrator.h"
 #include "src/profile/job_profiler.h"
 #include "src/lyra/reclaim.h"
@@ -64,6 +66,14 @@ struct SimulatorOptions {
   // container launches/stops and whitelist moves are reconciled after each
   // epoch, with a consistency check. Costs ~10-20% runtime.
   bool mirror_resource_manager = false;
+  // When non-empty, stream job/loan/reclaim/decision events and scheduler
+  // phase spans into a ring buffer and write them here at the end of Run()
+  // as Chrome trace-event JSON (opens in ui.perfetto.dev). Purely
+  // observational: results are bit-identical with tracing on or off.
+  std::string trace_path;
+  // Ring capacity for the trace stream; oldest events are dropped (and
+  // counted) beyond this.
+  std::size_t trace_capacity = obs::TraceExporter::kDefaultCapacity;
   // Hard stop; 0 = trace duration + 7 days.
   TimeSec max_time = 0.0;
 };
@@ -114,6 +124,14 @@ struct SimulationResult {
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
 
+  // Per-phase wall-clock profile of Run() (event drain, scheduler tick,
+  // placement, orchestrator tick, reclaim policy, RM reconcile, finalize).
+  // Self times are disjoint, so they sum to ~wall_seconds. Wall-clock, so —
+  // like the fields above — excluded from determinism comparisons.
+  std::vector<obs::PhaseStat> phases;
+  // Trace-ring overflow count (0 unless tracing was on and the ring filled).
+  std::uint64_t trace_events_dropped = 0;
+
   OrchestratorStats orchestrator;
   std::vector<SeriesPoint> series;  // 5-minute cadence when record_series
   // Mean absolute relative error of the profiler's estimates (0 when the
@@ -139,6 +157,11 @@ class Simulator {
   const std::vector<std::unique_ptr<Job>>& jobs() const { return jobs_; }
   const DecisionLog& decision_log() const { return decision_log_; }
   const ResourceManager& resource_manager() const { return rm_; }
+  // This run's metrics registry (counters/gauges/histograms); disjoint per
+  // simulation, so parallel runs never share metric state.
+  const obs::MetricsRegistry& metrics() const { return obs_.metrics; }
+  // The trace exporter, or null when options.trace_path is empty.
+  const obs::TraceExporter* trace_exporter() const { return trace_.get(); }
 
  private:
   enum class EventType {
@@ -190,6 +213,8 @@ class Simulator {
   bool dirty_ = true;  // cluster/job state changed since the last tick
   TimeSec meter_cutoff_ = 0.0;
 
+  obs::ObsContext obs_;
+  std::unique_ptr<obs::TraceExporter> trace_;
   JobProfiler profiler_;
   DecisionLog decision_log_;
   ResourceManager rm_;

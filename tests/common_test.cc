@@ -1,9 +1,10 @@
-// Unit tests for src/common: rng, stats, table formatting, status, ids.
+// Unit tests for src/common: rng, stats, table formatting, status, ids, json.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <unordered_set>
 
+#include "src/common/json.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
@@ -161,11 +162,29 @@ TEST(Stats, SummarizeCountsAndOrdering) {
   const Summary s = Summarize(xs);
   EXPECT_EQ(s.count, 100u);
   EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_LE(s.min, s.p25);
+  EXPECT_LE(s.p25, s.p50);
   EXPECT_LE(s.p50, s.p75);
   EXPECT_LE(s.p75, s.p95);
   EXPECT_LE(s.p95, s.p99);
   EXPECT_LE(s.p99, s.max);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
   EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Stats, SummarizeMinAndP25) {
+  // 1..5: min is the smallest sample, p25 interpolates between ranks.
+  const Summary s = Summarize({5.0, 3.0, 1.0, 4.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);  // numpy-style linear interpolation
+  EXPECT_DOUBLE_EQ(Percentile({5.0, 3.0, 1.0, 4.0, 2.0}, 25.0), s.p25);
+}
+
+TEST(Stats, SummarizeEmptyHasZeroMinAndP25) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.p25, 0.0);
 }
 
 TEST(Stats, TimeWeightedMeanPiecewiseConstant) {
@@ -250,6 +269,49 @@ TEST(Ids, HashDistinguishesValues) {
     set.insert(JobId(i));
   }
   EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").value().is_null());
+  EXPECT_TRUE(JsonValue::Parse("true").value().AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false").value().AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-12.5e2").value().AsDouble(), -1250.0);
+  EXPECT_EQ(JsonValue::Parse("42").value().AsInt(), 42);
+  EXPECT_EQ(JsonValue::Parse("\"hi\\n\\\"there\\\"\"").value().AsString(),
+            "hi\n\"there\"");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const StatusOr<JsonValue> parsed = JsonValue::Parse(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": false}, "e": null})");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[1].AsDouble(), 2.0);
+  EXPECT_EQ(a->AsArray()[2].GetString("b"), "x");
+  EXPECT_FALSE(root.Find("c")->Find("d")->AsBool());
+  EXPECT_TRUE(root.Find("e")->is_null());
+  EXPECT_EQ(root.Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(root.GetDouble("missing", 7.5), 7.5);
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  const StatusOr<JsonValue> parsed = JsonValue::Parse("\"\\u00e9\\u0041\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "\xc3\xa9" "A");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": 1,}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
 }
 
 }  // namespace

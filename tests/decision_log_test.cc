@@ -86,6 +86,30 @@ TEST(DecisionLog, LoadMissingFileFails) {
   EXPECT_FALSE(DecisionLog::LoadCsv("/does/not/exist.csv").ok());
 }
 
+TEST(DecisionLog, TraceExporterMirrorsAppendsWithoutChangingRecords) {
+  obs::TraceExporter exporter;
+  DecisionLog traced;
+  traced.set_trace_exporter(&exporter);
+  DecisionLog plain;
+  for (DecisionLog* log : {&traced, &plain}) {
+    log->Append(12.5, DecisionKind::kServersLoaned, 4, 0);
+    log->Append(300.0, DecisionKind::kJobScale, 9, 6);
+    log->Append(360.0, DecisionKind::kJobPreempt, 9, 0);
+  }
+  // Every append landed on the decisions track...
+  EXPECT_EQ(exporter.size(), 3u);
+  // ...and the records (and their CSV round-trip) are unchanged.
+  EXPECT_FALSE(CompareDecisionLogs(traced, plain, 0.0).diverged);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lyra_traced_decision_log.csv")
+          .string();
+  ASSERT_TRUE(traced.SaveCsv(path).ok());
+  const StatusOr<DecisionLog> loaded = DecisionLog::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(CompareDecisionLogs(plain, loaded.value(), 0.0).diverged);
+  std::remove(path.c_str());
+}
+
 // --- Simulator integration: the calibration workflow -----------------------
 
 Trace SmallTrace() {

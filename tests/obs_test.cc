@@ -1,0 +1,189 @@
+// Tests for the observability layer: metrics registry, thread-local context
+// scoping (parallel simulations must see disjoint registries), and phase
+// profiler span nesting.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/obs/obs.h"
+
+namespace lyra::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+
+  Counter* c = registry.counter("sched.launched");
+  c->Add();
+  c->Add(4);
+  EXPECT_EQ(c->value(), 5u);
+  // Get-or-create: same name returns the same handle.
+  EXPECT_EQ(registry.counter("sched.launched"), c);
+
+  registry.gauge("usage")->Set(0.75);
+  EXPECT_DOUBLE_EQ(registry.gauge("usage")->value(), 0.75);
+
+  Histogram* h = registry.histogram("latency", {1.0, 10.0, 100.0});
+  h->Record(0.5);
+  h->Record(5.0);
+  h->Record(50.0);
+  h->Record(5000.0);  // overflow bucket
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 5000.0);
+  ASSERT_EQ(h->bucket_counts().size(), 4u);
+  EXPECT_EQ(h->bucket_counts()[0], 1u);
+  EXPECT_EQ(h->bucket_counts()[1], 1u);
+  EXPECT_EQ(h->bucket_counts()[2], 1u);
+  EXPECT_EQ(h->bucket_counts()[3], 1u);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(Metrics, ExportJsonParsesBackAndIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("b.count")->Add(2);
+  registry.counter("a.count")->Add(1);
+  registry.gauge("g")->Set(1.5);
+  registry.histogram("h", {10.0})->Record(3.0);
+
+  const std::string json = registry.ExportJson();
+  const StatusOr<JsonValue> parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = parsed.value();
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->GetDouble("a.count"), 1.0);
+  EXPECT_DOUBLE_EQ(counters->GetDouble("b.count"), 2.0);
+  // Name-sorted export: identical registries serialize identically.
+  EXPECT_EQ(json, registry.ExportJson());
+  // std::map iteration is name-sorted, so "a.count" precedes "b.count".
+  EXPECT_EQ(counters->AsObject()[0].first, "a.count");
+
+  const std::string csv = registry.ExportCsv();
+  EXPECT_NE(csv.find("counter,a.count"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h"), std::string::npos);
+}
+
+TEST(ObsContext, FreeFunctionsNoOpWithoutContext) {
+  ASSERT_EQ(Current(), nullptr);
+  // Must not crash, and must not materialize state anywhere.
+  AddCounter("nobody.home");
+  SetGauge("nobody.home", 1.0);
+  RecordHistogram("nobody.home", 1.0);
+  EXPECT_EQ(CurrentTrace(), nullptr);
+  PhaseSpan span(Phase::kPlacement);  // no-op span
+}
+
+TEST(ObsContext, ScopedInstallAndNestedRestore) {
+  ObsContext outer;
+  ObsContext inner;
+  {
+    ScopedObsContext outer_scope(&outer);
+    EXPECT_EQ(Current(), &outer);
+    AddCounter("depth", 1);
+    {
+      ScopedObsContext inner_scope(&inner);
+      EXPECT_EQ(Current(), &inner);
+      AddCounter("depth", 10);
+    }
+    EXPECT_EQ(Current(), &outer);
+    AddCounter("depth", 1);
+  }
+  EXPECT_EQ(Current(), nullptr);
+  EXPECT_EQ(outer.metrics.counter("depth")->value(), 2u);
+  EXPECT_EQ(inner.metrics.counter("depth")->value(), 10u);
+}
+
+TEST(ObsContext, ParallelThreadsSeeDisjointRegistries) {
+  // The contract parallel bench runs rely on: each thread installs its own
+  // context, all record under the same metric names, and no increment leaks
+  // across threads.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<ObsContext> contexts(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&contexts, t] {
+      ScopedObsContext scope(&contexts[static_cast<std::size_t>(t)]);
+      Counter* mine = Current()->metrics.counter("shared.name");
+      for (int i = 0; i < kIncrements * (t + 1); ++i) {
+        mine->Add();
+      }
+      RecordHistogram("latency", static_cast<double>(t));
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ObsContext& context = contexts[static_cast<std::size_t>(t)];
+    EXPECT_EQ(context.metrics.counter("shared.name")->value(),
+              static_cast<std::uint64_t>(kIncrements) * (t + 1));
+    EXPECT_EQ(context.metrics.histogram("latency")->count(), 1u);
+    EXPECT_DOUBLE_EQ(context.metrics.histogram("latency")->max(),
+                     static_cast<double>(t));
+  }
+}
+
+TEST(PhaseProfiler, AggregatesCallsAndTotals) {
+  PhaseProfiler profiler;
+  for (int i = 0; i < 3; ++i) {
+    profiler.Begin(Phase::kSchedulerTick);
+    profiler.End();
+  }
+  EXPECT_EQ(profiler.calls(Phase::kSchedulerTick), 3u);
+  EXPECT_GE(profiler.total_sec(Phase::kSchedulerTick), 0.0);
+  const std::vector<PhaseStat> stats = profiler.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "scheduler_tick");
+  EXPECT_EQ(stats[0].calls, 3u);
+}
+
+TEST(PhaseProfiler, NestedSpansSubtractChildTimeFromParentSelf) {
+  PhaseProfiler profiler;
+  profiler.Begin(Phase::kEventDrain);
+  profiler.Begin(Phase::kSchedulerTick);
+  profiler.Begin(Phase::kPlacement);
+  // Burn a measurable amount of time in the innermost span.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    sink += static_cast<double>(i);
+  }
+  const PhaseProfiler::SpanResult placement = profiler.End();
+  const PhaseProfiler::SpanResult tick = profiler.End();
+  const PhaseProfiler::SpanResult drain = profiler.End();
+  EXPECT_EQ(profiler.depth(), 0);
+
+  // Inclusive times nest monotonically.
+  EXPECT_GE(tick.elapsed_sec, placement.elapsed_sec);
+  EXPECT_GE(drain.elapsed_sec, tick.elapsed_sec);
+  // A leaf's self time is its elapsed time; a parent's excludes the child.
+  EXPECT_DOUBLE_EQ(placement.self_sec, placement.elapsed_sec);
+  EXPECT_NEAR(tick.self_sec, tick.elapsed_sec - placement.elapsed_sec, 1e-12);
+  EXPECT_NEAR(drain.self_sec, drain.elapsed_sec - tick.elapsed_sec, 1e-12);
+  // Self times telescope: summed across the tree they equal the root time.
+  const double self_sum = profiler.self_sec(Phase::kEventDrain) +
+                          profiler.self_sec(Phase::kSchedulerTick) +
+                          profiler.self_sec(Phase::kPlacement);
+  EXPECT_NEAR(self_sum, drain.elapsed_sec, 1e-12);
+}
+
+TEST(PhaseProfiler, SiblingSpansAccumulateIntoSharedParent) {
+  PhaseProfiler profiler;
+  profiler.Begin(Phase::kEventDrain);
+  for (int i = 0; i < 5; ++i) {
+    profiler.Begin(Phase::kSchedulerTick);
+    profiler.End();
+  }
+  const PhaseProfiler::SpanResult drain = profiler.End();
+  EXPECT_EQ(profiler.calls(Phase::kSchedulerTick), 5u);
+  EXPECT_NEAR(drain.self_sec,
+              drain.elapsed_sec - profiler.total_sec(Phase::kSchedulerTick), 1e-12);
+}
+
+}  // namespace
+}  // namespace lyra::obs

@@ -1,0 +1,260 @@
+// Tests for the trace exporter and its simulator integration: Chrome
+// trace-event JSON well-formedness (parsed back against the schema), ring
+// overflow accounting, tracing on/off determinism of simulation aggregates,
+// and the phase profile summing to the measured wall clock.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/lyra/lyra_scheduler.h"
+#include "src/lyra/reclaim.h"
+#include "src/obs/trace_exporter.h"
+#include "src/sim/simulator.h"
+#include "src/workload/synthetic.h"
+
+namespace lyra {
+namespace {
+
+// Checks one parsed document against the trace-event schema subset we emit:
+// a traceEvents array whose entries all carry name/ph/ts/pid/tid with a known
+// phase letter, plus the per-type required fields.
+void ExpectWellFormedTrace(const JsonValue& root) {
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  const std::set<std::string> known_ph = {"M", "i", "C", "b", "e", "X"};
+  for (const JsonValue& event : events->AsArray()) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_NE(event.Find("name"), nullptr);
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_TRUE(known_ph.count(ph->AsString())) << "unknown ph " << ph->AsString();
+    EXPECT_NE(event.Find("pid"), nullptr);
+    if (ph->AsString() == "M") {
+      continue;  // metadata events carry only name/pid/tid/args
+    }
+    EXPECT_NE(event.Find("ts"), nullptr);
+    EXPECT_NE(event.Find("tid"), nullptr);
+    EXPECT_NE(event.Find("cat"), nullptr);
+    if (ph->AsString() == "X") {
+      EXPECT_NE(event.Find("dur"), nullptr);
+    }
+    if (ph->AsString() == "b" || ph->AsString() == "e") {
+      EXPECT_NE(event.Find("id"), nullptr);
+    }
+  }
+}
+
+TEST(TraceExporter, EmptyTraceIsValidJson) {
+  obs::TraceExporter exporter;
+  const StatusOr<JsonValue> parsed = JsonValue::Parse(exporter.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ExpectWellFormedTrace(parsed.value());
+}
+
+TEST(TraceExporter, EventsRoundTripThroughJson) {
+  obs::TraceExporter exporter;
+  exporter.SetWallEpoch(std::chrono::steady_clock::now());
+  exporter.Instant(obs::TraceTrack::kDecisions, "start", 10.0,
+                   "\"subject\": 3, \"detail\": 2");
+  exporter.Counter(obs::TraceTrack::kLoans, "loaned_servers", 20.0, 7.0);
+  exporter.AsyncBegin(obs::TraceTrack::kJobs, "job 3", 10.0, 3);
+  exporter.AsyncEnd(obs::TraceTrack::kJobs, "job 3", 30.0, 3);
+  exporter.Complete(obs::TraceTrack::kReclaims, "drain", 5.0, 6.0);
+  EXPECT_EQ(exporter.size(), 5u);
+  EXPECT_EQ(exporter.dropped(), 0u);
+
+  const StatusOr<JsonValue> parsed = JsonValue::Parse(exporter.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ExpectWellFormedTrace(parsed.value());
+
+  // Find the instant again and check its payload survived.
+  bool found = false;
+  for (const JsonValue& event : parsed.value().Find("traceEvents")->AsArray()) {
+    if (event.GetString("name") == "start" && event.GetString("ph") == "i") {
+      found = true;
+      EXPECT_DOUBLE_EQ(event.GetDouble("ts"), 10.0 * 1e6);
+      EXPECT_EQ(event.GetString("cat"), "decisions");
+      EXPECT_DOUBLE_EQ(event.Find("args")->GetDouble("subject"), 3.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceExporter, RingDropsOldestAndCounts) {
+  obs::TraceExporter exporter(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    exporter.Instant(obs::TraceTrack::kJobs, "e" + std::to_string(i),
+                     static_cast<double>(i));
+  }
+  EXPECT_EQ(exporter.size(), 4u);
+  EXPECT_EQ(exporter.dropped(), 6u);
+
+  const StatusOr<JsonValue> parsed = JsonValue::Parse(exporter.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  // The survivors are the newest four, oldest first.
+  std::vector<std::string> names;
+  for (const JsonValue& event : parsed.value().Find("traceEvents")->AsArray()) {
+    if (event.GetString("ph") == "i") {
+      names.push_back(event.GetString("name"));
+    }
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"e6", "e7", "e8", "e9"}));
+  EXPECT_DOUBLE_EQ(parsed.value().Find("otherData")->GetDouble("dropped_events"), 6.0);
+}
+
+// --- Simulator integration -------------------------------------------------
+
+Trace SmallTrace() {
+  SyntheticTraceOptions options;
+  options.duration = 2 * kDay;
+  options.training_gpus = 16 * 8;
+  options.target_utilization = 0.9;
+  options.elastic_work_fraction = 0.4;
+  options.fungible_job_fraction = 0.5;
+  options.seed = 17;
+  return SyntheticTraceGenerator(options).Generate();
+}
+
+std::unique_ptr<InferenceCluster> SmallInference() {
+  DiurnalTrafficOptions traffic;
+  traffic.duration = 10 * kDay;
+  traffic.seed = 99;
+  InferenceClusterOptions options;
+  options.num_servers = 16;
+  return std::make_unique<InferenceCluster>(options, DiurnalTrafficModel(traffic),
+                                            std::make_unique<SeasonalNaivePredictor>());
+}
+
+SimulationResult RunSmall(const std::string& trace_path,
+                          std::size_t trace_capacity = obs::TraceExporter::kDefaultCapacity) {
+  SimulatorOptions options;
+  options.training_servers = 16;
+  options.enable_loaning = true;
+  options.record_decisions = true;
+  options.trace_path = trace_path;
+  options.trace_capacity = trace_capacity;
+  LyraScheduler scheduler;
+  LyraReclaimPolicy reclaim;
+  Simulator sim(options, SmallTrace(), &scheduler, &reclaim, SmallInference());
+  return sim.Run();
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(SimulatorTracing, WritesWellFormedTraceWithAllTracks) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lyra_sim_trace_test.json").string();
+  const SimulationResult result = RunSmall(path);
+  ASSERT_GT(result.finished_jobs, 0u);
+  EXPECT_EQ(result.trace_events_dropped, 0u);
+
+  const StatusOr<JsonValue> parsed = JsonValue::Parse(Slurp(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ExpectWellFormedTrace(parsed.value());
+
+  // Every subsystem track shows up: jobs lifecycles, loan counters, decision
+  // instants, and profiler phase spans.
+  std::set<std::string> cats;
+  std::set<std::string> phases;
+  for (const JsonValue& event : parsed.value().Find("traceEvents")->AsArray()) {
+    if (event.GetString("ph") == "M") {
+      continue;
+    }
+    cats.insert(event.GetString("cat"));
+    if (event.GetString("cat") == "phases") {
+      phases.insert(event.GetString("name"));
+    }
+  }
+  EXPECT_TRUE(cats.count("jobs"));
+  EXPECT_TRUE(cats.count("loans"));
+  EXPECT_TRUE(cats.count("decisions"));
+  EXPECT_TRUE(cats.count("phases"));
+  EXPECT_TRUE(phases.count("event_drain"));
+  EXPECT_TRUE(phases.count("scheduler_tick"));
+  EXPECT_TRUE(phases.count("placement"));
+  EXPECT_TRUE(phases.count("orchestrator_tick"));
+  std::remove(path.c_str());
+}
+
+TEST(SimulatorTracing, PhaseSelfTimesSumToWallClock) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lyra_sim_trace_phases.json").string();
+  const SimulationResult result = RunSmall(path);
+
+  // From the in-memory profile: self times are disjoint, so they telescope to
+  // the covered wall clock, which must be within 5% of measured wall_seconds.
+  double self_sum = 0.0;
+  for (const obs::PhaseStat& phase : result.phases) {
+    self_sum += phase.self_sec;
+  }
+  ASSERT_GT(result.wall_seconds, 0.0);
+  EXPECT_NEAR(self_sum, result.wall_seconds, 0.05 * result.wall_seconds);
+
+  // And the same number reconstructed from the exported trace (what
+  // `lyra_trace summary` prints) agrees with the profiler's.
+  const StatusOr<JsonValue> parsed = JsonValue::Parse(Slurp(path));
+  ASSERT_TRUE(parsed.ok());
+  double trace_self_sum = 0.0;
+  for (const JsonValue& event : parsed.value().Find("traceEvents")->AsArray()) {
+    if (event.GetString("cat") == "phases" && event.GetString("ph") == "X") {
+      trace_self_sum += event.Find("args")->GetDouble("self_us") / 1e6;
+    }
+  }
+  EXPECT_NEAR(trace_self_sum, self_sum, 0.02 * self_sum + 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(SimulatorTracing, RingOverflowIsCountedAndTraceStaysValid) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lyra_sim_trace_overflow.json").string();
+  const SimulationResult result = RunSmall(path, /*trace_capacity=*/64);
+  EXPECT_GT(result.trace_events_dropped, 0u);
+
+  const StatusOr<JsonValue> parsed = JsonValue::Parse(Slurp(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ExpectWellFormedTrace(parsed.value());
+  EXPECT_DOUBLE_EQ(parsed.value().Find("otherData")->GetDouble("dropped_events"),
+                   static_cast<double>(result.trace_events_dropped));
+  std::remove(path.c_str());
+}
+
+TEST(SimulatorTracing, TracingOnOrOffYieldsIdenticalAggregates) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lyra_sim_trace_det.json").string();
+  const SimulationResult traced = RunSmall(path);
+  std::remove(path.c_str());
+  const SimulationResult untraced = RunSmall("");
+
+  // Tracing is purely observational: every simulation aggregate is
+  // bit-identical with it on or off (wall-clock fields excluded).
+  EXPECT_EQ(traced.finished_jobs, untraced.finished_jobs);
+  EXPECT_EQ(traced.queuing_samples, untraced.queuing_samples);
+  EXPECT_EQ(traced.jct_samples, untraced.jct_samples);
+  EXPECT_EQ(traced.queuing.mean, untraced.queuing.mean);
+  EXPECT_EQ(traced.jct.p95, untraced.jct.p95);
+  EXPECT_EQ(traced.training_usage, untraced.training_usage);
+  EXPECT_EQ(traced.overall_usage, untraced.overall_usage);
+  EXPECT_EQ(traced.onloan_usage, untraced.onloan_usage);
+  EXPECT_EQ(traced.preemptions, untraced.preemptions);
+  EXPECT_EQ(traced.scaling_operations, untraced.scaling_operations);
+  EXPECT_EQ(traced.events_processed, untraced.events_processed);
+  EXPECT_EQ(traced.orchestrator.servers_loaned, untraced.orchestrator.servers_loaned);
+  EXPECT_EQ(traced.orchestrator.servers_returned,
+            untraced.orchestrator.servers_returned);
+}
+
+}  // namespace
+}  // namespace lyra

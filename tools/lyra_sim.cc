@@ -79,6 +79,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string series_csv;
   std::string decisions_csv;
+  std::string trace_json;
+  std::string metrics_json;
   double scale = 0.25;
   double days = 3.0;
   double offered_load = 0.95;
@@ -100,6 +102,12 @@ int main(int argc, char** argv) {
                   "CSV trace to replay (default: synthesize one)");
   flags.AddString("series-csv", &series_csv, "write 5-minute usage series here");
   flags.AddString("decisions-csv", &decisions_csv, "write the decision log here");
+  flags.AddString("trace-json", &trace_json,
+                  "write a Chrome trace-event JSON here (open in ui.perfetto.dev "
+                  "or summarize with lyra_trace)");
+  flags.AddString("metrics-json", &metrics_json,
+                  "write the run's metrics registry (counters/gauges/histograms) "
+                  "as JSON here");
   flags.AddDouble("scale", &scale, "cluster scale (1.0 = 443+520 servers)");
   flags.AddDouble("days", &days, "trace length in days");
   flags.AddDouble("load", &offered_load, "offered load vs training capacity");
@@ -179,6 +187,7 @@ int main(int argc, char** argv) {
   options.use_profiler = profiler;
   options.record_series = !series_csv.empty();
   options.record_decisions = !decisions_csv.empty();
+  options.trace_path = trace_json;
   options.seed = static_cast<std::uint64_t>(seed);
   lyra::Simulator simulator(options, trace, scheduler.get(), reclaim.get(),
                             std::move(inference));
@@ -199,6 +208,14 @@ int main(int argc, char** argv) {
   if (profiler) {
     std::printf("profiler mean relative error=%.0f%%\n", result.profiler_error * 100);
   }
+  std::printf("perf     events=%llu wall=%.2fs (%.0f events/s)\n",
+              static_cast<unsigned long long>(result.events_processed),
+              result.wall_seconds, result.events_per_sec);
+  for (const lyra::obs::PhaseStat& phase : result.phases) {
+    std::printf("phase    %-17s calls=%-8llu total=%.3fs self=%.3fs\n",
+                phase.name.c_str(), static_cast<unsigned long long>(phase.calls),
+                phase.total_sec, phase.self_sec);
+  }
 
   if (!series_csv.empty()) {
     std::ofstream out(series_csv);
@@ -215,6 +232,15 @@ int main(int argc, char** argv) {
     std::printf("decisions wrote %zu records to %s (%s)\n",
                 simulator.decision_log().size(), decisions_csv.c_str(),
                 saved.ok() ? "ok" : saved.message().c_str());
+  }
+  if (!trace_json.empty()) {
+    std::printf("trace    wrote %s (%llu event(s) dropped)\n", trace_json.c_str(),
+                static_cast<unsigned long long>(result.trace_events_dropped));
+  }
+  if (!metrics_json.empty()) {
+    std::ofstream out(metrics_json);
+    out << simulator.metrics().ExportJson();
+    std::printf("metrics  wrote %s\n", metrics_json.c_str());
   }
   return 0;
 }

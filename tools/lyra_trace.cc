@@ -1,0 +1,311 @@
+// lyra_trace: offline reader for the simulator's Chrome trace-event JSON.
+//
+// Summarizes a trace written via SimulatorOptions::trace_path (lyra_sim
+// --trace-json=..., or LYRA_BENCH_TRACE=... for the benches) without opening
+// a UI: top phases by wall time, per-job lifecycles, the loan/reclaim
+// timeline, and decision counts. `diff` compares the phase profiles of two
+// traces, e.g. before/after an optimization.
+//
+//   ./build/tools/lyra_trace summary run.trace.json
+//   ./build/tools/lyra_trace jobs run.trace.json
+//   ./build/tools/lyra_trace loans run.trace.json
+//   ./build/tools/lyra_trace diff before.trace.json after.trace.json
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+
+namespace {
+
+using lyra::JsonValue;
+
+struct PhaseAgg {
+  std::uint64_t calls = 0;
+  double total_sec = 0.0;
+  double self_sec = 0.0;
+};
+
+struct JobLife {
+  double begin = -1.0;
+  double end = -1.0;
+  int workers = 0;
+  int scales = 0;
+  std::string end_reason;
+};
+
+struct TraceData {
+  std::vector<JsonValue> events;  // the traceEvents array
+  std::uint64_t dropped = 0;
+};
+
+bool LoadTrace(const std::string& path, TraceData* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "lyra_trace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const lyra::StatusOr<JsonValue> parsed = JsonValue::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "lyra_trace: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return false;
+  }
+  const JsonValue& root = parsed.value();
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "lyra_trace: %s has no traceEvents array\n", path.c_str());
+    return false;
+  }
+  out->events = events->AsArray();
+  if (const JsonValue* other = root.Find("otherData"); other != nullptr) {
+    out->dropped = static_cast<std::uint64_t>(other->GetDouble("dropped_events"));
+  }
+  return true;
+}
+
+// Per-phase wall-time aggregation from the profiler track ('X' spans with
+// cat "phases"; self time is carried in args.self_us).
+std::map<std::string, PhaseAgg> PhaseProfile(const TraceData& trace) {
+  std::map<std::string, PhaseAgg> phases;
+  for (const JsonValue& e : trace.events) {
+    if (e.GetString("cat") != "phases" || e.GetString("ph") != "X") {
+      continue;
+    }
+    PhaseAgg& agg = phases[e.GetString("name")];
+    ++agg.calls;
+    agg.total_sec += e.GetDouble("dur") / 1e6;
+    if (const JsonValue* args = e.Find("args"); args != nullptr) {
+      agg.self_sec += args->GetDouble("self_us") / 1e6;
+    }
+  }
+  return phases;
+}
+
+std::vector<std::pair<std::string, PhaseAgg>> ByTotalDesc(
+    const std::map<std::string, PhaseAgg>& phases) {
+  std::vector<std::pair<std::string, PhaseAgg>> sorted(phases.begin(), phases.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total_sec > b.second.total_sec;
+  });
+  return sorted;
+}
+
+double CoveredSelfSeconds(const std::map<std::string, PhaseAgg>& phases) {
+  double sum = 0.0;
+  for (const auto& [name, agg] : phases) {
+    sum += agg.self_sec;
+  }
+  return sum;
+}
+
+void PrintPhases(const TraceData& trace) {
+  const std::map<std::string, PhaseAgg> phases = PhaseProfile(trace);
+  if (phases.empty()) {
+    std::printf("no profiler phase spans in trace\n");
+    return;
+  }
+  std::printf("%-18s %10s %12s %12s\n", "phase", "calls", "total_sec", "self_sec");
+  for (const auto& [name, agg] : ByTotalDesc(phases)) {
+    std::printf("%-18s %10llu %12.4f %12.4f\n", name.c_str(),
+                static_cast<unsigned long long>(agg.calls), agg.total_sec,
+                agg.self_sec);
+  }
+  // Self times are disjoint, so their sum is the profiled share of Run()'s
+  // wall clock.
+  std::printf("%-18s %10s %12s %12.4f\n", "covered wall", "", "", CoveredSelfSeconds(phases));
+}
+
+std::map<std::int64_t, JobLife> JobLifecycles(const TraceData& trace) {
+  std::map<std::int64_t, JobLife> jobs;
+  for (const JsonValue& e : trace.events) {
+    if (e.GetString("cat") != "jobs") {
+      continue;
+    }
+    const std::string ph = e.GetString("ph");
+    const JsonValue* args = e.Find("args");
+    if (ph == "b") {
+      JobLife& life = jobs[static_cast<std::int64_t>(e.GetDouble("id"))];
+      life.begin = e.GetDouble("ts") / 1e6;
+      if (args != nullptr) {
+        life.workers = static_cast<int>(args->GetDouble("workers"));
+      }
+    } else if (ph == "e") {
+      JobLife& life = jobs[static_cast<std::int64_t>(e.GetDouble("id"))];
+      life.end = e.GetDouble("ts") / 1e6;
+      if (args != nullptr) {
+        life.end_reason = args->GetString("reason", "?");
+      }
+    } else if (ph == "i" && e.GetString("name") == "scale" && args != nullptr) {
+      ++jobs[static_cast<std::int64_t>(args->GetDouble("job"))].scales;
+    }
+  }
+  return jobs;
+}
+
+void PrintJobsSummary(const TraceData& trace) {
+  const std::map<std::int64_t, JobLife> jobs = JobLifecycles(trace);
+  std::size_t finished = 0;
+  std::size_t preempted = 0;
+  std::size_t open = 0;
+  int scales = 0;
+  for (const auto& [id, life] : jobs) {
+    scales += life.scales;
+    if (life.end < 0.0) {
+      ++open;
+    } else if (life.end_reason == "preempted") {
+      ++preempted;
+    } else {
+      ++finished;
+    }
+  }
+  std::printf(
+      "jobs: %zu lifecycle(s) — %zu finished, %zu preempted, %zu still open, "
+      "%d scale event(s)\n",
+      jobs.size(), finished, preempted, open, scales);
+}
+
+void PrintJobs(const TraceData& trace) {
+  PrintJobsSummary(trace);
+  std::printf("%-10s %12s %12s %8s %7s %s\n", "job", "start_s", "end_s", "workers",
+              "scales", "end");
+  for (const auto& [id, life] : JobLifecycles(trace)) {
+    std::printf("%-10lld %12.1f %12.1f %8d %7d %s\n", static_cast<long long>(id),
+                life.begin, life.end, life.workers, life.scales,
+                life.end < 0.0 ? "(open)" : life.end_reason.c_str());
+  }
+}
+
+void PrintLoans(const TraceData& trace) {
+  std::printf("%12s %-8s %s\n", "sim_time_s", "event", "detail");
+  for (const JsonValue& e : trace.events) {
+    const std::string cat = e.GetString("cat");
+    if (cat != "loans" && cat != "reclaims") {
+      continue;
+    }
+    const double t = e.GetDouble("ts") / 1e6;
+    const std::string name = e.GetString("name");
+    const JsonValue* args = e.Find("args");
+    if (e.GetString("ph") == "C") {
+      std::printf("%12.1f %-8s loaned_servers=%d\n", t, "count",
+                  args != nullptr ? static_cast<int>(args->GetDouble("value")) : 0);
+    } else if (name == "loan") {
+      std::printf("%12.1f %-8s +%d server(s)\n", t, "loan",
+                  args != nullptr ? static_cast<int>(args->GetDouble("servers")) : 0);
+    } else if (name == "reclaim") {
+      std::printf("%12.1f %-8s -%d server(s), %d preempted, %d scaled in\n", t,
+                  "reclaim",
+                  args != nullptr ? static_cast<int>(args->GetDouble("servers")) : 0,
+                  args != nullptr ? static_cast<int>(args->GetDouble("preempted")) : 0,
+                  args != nullptr ? static_cast<int>(args->GetDouble("scaled_in")) : 0);
+    } else if (name == "preempt") {
+      std::printf("%12.1f %-8s job %d\n", t, "preempt",
+                  args != nullptr ? static_cast<int>(args->GetDouble("job")) : -1);
+    }
+  }
+}
+
+void PrintSummary(const TraceData& trace) {
+  std::map<std::string, std::size_t> by_track;
+  std::map<std::string, std::size_t> decisions;
+  for (const JsonValue& e : trace.events) {
+    if (e.GetString("ph") == "M") {
+      continue;
+    }
+    ++by_track[e.GetString("cat", "?")];
+    if (e.GetString("cat") == "decisions") {
+      ++decisions[e.GetString("name")];
+    }
+  }
+  std::printf("events by track:");
+  for (const auto& [track, count] : by_track) {
+    std::printf(" %s=%zu", track.c_str(), count);
+  }
+  std::printf(" (dropped=%llu)\n", static_cast<unsigned long long>(trace.dropped));
+  if (!decisions.empty()) {
+    std::printf("decisions:");
+    for (const auto& [name, count] : decisions) {
+      std::printf(" %s=%zu", name.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  PrintJobsSummary(trace);
+  std::printf("\ntop phases by wall time:\n");
+  PrintPhases(trace);
+}
+
+void PrintDiff(const TraceData& before, const TraceData& after) {
+  const std::map<std::string, PhaseAgg> a = PhaseProfile(before);
+  const std::map<std::string, PhaseAgg> b = PhaseProfile(after);
+  std::map<std::string, PhaseAgg> all;
+  for (const auto& [name, agg] : a) {
+    all[name];
+  }
+  for (const auto& [name, agg] : b) {
+    all[name];
+  }
+  std::printf("%-18s %12s %12s %12s\n", "phase", "before_sec", "after_sec", "delta");
+  for (const auto& [name, unused] : all) {
+    const auto ia = a.find(name);
+    const auto ib = b.find(name);
+    const double before_sec = ia != a.end() ? ia->second.total_sec : 0.0;
+    const double after_sec = ib != b.end() ? ib->second.total_sec : 0.0;
+    std::printf("%-18s %12.4f %12.4f %+12.4f\n", name.c_str(), before_sec, after_sec,
+                after_sec - before_sec);
+  }
+  const double covered_a = CoveredSelfSeconds(a);
+  const double covered_b = CoveredSelfSeconds(b);
+  std::printf("%-18s %12.4f %12.4f %+12.4f\n", "covered wall", covered_a, covered_b,
+              covered_b - covered_a);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lyra_trace <command> <trace.json> [trace2.json]\n"
+               "  summary <trace.json>         event counts, decisions, phase profile\n"
+               "  phases  <trace.json>         per-phase wall-time table\n"
+               "  jobs    <trace.json>         per-job lifecycle (start/end/scales)\n"
+               "  loans   <trace.json>         loan/reclaim timeline\n"
+               "  diff    <a.json> <b.json>    phase profile comparison\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  TraceData trace;
+  if (!LoadTrace(argv[2], &trace)) {
+    return 1;
+  }
+  if (command == "summary") {
+    PrintSummary(trace);
+  } else if (command == "phases") {
+    PrintPhases(trace);
+  } else if (command == "jobs") {
+    PrintJobs(trace);
+  } else if (command == "loans") {
+    PrintLoans(trace);
+  } else if (command == "diff") {
+    if (argc < 4) {
+      return Usage();
+    }
+    TraceData after;
+    if (!LoadTrace(argv[3], &after)) {
+      return 1;
+    }
+    PrintDiff(trace, after);
+  } else {
+    return Usage();
+  }
+  return 0;
+}
