@@ -47,6 +47,16 @@ std::vector<PerfEntry>& PerfEntries() {
   return entries;
 }
 
+// Microbenchmark results (ns/op), also guarded by g_perf_mutex.
+struct MicroEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+};
+std::vector<MicroEntry>& MicroEntries() {
+  static std::vector<MicroEntry> entries;
+  return entries;
+}
+
 void RecordPerf(const std::string& label, const RunSpec& spec,
                 const SimulationResult& result) {
   PerfEntry entry;
@@ -337,6 +347,11 @@ std::vector<SimulationResult> RunSeedSweep(const ExperimentConfig& config,
   return RunExperiments(runs);
 }
 
+void RecordMicroBench(const std::string& name, double ns_per_op) {
+  std::lock_guard<std::mutex> lock(g_perf_mutex);
+  MicroEntries().push_back({name, ns_per_op});
+}
+
 void WritePerfReport(const std::string& experiment) {
   const char* path = std::getenv("LYRA_BENCH_PERF_JSON");
   if (path != nullptr && std::string(path) == "0") {
@@ -345,9 +360,11 @@ void WritePerfReport(const std::string& experiment) {
   const std::string file = path != nullptr ? path : "BENCH_perf.json";
 
   std::vector<PerfEntry> entries;
+  std::vector<MicroEntry> micro;
   {
     std::lock_guard<std::mutex> lock(g_perf_mutex);
     entries = PerfEntries();
+    micro = MicroEntries();
   }
   double total_wall = 0.0;
   std::uint64_t total_events = 0;
@@ -401,7 +418,19 @@ void WritePerfReport(const std::string& experiment) {
     }
     json += "]}";
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ]";
+  json += ",\n  \"micro\": [";
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"name\": \"";
+    JsonEscapeTo(json, micro[i].name);
+    std::snprintf(buf, sizeof(buf), "%.1f", micro[i].ns_per_op);
+    json += "\", \"ns_per_op\": ";
+    json += buf;
+    json += "}";
+  }
+  json += micro.empty() ? "]" : "\n  ]";
+  json += "\n}\n";
 
   std::FILE* out = std::fopen(file.c_str(), "w");
   if (out == nullptr) {

@@ -126,6 +126,10 @@ std::vector<SimulationResult> RunSeedSweep(const ExperimentConfig& config,
 // LYRA_BENCH_PERF_JSON; LYRA_BENCH_PERF_JSON=0 disables the report.
 void WritePerfReport(const std::string& experiment);
 
+// Records one microbenchmark result (nanoseconds per operation) to surface
+// in the "micro" section of the next WritePerfReport. Thread-safe.
+void RecordMicroBench(const std::string& name, double ns_per_op);
+
 // Formats seconds with no decimals, e.g. for table cells.
 std::string Secs(double seconds);
 

@@ -13,6 +13,12 @@
 // queries are counter reads and pool listings return the maintained index —
 // nothing on the query path scans the server vector. AuditInvariants()
 // recomputes everything from scratch and is wired into the tests.
+//
+// Speculative what-if evaluation goes through ClusterTransaction: an RAII
+// undo log that records the inverse of every placement/loan mutation and can
+// Rollback() in O(ops applied) — per-pool counters and membership indices
+// included — where Clone() would pay O(cluster size). See DESIGN.md
+// "Speculative evaluation".
 #ifndef SRC_CLUSTER_CLUSTER_STATE_H_
 #define SRC_CLUSTER_CLUSTER_STATE_H_
 
@@ -26,6 +32,8 @@
 #include "src/common/types.h"
 
 namespace lyra {
+
+class ClusterTransaction;
 
 // Job-side view: which servers host this job and how many GPUs on each.
 struct JobPlacement {
@@ -52,6 +60,9 @@ class ClusterState {
 
   // --- Topology -------------------------------------------------------------
 
+  // Adds a server to the fleet. Topology growth is not transactional: calling
+  // this with an open ClusterTransaction is a programming error (what-if
+  // evaluation speculates over placements and loans, never over hardware).
   ServerId AddServer(GpuType gpu_type, int num_gpus, ServerPool pool);
 
   const Server& server(ServerId id) const;
@@ -129,6 +140,14 @@ class ClusterState {
   // inference GPUs count at their normalization factor (§5.2).
   double TrainingSideFreeNormalized() const;
 
+  // --- Transactions ---------------------------------------------------------
+
+  // True while at least one ClusterTransaction is open on this state.
+  bool InTransaction() const { return txn_depth_ > 0; }
+
+  // Undo entries recorded since the outermost open transaction began.
+  std::size_t UndoLogSize() const { return undo_log_.size(); }
+
   // --- Debug ----------------------------------------------------------------
 
   // Recomputes every maintained counter and index from the server vector and
@@ -138,6 +157,8 @@ class ClusterState {
   void AuditInvariants() const;
 
  private:
+  friend class ClusterTransaction;
+
   static constexpr int kNumPools = 3;
   static constexpr int kNumGpuTypes = 2;
 
@@ -159,6 +180,34 @@ class ClusterState {
   // (negative) on the server.
   void AccountUsage(const Server& srv, int gpus);
 
+  // One recorded inverse operation. kShareDelta re-applies a (base, flexible)
+  // GPU delta of a job on a server; kSetPool moves a server back to `pool`.
+  // Applying the log in reverse order restores the pre-transaction state,
+  // counters and pool indices included.
+  struct UndoEntry {
+    enum class Kind : unsigned char { kShareDelta, kSetPool };
+    Kind kind = Kind::kShareDelta;
+    ServerPool pool = ServerPool::kTraining;  // kSetPool: pool to restore
+    JobId job;
+    ServerId server;
+    int base_delta = 0;
+    int flexible_delta = 0;
+  };
+
+  // Logging hooks called by the mutators while a transaction is open.
+  void RecordShareDelta(JobId job, ServerId server, int base_delta,
+                        int flexible_delta);
+  void RecordSetPool(ServerId server, ServerPool pool);
+
+  // Applies a share delta to the server-side and job-side views plus the
+  // usage counters, creating/erasing map entries as shares cross zero. The
+  // non-logging primitive behind rollback.
+  void ApplyShareDelta(JobId job, ServerId server, int base_delta,
+                       int flexible_delta);
+
+  // Replays (and pops) the undo log down to `mark`, newest entry first.
+  void RollbackTo(std::size_t mark);
+
   std::vector<Server> servers_;
   std::unordered_map<JobId, JobPlacement> placements_;
 
@@ -167,6 +216,53 @@ class ClusterState {
   std::array<int, kNumPools> used_gpus_{};
   std::array<std::array<int, kNumGpuTypes>, kNumPools> free_gpus_by_type_{};
   std::array<std::vector<ServerId>, kNumPools> pool_servers_;
+
+  // Transaction support. The log holds inverse ops for every mutation since
+  // the outermost transaction opened; nested transactions mark positions in
+  // it. Never cloned: a Clone() starts with a clean (committed) state.
+  std::vector<UndoEntry> undo_log_;
+  int txn_depth_ = 0;
+};
+
+// RAII undo-log transaction over a ClusterState (the cheap alternative to
+// Clone() for what-if evaluation, §4/§5 speculative searches).
+//
+//   ClusterTransaction txn(cluster);
+//   ... Place / RemoveJob / RemoveFlexible / LoanServer / ReturnServer ...
+//   txn.Rollback();   // or txn.Commit(); destructor rolls back if neither ran
+//
+// Rollback restores the exact pre-transaction state — placements, per-pool
+// counters, membership indices — in O(operations applied). Transactions nest
+// LIFO: an inner transaction may roll back its own suffix of the log while
+// the outer one can still roll back everything (an inner Commit only
+// surrenders the inner rollback point). The ClusterState must outlive the
+// transaction and must not be moved while one is open.
+class ClusterTransaction {
+ public:
+  explicit ClusterTransaction(ClusterState& cluster);
+  ~ClusterTransaction();
+
+  ClusterTransaction(const ClusterTransaction&) = delete;
+  ClusterTransaction& operator=(const ClusterTransaction&) = delete;
+
+  // Undoes every mutation applied since this transaction opened and closes
+  // it. O(ops). Must be the innermost open transaction.
+  void Rollback();
+
+  // Keeps the mutations and closes this transaction. O(ops) for the
+  // outermost transaction (the log is discarded), O(1) for nested ones.
+  void Commit();
+
+  bool open() const { return open_; }
+
+  // Mutations recorded since this transaction opened (still rollback-able).
+  std::size_t ops() const;
+
+ private:
+  ClusterState* cluster_;
+  std::size_t mark_;  // undo-log size when this transaction opened
+  int depth_;         // nesting depth, 1 = outermost; enforces LIFO close
+  bool open_ = true;
 };
 
 }  // namespace lyra

@@ -40,6 +40,10 @@ struct GpuShare {
   int flexible_gpus = 0;
 
   int total() const { return base_gpus + flexible_gpus; }
+
+  friend bool operator==(const GpuShare& a, const GpuShare& b) {
+    return a.base_gpus == b.base_gpus && a.flexible_gpus == b.flexible_gpus;
+  }
 };
 
 class Server {
@@ -78,6 +82,12 @@ class Server {
   // Removes up to `gpus` flexible GPUs of the job; returns how many were
   // actually removed. Erases the job entry when its share reaches zero.
   int RemoveFlexible(JobId job, int gpus);
+
+  // Applies an exact (base, flexible) GPU delta of the job, creating or
+  // erasing its entry as the share crosses zero. Requires the result to stay
+  // within [0, capacity]. Transaction-rollback primitive: ClusterState uses
+  // it to replay inverse operations.
+  void ApplyShareDelta(JobId job, int base_delta, int flexible_delta);
 
  private:
   ServerId id_;

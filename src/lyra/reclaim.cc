@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -32,15 +34,33 @@ struct VacateContext {
   std::unordered_map<JobId, JobPlacement> preempted_snapshots;
 };
 
-void VacateServerImpl(ClusterState& cluster, ServerId server_id, VacateContext& ctx) {
+// Servers whose occupancy a vacate call changed: the vacated server plus
+// every other server a hosted job occupied (preempted jobs lose their shares
+// everywhere; scaled-in jobs keep theirs, but their placements decide whose
+// cached costs went stale). Deduplicated. The callers use it to update idle
+// counts and cost-heap keys incrementally instead of rescanning the pool.
+struct VacateEffect {
+  std::vector<ServerId> affected;
+};
+
+VacateEffect VacateServerImpl(ClusterState& cluster, ServerId server_id,
+                              VacateContext& ctx) {
   const Server& server = cluster.server(server_id);
   std::vector<std::pair<JobId, GpuShare>> hosted(server.jobs().begin(),
                                                  server.jobs().end());
   obs::AddCounter("reclaim.servers_vacated");
+  VacateEffect effect;
+  effect.affected.push_back(server_id);
   for (const auto& [job, share] : hosted) {
+    const JobPlacement* placement = cluster.FindPlacement(job);
+    for (const auto& [other_id, other_share] : placement->shares) {
+      if (other_id != server_id) {
+        effect.affected.push_back(other_id);
+      }
+    }
     if (share.base_gpus > 0) {
       // Base workers here: the whole job must be preempted, everywhere.
-      ctx.preempted_snapshots.emplace(job, *cluster.FindPlacement(job));
+      ctx.preempted_snapshots.emplace(job, *placement);
       cluster.RemoveJob(job);
       ctx.result.preempted.push_back(job);
       obs::AddCounter("reclaim.jobs_preempted");
@@ -51,22 +71,22 @@ void VacateServerImpl(ClusterState& cluster, ServerId server_id, VacateContext& 
       obs::AddCounter("reclaim.jobs_scaled_in");
     }
   }
+  std::sort(effect.affected.begin(), effect.affected.end());
+  effect.affected.erase(
+      std::unique(effect.affected.begin(), effect.affected.end()),
+      effect.affected.end());
+  return effect;
 }
 
-std::vector<ServerId> OccupiedOnLoanServers(const ClusterState& cluster) {
-  std::vector<ServerId> out;
-  for (ServerId id : cluster.ServersInPool(ServerPool::kOnLoan)) {
-    if (!cluster.server(id).idle()) {
-      out.push_back(id);
-    }
-  }
-  return out;
-}
-
-int IdleOnLoanCount(const ClusterState& cluster) {
+// On-loan servers in `affected` that are idle now. Every affected server
+// hosted at least one share when the vacate started, so any idle one
+// transitioned during that call — summing these per vacate reproduces the
+// old per-iteration IdleOnLoanCount() delta without rescanning the pool.
+int NewlyIdleOnLoan(const ClusterState& cluster, const std::vector<ServerId>& affected) {
   int count = 0;
-  for (ServerId id : cluster.ServersInPool(ServerPool::kOnLoan)) {
-    if (cluster.server(id).idle()) {
+  for (ServerId id : affected) {
+    const Server& srv = cluster.server(id);
+    if (srv.pool() == ServerPool::kOnLoan && srv.idle()) {
       ++count;
     }
   }
@@ -110,53 +130,78 @@ std::unordered_set<std::int64_t> IdleOnLoanSet(const ClusterState& cluster) {
   return idle;
 }
 
+std::vector<ServerId> OccupiedOnLoanServers(const ClusterState& cluster) {
+  std::vector<ServerId> out;
+  for (ServerId id : cluster.ServersInPool(ServerPool::kOnLoan)) {
+    if (!cluster.server(id).idle()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
 // Vacates servers from `order` until `num_servers` on-loan servers are newly
-// idle (collateral emptying counts) or the order is exhausted.
+// idle (collateral emptying counts) or the order is exhausted. The idle
+// count is carried incrementally across iterations (each vacate reports the
+// servers it emptied) instead of recounting the pool per server.
 ReclaimResult VacateInOrder(ClusterState& cluster, const std::vector<ServerId>& order,
                             int num_servers) {
   const auto idle_before = IdleOnLoanSet(cluster);
-  const int idle_start = IdleOnLoanCount(cluster);
   VacateContext ctx;
+  int newly_idle = 0;
   for (ServerId id : order) {
-    if (IdleOnLoanCount(cluster) - idle_start >= num_servers) {
+    if (newly_idle >= num_servers) {
       break;
     }
     if (!cluster.server(id).idle()) {
-      VacateServerImpl(cluster, id, ctx);
+      const VacateEffect effect = VacateServerImpl(cluster, id, ctx);
+      newly_idle += NewlyIdleOnLoan(cluster, effect.affected);
     }
   }
   return Finalize(cluster, std::move(ctx), idle_before);
 }
 
-// Estimated collateral damage of vacating the server now: GPUs its
-// base-hosting jobs hold on other servers, except on on-loan servers that
-// would become entirely empty — those count toward the reclaiming demand
+// Collateral damage of vacating the server now, measured speculatively: the
+// preemptions are applied inside a ClusterTransaction, the damage is read
+// off the resulting state, and the transaction is rolled back — O(size of
+// the vacated neighborhood), no cluster-wide copy. GPUs the preempted jobs
+// hold on other servers count as damage except where the preemption empties
+// an on-loan server entirely — those GPUs serve the reclaiming demand
 // rather than being wasted (the server-1/server-2 situation of Fig 5). Used
 // as the greedy tie-breaker (§4).
-int CollateralEstimate(const ClusterState& cluster, ServerId server_id) {
+int CollateralEstimate(ClusterState& cluster, ServerId server_id) {
   const Server& server = cluster.server(server_id);
-  // GPUs the to-be-preempted jobs hold per other server.
-  std::unordered_map<std::int64_t, int> freed_elsewhere;
+  // Snapshot the placements of the jobs the vacate would preempt. Jobs with
+  // only flexible GPUs here scale in on this server alone, which cannot
+  // change any other server's occupancy — no need to speculate about them.
+  std::vector<std::pair<JobId, JobPlacement>> preempted;
   for (const auto& [job, share] : server.jobs()) {
-    if (share.base_gpus == 0) {
-      continue;
+    if (share.base_gpus > 0) {
+      preempted.emplace_back(job, *cluster.FindPlacement(job));
     }
-    const JobPlacement* placement = cluster.FindPlacement(job);
-    for (const auto& [other_id, other_share] : placement->shares) {
-      if (other_id != server_id) {
-        freed_elsewhere[other_id.value] += other_share.total();
-      }
-    }
+  }
+  if (preempted.empty()) {
+    return 0;
+  }
+  obs::AddCounter("reclaim.speculative_vacates");
+  ClusterTransaction txn(cluster);
+  for (const auto& [job, snapshot] : preempted) {
+    cluster.RemoveJob(job);
   }
   int collateral = 0;
-  for (const auto& [other_value, gpus] : freed_elsewhere) {
-    const Server& other = cluster.server(ServerId(other_value));
-    const bool empties = gpus == other.used_gpus();
-    if (empties && other.pool() == ServerPool::kOnLoan) {
-      continue;  // contributes to the demand, not damage
+  for (const auto& [job, snapshot] : preempted) {
+    for (const auto& [other_id, other_share] : snapshot.shares) {
+      if (other_id == server_id) {
+        continue;  // GPUs on the vacated server are the demand itself
+      }
+      const Server& other = cluster.server(other_id);
+      if (other.idle() && other.pool() == ServerPool::kOnLoan) {
+        continue;  // collaterally emptied: contributes to the demand, not damage
+      }
+      collateral += other_share.total();
     }
-    collateral += gpus;
   }
+  txn.Rollback();
   return collateral;
 }
 
@@ -207,28 +252,74 @@ void VacateServer(ClusterState& cluster, ServerId server, ReclaimResult& result)
 
 ReclaimResult LyraReclaimPolicy::Reclaim(ClusterState& cluster, int num_servers) {
   const auto idle_before = IdleOnLoanSet(cluster);
-  const int idle_start = IdleOnLoanCount(cluster);
   VacateContext ctx;
-  while (IdleOnLoanCount(cluster) - idle_start < num_servers) {
-    // Pick the occupied on-loan server with the lowest preemption cost,
-    // breaking ties on estimated collateral damage.
-    ServerId best;
-    double best_cost = std::numeric_limits<double>::infinity();
-    int best_collateral = std::numeric_limits<int>::max();
-    for (ServerId id : OccupiedOnLoanServers(cluster)) {
-      const double cost = ServerPreemptionCost(cluster, id);
-      const int collateral = CollateralEstimate(cluster, id);
-      if (cost < best_cost ||
-          (cost == best_cost && collateral < best_collateral)) {
-        best = id;
-        best_cost = cost;
-        best_collateral = collateral;
+  int newly_idle = 0;
+
+  // Lazy-invalidation cost heap over the occupied on-loan servers, keyed by
+  // (preemption cost, collateral estimate, id) — exactly the order the old
+  // full rescan selected in, so the greedy decisions are bit-identical. A
+  // vacate re-keys only the servers whose cached costs it could have
+  // changed: the servers that lost shares, plus every server sharing a job
+  // with one of those (its collateral estimate reads their occupancy).
+  // Stale heap entries are skipped by version; emptied servers leave the
+  // heap for good. Replaces the O(occupied² · jobs) rescan-per-vacate.
+  struct HeapEntry {
+    double cost = 0.0;
+    int collateral = 0;
+    ServerId id;
+    std::uint64_t version = 0;
+  };
+  auto worse = [](const HeapEntry& a, const HeapEntry& b) {
+    return std::tie(a.cost, a.collateral, a.id.value) >
+           std::tie(b.cost, b.collateral, b.id.value);
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(worse)> heap(worse);
+  std::unordered_map<std::int64_t, std::uint64_t> versions;
+
+  auto push_server = [&](ServerId id) {
+    heap.push({ServerPreemptionCost(cluster, id), CollateralEstimate(cluster, id),
+               id, ++versions[id.value]});
+  };
+  for (ServerId id : OccupiedOnLoanServers(cluster)) {
+    push_server(id);
+  }
+
+  while (newly_idle < num_servers && !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.version != versions[top.id.value] || cluster.server(top.id).idle()) {
+      continue;  // re-keyed since, or collaterally emptied
+    }
+    const VacateEffect effect = VacateServerImpl(cluster, top.id, ctx);
+
+    // Fold the emptied servers into the running idle count and re-key the
+    // dirty neighborhood.
+    std::vector<ServerId> dirty;
+    for (ServerId id : effect.affected) {
+      const Server& srv = cluster.server(id);
+      if (srv.idle()) {
+        if (srv.pool() == ServerPool::kOnLoan) {
+          ++newly_idle;
+          ++versions[id.value];  // drop its remaining heap entries
+        }
+        continue;  // idle: hosts nothing, nobody's estimate depends on it
+      }
+      dirty.push_back(id);
+      for (const auto& [job, share] : srv.jobs()) {
+        const JobPlacement* placement = cluster.FindPlacement(job);
+        for (const auto& [other_id, other_share] : placement->shares) {
+          dirty.push_back(other_id);
+        }
       }
     }
-    if (!best.valid()) {
-      break;  // nothing left to vacate
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    for (ServerId id : dirty) {
+      const Server& srv = cluster.server(id);
+      if (srv.pool() == ServerPool::kOnLoan && !srv.idle()) {
+        push_server(id);
+      }
     }
-    VacateServerImpl(cluster, best, ctx);
   }
   return Finalize(cluster, std::move(ctx), idle_before);
 }

@@ -104,13 +104,15 @@ double GroupCapacityCredit(const ClusterState& cluster, const std::vector<Server
 }
 
 // Places physical workers into the group until `nominal_workers` of credit is
-// accumulated. Within the group best-fit prefers the earlier (preferred) pool
+// accumulated; returns false — leaving a partial placement for the caller's
+// transaction to roll back — if the group runs out of placeable servers
+// first. Within the group best-fit prefers the earlier (preferred) pool
 // position only implicitly through equal tie handling; the primary key is the
 // tightest fit. A min-heap on (free GPUs, group position) replaces the
 // per-worker rescan: only the chosen server's free count changes between
 // picks, so pop + push keeps the heap exact and servers that drop below one
 // worker's demand leave the heap for good.
-void PlaceIntoGroup(ClusterState& cluster, const PlaceRequest& request,
+bool PlaceIntoGroup(ClusterState& cluster, const PlaceRequest& request,
                     const std::vector<ServerId>& group, int nominal_workers) {
   // (free GPUs, position in group, server id); tuple order reproduces the
   // rescan's first-seen tie-break.
@@ -129,7 +131,9 @@ void PlaceIntoGroup(ClusterState& cluster, const PlaceRequest& request,
 
   double credit = 0.0;
   while (credit + kCreditEpsilon < static_cast<double>(nominal_workers)) {
-    LYRA_CHECK(!heap.empty());
+    if (heap.empty()) {
+      return false;
+    }
     auto [free, index, best] = heap.top();
     heap.pop();
     cluster.Place(request.job, best, request.gpus_per_worker, request.flexible);
@@ -139,24 +143,50 @@ void PlaceIntoGroup(ClusterState& cluster, const PlaceRequest& request,
       heap.push({free, index, best});
     }
   }
+  return true;
+}
+
+// Shared all-or-nothing attempt, without the attempt/failure counters (the
+// speculative path must not skew them). Each candidate group is tried under
+// a ClusterTransaction: success commits, exhaustion rolls the partial
+// placement back and moves on to the next group — the aggregate credit check
+// stays as a cheap pre-filter, it no longer has to be exact for safety.
+bool TryPlaceWorkersImpl(ClusterState& cluster, const PlaceRequest& request) {
+  LYRA_CHECK_GT(request.workers, 0);
+  const auto groups = EligibleGroups(cluster, request);
+  for (const auto& group : groups) {
+    if (GroupCapacityCredit(cluster, group, request.gpus_per_worker) + kCreditEpsilon <
+        static_cast<double>(request.workers)) {
+      continue;
+    }
+    ClusterTransaction txn(cluster);
+    if (PlaceIntoGroup(cluster, request, group, request.workers)) {
+      txn.Commit();
+      return true;
+    }
+    txn.Rollback();
+  }
+  return false;
 }
 
 }  // namespace
 
 bool TryPlaceWorkers(ClusterState& cluster, const PlaceRequest& request) {
-  LYRA_CHECK_GT(request.workers, 0);
   obs::AddCounter("placement.attempts");
-  const auto groups = EligibleGroups(cluster, request);
-  for (const auto& group : groups) {
-    if (GroupCapacityCredit(cluster, group, request.gpus_per_worker) + kCreditEpsilon >=
-        static_cast<double>(request.workers)) {
-      PlaceIntoGroup(cluster, request, group, request.workers);
-      obs::AddCounter("placement.workers_placed", static_cast<std::uint64_t>(request.workers));
-      return true;
-    }
+  if (TryPlaceWorkersImpl(cluster, request)) {
+    obs::AddCounter("placement.workers_placed", static_cast<std::uint64_t>(request.workers));
+    return true;
   }
   obs::AddCounter("placement.failures");
   return false;
+}
+
+bool WouldPlaceWorkers(ClusterState& cluster, const PlaceRequest& request) {
+  obs::AddCounter("placement.speculative_checks");
+  ClusterTransaction txn(cluster);
+  const bool ok = TryPlaceWorkersImpl(cluster, request);
+  txn.Rollback();
+  return ok;
 }
 
 int CountPlaceableWorkers(const ClusterState& cluster, const PlaceRequest& request) {

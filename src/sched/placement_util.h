@@ -41,6 +41,13 @@ struct PlaceRequest {
 // GPU type the job already occupies (see CurrentGpuType).
 bool TryPlaceWorkers(ClusterState& cluster, const PlaceRequest& request);
 
+// Exact speculative feasibility check: would TryPlaceWorkers succeed right
+// now? Runs the real placement inside a ClusterTransaction and rolls it
+// back, so the answer accounts for fragmentation and type pinning — unlike
+// CountPlaceableWorkers, which is an aggregate-capacity estimate. The
+// cluster is unchanged on return.
+bool WouldPlaceWorkers(ClusterState& cluster, const PlaceRequest& request);
+
 // Counts how many additional workers of the given shape could be placed.
 int CountPlaceableWorkers(const ClusterState& cluster, const PlaceRequest& request);
 

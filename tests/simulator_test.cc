@@ -61,6 +61,59 @@ TEST(Simulator, SingleJobExactTiming) {
   EXPECT_NEAR(result.jct.mean, 20.0 + 1000.0, 1e-6);
 }
 
+TEST(Simulator, SameTimestampBatchSchedulesArrivalImmediately) {
+  // An arrival landing exactly on a tick timestamp was queued before the
+  // tick event (lower seq), so it is applied before the scheduler
+  // invocation at that timestamp and the job starts with zero queuing
+  // rather than waiting a full interval.
+  Trace trace;
+  trace.jobs.push_back(SimpleJob(0, 120.0, 1000.0, 4));
+  trace.duration = kDay;
+
+  SimulatorOptions options;
+  options.training_servers = 1;
+  options.scheduler_interval = 60.0;
+  options.enable_loaning = false;
+  FifoScheduler fifo;
+  LyraReclaimPolicy reclaim;
+  Simulator sim(options, trace, &fifo, &reclaim, nullptr);
+  const SimulationResult result = sim.Run();
+
+  ASSERT_EQ(result.finished_jobs, 1u);
+  EXPECT_NEAR(result.queuing.mean, 0.0, 1e-6);
+}
+
+TEST(Simulator, TickCoalescingCounterPresentAndZeroOnPeriodicSchedule) {
+  // The event loop collapses a queued run of same-type tick events at one
+  // timestamp into a single handler invocation. The periodic
+  // self-rescheduling schedule never produces such a duplicate, so the
+  // counter must exist and read zero — anything else means the coalescing
+  // changed the tick cadence.
+  Trace trace;
+  for (int j = 0; j < 6; ++j) {
+    trace.jobs.push_back(SimpleJob(j, j * 37.0, 500.0, 4, /*fungible=*/true));
+  }
+  trace.duration = kDay;
+
+  SimulatorOptions options;
+  options.training_servers = 2;
+  options.scheduler_interval = 60.0;
+  options.enable_loaning = true;
+  FifoScheduler fifo;
+  LyraReclaimPolicy reclaim;
+  Simulator sim(options, trace, &fifo, &reclaim, FlatInference(4, 0.2));
+  const SimulationResult result = sim.Run();
+  EXPECT_EQ(result.finished_jobs, 6u);
+
+  const auto& counters = sim.metrics().counters();
+  const auto coalesced = counters.find("sim.ticks_coalesced");
+  ASSERT_NE(coalesced, counters.end());
+  EXPECT_EQ(coalesced->second->value(), 0u);
+  ASSERT_NE(counters.find("sim.events.scheduler_tick"), counters.end());
+  EXPECT_GT(counters.at("sim.events.scheduler_tick")->value(), 0u);
+  EXPECT_GT(counters.at("sim.events.orchestrator_tick")->value(), 0u);
+}
+
 TEST(Simulator, JobsQueueWhenClusterIsFull) {
   Trace trace;
   trace.jobs.push_back(SimpleJob(0, 0.0, 1000.0, 8));
