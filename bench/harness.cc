@@ -249,6 +249,7 @@ SimulationResult RunOne(const ExperimentConfig& config, const RunSpec& spec,
   options.misprediction_fraction = spec.misprediction_fraction;
   options.checkpoint_interval = spec.checkpoint_interval;
   options.record_series = spec.record_series;
+  options.faults = spec.faults;
   // LYRA_BENCH_TRACE=<prefix> streams every run's events into
   // <prefix><label>.trace.json (label sanitized to filename characters).
   // Tracing is observational, so results stay identical to untraced runs.

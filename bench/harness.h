@@ -87,6 +87,8 @@ struct RunSpec {
   bool record_series = false;
   // Use the LSTM usage predictor instead of seasonal-naive (slower).
   bool lstm_predictor = false;
+  // Deterministic fault injection (off by default; see src/sim/faults.h).
+  FaultOptions faults;
 };
 
 SimulationResult RunExperiment(const ExperimentConfig& config, const RunSpec& spec);

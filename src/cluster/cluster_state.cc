@@ -36,6 +36,7 @@ ClusterState ClusterState::Clone() const {
   copy.used_gpus_ = used_gpus_;
   copy.free_gpus_by_type_ = free_gpus_by_type_;
   copy.pool_servers_ = pool_servers_;
+  copy.servers_down_ = servers_down_;
   return copy;
 }
 
@@ -106,6 +107,7 @@ std::vector<ServerId> ClusterState::TrainingVisibleServers() const {
 
 void ClusterState::Place(JobId job, ServerId server_id, int gpus, bool flexible) {
   Server& srv = mutable_server(server_id);
+  LYRA_CHECK(srv.up());  // down servers are invisible to placement
   srv.Place(job, gpus, flexible);
   AccountUsage(srv, gpus);
   GpuShare& share = placements_[job].shares[server_id];
@@ -192,6 +194,9 @@ int ClusterState::NumServersHosting(JobId job) const {
 
 Status ClusterState::LoanServer(ServerId id) {
   Server& srv = mutable_server(id);
+  if (!srv.up()) {
+    return Status::FailedPrecondition("server is down");
+  }
   if (srv.pool() != ServerPool::kInference) {
     return Status::FailedPrecondition("server is not in the inference pool");
   }
@@ -205,11 +210,21 @@ Status ClusterState::LoanServer(ServerId id) {
 
 Status ClusterState::ReturnServer(ServerId id) {
   Server& srv = mutable_server(id);
+  if (!srv.up()) {
+    return Status::FailedPrecondition("server is down");
+  }
   if (srv.pool() != ServerPool::kOnLoan) {
     return Status::FailedPrecondition("server is not on loan");
   }
   if (!srv.idle()) {
     return Status::FailedPrecondition("server still has running workers");
+  }
+  if (txn_depth_ > 0 && !CommittedIdle(id)) {
+    // The server looks idle only because an open transaction speculatively
+    // removed its workers. A return based on that would be silently reverted
+    // by the rollback while the caller keeps believing it succeeded.
+    return Status::FailedPrecondition(
+        "server idleness is speculative under an open transaction");
   }
   srv.set_pool(ServerPool::kInference);
   MoveServerCounters(srv, ServerPool::kOnLoan, ServerPool::kInference);
@@ -217,6 +232,53 @@ Status ClusterState::ReturnServer(ServerId id) {
     RecordSetPool(id, ServerPool::kOnLoan);
   }
   return Status::Ok();
+}
+
+Status ClusterState::MarkServerDown(ServerId id) {
+  LYRA_CHECK(txn_depth_ == 0);  // crashes are real, never speculative
+  Server& srv = mutable_server(id);
+  if (!srv.up()) {
+    return Status::FailedPrecondition("server is already down");
+  }
+  if (!srv.idle()) {
+    return Status::FailedPrecondition("server still has running workers");
+  }
+  const int pool = PoolIndex(srv.pool());
+  total_gpus_[pool] -= srv.num_gpus();
+  free_gpus_by_type_[pool][TypeIndex(srv.gpu_type())] -= srv.num_gpus();
+  PoolErase(srv.pool(), id);
+  srv.set_up(false);
+  ++servers_down_;
+  return Status::Ok();
+}
+
+Status ClusterState::MarkServerUp(ServerId id) {
+  LYRA_CHECK(txn_depth_ == 0);
+  Server& srv = mutable_server(id);
+  if (srv.up()) {
+    return Status::FailedPrecondition("server is already up");
+  }
+  LYRA_CHECK(srv.idle());  // nothing can be placed on a down server
+  const int pool = PoolIndex(srv.pool());
+  total_gpus_[pool] += srv.num_gpus();
+  free_gpus_by_type_[pool][TypeIndex(srv.gpu_type())] += srv.num_gpus();
+  PoolInsert(srv.pool(), id);
+  srv.set_up(true);
+  --servers_down_;
+  return Status::Ok();
+}
+
+bool ClusterState::CommittedIdle(ServerId id) const {
+  // Undo entries hold the inverse delta of each applied mutation; summing
+  // them onto the current usage reconstructs the committed usage without
+  // replaying the log.
+  int used = server(id).used_gpus();
+  for (const UndoEntry& entry : undo_log_) {
+    if (entry.kind == UndoEntry::Kind::kShareDelta && entry.server == id) {
+      used += entry.base_delta + entry.flexible_delta;
+    }
+  }
+  return used == 0;
 }
 
 int ClusterState::TrainingSideFreeGpus() const {
@@ -248,7 +310,16 @@ void ClusterState::AuditInvariants() const {
   std::array<std::array<int, kNumGpuTypes>, kNumPools> free_by_type{};
   std::array<std::vector<ServerId>, kNumPools> members;
 
+  int down = 0;
   for (const Server& srv : servers_) {
+    if (!srv.up()) {
+      // A down server is excluded from every counter and membership list and
+      // must have been vacated before it crashed.
+      LYRA_CHECK(srv.idle());
+      LYRA_CHECK(srv.jobs().empty());
+      ++down;
+      continue;
+    }
     const int pool = PoolIndex(srv.pool());
     total[pool] += srv.num_gpus();
     used[pool] += srv.used_gpus();
@@ -296,6 +367,7 @@ void ClusterState::AuditInvariants() const {
     LYRA_CHECK(members[pool] == pool_servers_[pool]);
     LYRA_CHECK(std::is_sorted(pool_servers_[pool].begin(), pool_servers_[pool].end()));
   }
+  LYRA_CHECK_EQ(down, servers_down_);
 }
 
 // --- Transactions -----------------------------------------------------------

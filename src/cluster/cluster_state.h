@@ -119,7 +119,31 @@ class ClusterState {
 
   // Returns an on-loan server to the inference cluster. The server must be
   // idle: the orchestrator confirms no running workers before returning (§6).
+  // While a transaction is open the idleness must also hold in the committed
+  // state: a server emptied only by uncommitted (speculative) removals is
+  // rejected, because the pending rollback would silently revert the return
+  // after the caller already acted on its success.
   Status ReturnServer(ServerId id);
+
+  // --- Health (fault model, DESIGN.md §7) -----------------------------------
+
+  // Marks an idle server down (a crash): its capacity leaves the pool
+  // counters and the membership index, so schedulers, the orchestrator, and
+  // every capacity query stop seeing it. Callers vacate hosted jobs first.
+  // Crashes are real events, never speculative: calling this with an open
+  // transaction is a programming error.
+  Status MarkServerDown(ServerId id);
+
+  // Brings a down server back up; its capacity re-enters its pool.
+  Status MarkServerUp(ServerId id);
+
+  bool IsServerUp(ServerId id) const { return server(id).up(); }
+  int NumServersDown() const { return servers_down_; }
+
+  // Idleness judged against the committed state: share removals recorded in
+  // the open transaction's undo log do not count. Equals Server::idle() when
+  // no transaction is open.
+  bool CommittedIdle(ServerId id) const;
 
   // --- Capacity queries -------------------------------------------------------
   //
@@ -216,6 +240,9 @@ class ClusterState {
   std::array<int, kNumPools> used_gpus_{};
   std::array<std::array<int, kNumGpuTypes>, kNumPools> free_gpus_by_type_{};
   std::array<std::vector<ServerId>, kNumPools> pool_servers_;
+
+  // Number of servers currently down (health, DESIGN.md §7).
+  int servers_down_ = 0;
 
   // Transaction support. The log holds inverse ops for every mutation since
   // the outermost transaction opened; nested transactions mark positions in

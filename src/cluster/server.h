@@ -59,6 +59,13 @@ class Server {
   ServerPool pool() const { return pool_; }
   void set_pool(ServerPool pool) { pool_ = pool; }
 
+  // Health (§ fault model): a down server keeps its pool tag but its capacity
+  // is invisible — ClusterState removes it from the pool counters and
+  // membership index while down. Only ClusterState::MarkServerDown/Up flip
+  // this so the accounting always moves with it.
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
   int used_gpus() const { return used_gpus_; }
   int free_gpus() const { return num_gpus_ - used_gpus_; }
   bool idle() const { return used_gpus_ == 0; }
@@ -94,6 +101,7 @@ class Server {
   GpuType gpu_type_;
   int num_gpus_;
   ServerPool pool_;
+  bool up_ = true;
   int used_gpus_ = 0;
   std::map<JobId, GpuShare> jobs_;
 };

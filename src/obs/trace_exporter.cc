@@ -81,6 +81,8 @@ const char* TraceTrackName(TraceTrack track) {
       return "decisions";
     case TraceTrack::kPhases:
       return "phases";
+    case TraceTrack::kFaults:
+      return "faults";
   }
   return "?";
 }
@@ -154,7 +156,8 @@ std::string TraceExporter::ToJson() const {
   AppendMetadata(json, "process_name", kSimPid, -1, "simulation (1 us = 1 sim us)");
   AppendMetadata(json, "process_name", kWallPid, -1, "profiler (wall clock)");
   for (TraceTrack track : {TraceTrack::kJobs, TraceTrack::kLoans, TraceTrack::kReclaims,
-                           TraceTrack::kDecisions, TraceTrack::kPhases}) {
+                           TraceTrack::kDecisions, TraceTrack::kPhases,
+                           TraceTrack::kFaults}) {
     AppendMetadata(json, "thread_name", TrackPid(track),
                    static_cast<int>(track), TraceTrackName(track));
   }

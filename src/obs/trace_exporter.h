@@ -28,6 +28,7 @@ enum class TraceTrack : std::uint8_t {
   kReclaims,
   kDecisions,
   kPhases,
+  kFaults,
 };
 
 const char* TraceTrackName(TraceTrack track);

@@ -84,6 +84,16 @@ Simulator::Simulator(SimulatorOptions options, const Trace& trace,
   PushEvent(0.0, EventType::kSchedulerTick);
   PushEvent(0.0, EventType::kOrchestratorTick);
 
+  if (options_.faults.enabled) {
+    faults_ = std::make_unique<FaultInjector>(options_.faults);
+    straggler_generation_.assign(jobs_.size(), 0);
+    // Draw order is fixed, so the schedule is a pure function of the seed.
+    PushFaultEvent(faults_->NextCrash(0.0), EventType::kServerCrash);
+    PushFaultEvent(faults_->NextWorkerFailure(0.0), EventType::kWorkerFailure);
+    PushFaultEvent(faults_->NextStorm(0.0), EventType::kRevocationStorm);
+    PushFaultEvent(faults_->NextStraggler(0.0), EventType::kStragglerStart);
+  }
+
   result_.total_jobs = jobs_.size();
   result_.queued_flags.assign(jobs_.size(), false);
   result_.submit_times.resize(jobs_.size());
@@ -96,6 +106,22 @@ Simulator::Simulator(SimulatorOptions options, const Trace& trace,
 void Simulator::PushEvent(TimeSec time, EventType type, std::int64_t job,
                           std::uint64_t generation) {
   events_.push(Event{time, next_seq_++, type, job, generation});
+}
+
+void Simulator::PushFaultEvent(TimeSec time, EventType type) {
+  // Disabled fault classes schedule at +inf; drop instead of queueing.
+  if (std::isfinite(time)) {
+    PushEvent(time, type);
+  }
+}
+
+double Simulator::EffectiveRate(const Job& job, const PlacementProfile& profile,
+                                const ThroughputModel& model) const {
+  const double rate = model.Rate(job.spec(), profile, job.tuned());
+  const double factor = job.perf_factor();
+  // The explicit 1.0 branch guarantees a healthy job's rate is the exact
+  // model rate, keeping faults-disabled runs bit-identical.
+  return factor == 1.0 ? rate : rate * factor;
 }
 
 double Simulator::OverallUsedGpus(TimeSec now) const {
@@ -155,7 +181,7 @@ void Simulator::SyncAfterScheduling(TimeSec now) {
     job->set_tuned(tuner && job->spec().elastic());
     const PlacementProfile profile = ProfileFor(cluster_, *job);
     const ThroughputModel model(options_.throughput);
-    job->Start(now, model.Rate(job->spec(), profile, job->tuned()), profile.workers);
+    job->Start(now, EffectiveRate(*job, profile, model), profile.workers);
     if (trace_ != nullptr) {
       trace_->AsyncBegin(obs::TraceTrack::kJobs, JobTrackName(job->id().value), now,
                          job->id().value, JobArgs(job->id().value, profile.workers));
@@ -174,7 +200,7 @@ void Simulator::SyncAfterScheduling(TimeSec now) {
   const ThroughputModel model(options_.throughput);
   for (Job* job : running_) {
     const PlacementProfile profile = ProfileFor(cluster_, *job);
-    const double rate = model.Rate(job->spec(), profile, job->tuned());
+    const double rate = EffectiveRate(*job, profile, model);
     if (std::fabs(rate - job->rate()) > kRateEpsilon ||
         profile.workers != job->current_workers()) {
       if (trace_ != nullptr && profile.workers != job->current_workers()) {
@@ -333,16 +359,25 @@ void Simulator::HandleOrchestratorTick(TimeSec now) {
     }
   }
 
-  for (JobId id : reclaim.preempted) {
+  PreemptAndRequeue(now, reclaim.preempted, obs::TraceTrack::kReclaims,
+                    "\"reason\": \"preempted\"");
+  RefreshScaledIn(now, reclaim.scaled_in);
+
+  MirrorIntoResourceManager(now);
+  RecordSeriesPoint(now);
+}
+
+void Simulator::PreemptAndRequeue(TimeSec now, const std::vector<JobId>& preempted,
+                                  obs::TraceTrack track, const char* end_reason) {
+  for (JobId id : preempted) {
     Job* job = jobs_[static_cast<std::size_t>(id.value)].get();
     LYRA_CHECK(job->state() == JobState::kRunning);
     job->Preempt(now, options_.preemption_overhead,
                  options_.checkpoint_interval * job->spec().min_workers);
     if (trace_ != nullptr) {
-      trace_->Instant(obs::TraceTrack::kReclaims, "preempt", now,
-                      JobArgs(id.value, job->current_workers()));
+      trace_->Instant(track, "preempt", now, JobArgs(id.value, job->current_workers()));
       trace_->AsyncEnd(obs::TraceTrack::kJobs, JobTrackName(id.value), now, id.value,
-                       "\"reason\": \"preempted\"");
+                       end_reason);
     }
     if (options_.record_decisions) {
       decision_log_.Append(now, DecisionKind::kJobPreempt, id.value, 0);
@@ -352,20 +387,193 @@ void Simulator::HandleOrchestratorTick(TimeSec now) {
     pending_.push_back(job);
     ++finish_generation_[static_cast<std::size_t>(id.value)];  // invalidate finish
   }
+}
+
+void Simulator::RefreshScaledIn(TimeSec now, const std::vector<JobId>& scaled_in) {
   // Scaled-in jobs keep running at a lower rate.
   const ThroughputModel model(options_.throughput);
-  for (JobId id : reclaim.scaled_in) {
+  for (JobId id : scaled_in) {
     Job* job = jobs_[static_cast<std::size_t>(id.value)].get();
     if (job->state() != JobState::kRunning) {
       continue;  // also appeared in the preempted list
     }
     const PlacementProfile profile = ProfileFor(cluster_, *job);
-    job->UpdateRate(now, model.Rate(job->spec(), profile, job->tuned()), profile.workers);
+    job->UpdateRate(now, EffectiveRate(*job, profile, model), profile.workers);
     ScheduleFinish(*job, now);
   }
+}
 
-  MirrorIntoResourceManager(now);
-  RecordSeriesPoint(now);
+// --- Fault handlers (DESIGN.md §7) ------------------------------------------
+
+void Simulator::HandleServerCrash(TimeSec now) {
+  // Reschedule first so the injector's draw order is independent of cluster
+  // state (the schedule depends only on the fault seed).
+  PushFaultEvent(faults_->NextCrash(now), EventType::kServerCrash);
+  const std::vector<ServerId> candidates = cluster_.TrainingVisibleServers();
+  if (candidates.empty()) {
+    return;  // everything already down; the draw above keeps the clock going
+  }
+  const ServerId victim = candidates[faults_->PickIndex(candidates.size())];
+
+  // Vacate like a reclaim would: jobs with base GPUs on the victim die (and
+  // re-enter the queue with checkpoint-restore semantics), flexible-only
+  // residents just scale in.
+  ReclaimResult vacated;
+  VacateServer(cluster_, victim, vacated);
+  PreemptAndRequeue(now, vacated.preempted, obs::TraceTrack::kFaults,
+                    "\"reason\": \"server_crash\"");
+  RefreshScaledIn(now, vacated.scaled_in);
+  LYRA_CHECK(cluster_.MarkServerDown(victim).ok());
+  PushEvent(faults_->DrawRecovery(now), EventType::kServerRecovery, victim.value);
+
+  faults_->Record({now, FaultKind::kServerCrash, victim.value,
+                   static_cast<int>(vacated.preempted.size())});
+  faults_->stats().jobs_scaled_in += static_cast<int>(vacated.scaled_in.size());
+  obs_.metrics.counter("sim.faults.server_crashes")->Add();
+  if (trace_ != nullptr) {
+    char args[96];
+    std::snprintf(args, sizeof(args), "\"server\": %lld, \"killed\": %zu",
+                  static_cast<long long>(victim.value), vacated.preempted.size());
+    trace_->Instant(obs::TraceTrack::kFaults, "server_crash", now, args);
+  }
+  dirty_ = true;
+}
+
+void Simulator::HandleServerRecovery(TimeSec now, std::int64_t server) {
+  LYRA_CHECK(cluster_.MarkServerUp(ServerId(server)).ok());
+  faults_->Record({now, FaultKind::kServerRecovery, server, 0});
+  obs_.metrics.counter("sim.faults.server_recoveries")->Add();
+  if (trace_ != nullptr) {
+    char args[48];
+    std::snprintf(args, sizeof(args), "\"server\": %lld",
+                  static_cast<long long>(server));
+    trace_->Instant(obs::TraceTrack::kFaults, "server_recovery", now, args);
+  }
+  dirty_ = true;
+}
+
+void Simulator::HandleWorkerFailure(TimeSec now) {
+  PushFaultEvent(faults_->NextWorkerFailure(now), EventType::kWorkerFailure);
+  if (running_.empty()) {
+    return;
+  }
+  Job* job = running_[faults_->PickIndex(running_.size())];
+  // One worker of the gang restarts; the whole gang waits for it.
+  job->Stall(now, options_.faults.worker_restart_delay);
+  ScheduleFinish(*job, now);
+  faults_->Record({now, FaultKind::kWorkerFailure, job->id().value, 0});
+  obs_.metrics.counter("sim.faults.worker_failures")->Add();
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceTrack::kFaults, "worker_failure", now,
+                    JobArgs(job->id().value, job->current_workers()));
+  }
+}
+
+void Simulator::HandleRevocationStorm(TimeSec now) {
+  PushFaultEvent(faults_->NextStorm(now), EventType::kRevocationStorm);
+  if (inference_ == nullptr || !options_.enable_loaning ||
+      reclaim_policy_ == nullptr) {
+    return;
+  }
+  const int loaned = cluster_.NumServersInPool(ServerPool::kOnLoan);
+  if (loaned == 0) {
+    // The storm still "happened" (the inference side spiked); there was just
+    // nothing to revoke. Record it so firing counts are seed-deterministic
+    // regardless of loan timing.
+    faults_->Record({now, FaultKind::kRevocationStorm, 0, 0});
+    obs_.metrics.counter("sim.faults.revocation_storms")->Add();
+    return;
+  }
+  const int revoke = faults_->StormSize(loaned);
+
+  // Speculative damage estimate on the live state: run the reclaim inside a
+  // transaction and roll it back. This is the crash-mid-what-if path the
+  // transaction substrate must keep safe (ReturnServer refuses speculatively
+  // idle servers, so the rollback cannot strand a pool move).
+  std::size_t estimated_preemptions = 0;
+  {
+    ClusterTransaction txn(cluster_);
+    const ReclaimResult whatif = reclaim_policy_->Reclaim(cluster_, revoke);
+    estimated_preemptions = whatif.preempted.size();
+    txn.Rollback();
+  }
+
+  // The real revocation: drive the loaned count down by `revoke` through the
+  // regular orchestrator path (reclaim, then return of the emptied servers).
+  ResourceOrchestrator orchestrator(reclaim_policy_);
+  const ReclaimResult reclaim =
+      orchestrator.Reconcile(cluster_, loaned - revoke);
+  const OrchestratorStats& stats = orchestrator.stats();
+  result_.orchestrator.loan_operations += stats.loan_operations;
+  result_.orchestrator.reclaim_operations += stats.reclaim_operations;
+  result_.orchestrator.servers_loaned += stats.servers_loaned;
+  result_.orchestrator.servers_returned += stats.servers_returned;
+  result_.orchestrator.jobs_preempted += stats.jobs_preempted;
+  result_.orchestrator.collateral_gpus += stats.collateral_gpus;
+  PreemptAndRequeue(now, reclaim.preempted, obs::TraceTrack::kFaults,
+                    "\"reason\": \"revocation_storm\"");
+  RefreshScaledIn(now, reclaim.scaled_in);
+
+  faults_->Record({now, FaultKind::kRevocationStorm, stats.servers_returned,
+                   static_cast<int>(reclaim.preempted.size())});
+  obs_.metrics.counter("sim.faults.revocation_storms")->Add();
+  if (trace_ != nullptr) {
+    char args[128];
+    std::snprintf(args, sizeof(args),
+                  "\"revoked\": %d, \"preempted\": %zu, \"estimated\": %zu",
+                  stats.servers_returned, reclaim.preempted.size(),
+                  estimated_preemptions);
+    trace_->Instant(obs::TraceTrack::kFaults, "revocation_storm", now, args);
+  }
+  dirty_ = true;
+}
+
+void Simulator::HandleStragglerStart(TimeSec now) {
+  PushFaultEvent(faults_->NextStraggler(now), EventType::kStragglerStart);
+  if (running_.empty()) {
+    return;
+  }
+  Job* job = running_[faults_->PickIndex(running_.size())];
+  if (job->perf_factor() != 1.0) {
+    return;  // already degraded; don't stack slowdowns
+  }
+  job->set_perf_factor(options_.faults.straggler_factor);
+  const ThroughputModel model(options_.throughput);
+  const PlacementProfile profile = ProfileFor(cluster_, *job);
+  job->UpdateRate(now, EffectiveRate(*job, profile, model), profile.workers);
+  ScheduleFinish(*job, now);
+  const auto index = static_cast<std::size_t>(job->id().value);
+  const std::uint64_t generation = ++straggler_generation_[index];
+  PushEvent(now + options_.faults.straggler_duration, EventType::kStragglerEnd,
+            job->id().value, generation);
+  faults_->Record({now, FaultKind::kStragglerStart, job->id().value, 0});
+  obs_.metrics.counter("sim.faults.stragglers")->Add();
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceTrack::kFaults, "straggler_start", now,
+                    JobArgs(job->id().value, job->current_workers()));
+  }
+}
+
+void Simulator::HandleStragglerEnd(TimeSec now, std::int64_t job_index,
+                                   std::uint64_t generation) {
+  const auto index = static_cast<std::size_t>(job_index);
+  if (straggler_generation_[index] != generation) {
+    return;  // superseded by a newer straggler
+  }
+  Job* job = jobs_[index].get();
+  if (job->state() != JobState::kRunning) {
+    return;  // a preemption or finish already cleared the factor
+  }
+  job->set_perf_factor(1.0);
+  const ThroughputModel model(options_.throughput);
+  const PlacementProfile profile = ProfileFor(cluster_, *job);
+  job->UpdateRate(now, EffectiveRate(*job, profile, model), profile.workers);
+  ScheduleFinish(*job, now);
+  faults_->Record({now, FaultKind::kStragglerEnd, job_index, 0});
+  if (trace_ != nullptr) {
+    trace_->Instant(obs::TraceTrack::kFaults, "straggler_end", now,
+                    JobArgs(job_index, job->current_workers()));
+  }
 }
 
 void Simulator::RecordSeriesPoint(TimeSec now) {
@@ -495,6 +703,30 @@ SimulationResult Simulator::Run() {
             PushEvent(next_orchestrator_tick, EventType::kOrchestratorTick);
           }
           break;
+        case EventType::kServerCrash:
+          obs_.metrics.counter("sim.events.fault")->Add();
+          HandleServerCrash(now);
+          break;
+        case EventType::kServerRecovery:
+          obs_.metrics.counter("sim.events.fault")->Add();
+          HandleServerRecovery(now, event.job);
+          break;
+        case EventType::kWorkerFailure:
+          obs_.metrics.counter("sim.events.fault")->Add();
+          HandleWorkerFailure(now);
+          break;
+        case EventType::kRevocationStorm:
+          obs_.metrics.counter("sim.events.fault")->Add();
+          HandleRevocationStorm(now);
+          break;
+        case EventType::kStragglerStart:
+          obs_.metrics.counter("sim.events.fault")->Add();
+          HandleStragglerStart(now);
+          break;
+        case EventType::kStragglerEnd:
+          obs_.metrics.counter("sim.events.fault")->Add();
+          HandleStragglerEnd(now, event.job, event.generation);
+          break;
       }
     }
   }
@@ -533,6 +765,10 @@ SimulationResult Simulator::Run() {
     result_.queuing_on_loan = Summarize(result_.queuing_on_loan_samples);
     result_.jct_on_loan = Summarize(result_.jct_on_loan_samples);
     result_.profiler_error = profiler_.mean_relative_error();
+    if (faults_ != nullptr) {
+      result_.faults = faults_->stats();
+      result_.fault_log_hash = faults_->log_hash();
+    }
     result_.training_usage = training_meter_.mean();
     result_.overall_usage =
         inference_ != nullptr ? overall_meter_.mean() : training_meter_.mean();

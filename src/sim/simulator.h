@@ -27,6 +27,7 @@
 #include "src/rm/reconciler.h"
 #include "src/rm/resource_manager.h"
 #include "src/sim/decision_log.h"
+#include "src/sim/faults.h"
 #include "src/sim/inference_cluster.h"
 #include "src/workload/trace.h"
 
@@ -76,6 +77,11 @@ struct SimulatorOptions {
   std::size_t trace_capacity = obs::TraceExporter::kDefaultCapacity;
   // Hard stop; 0 = trace duration + 7 days.
   TimeSec max_time = 0.0;
+  // Deterministic fault injection (DESIGN.md §7). Disabled by default; when
+  // disabled the simulator performs zero extra RNG draws and its output is
+  // bit-identical to a run without the fault subsystem (enforced by the
+  // golden-trace test).
+  FaultOptions faults;
 };
 
 struct SeriesPoint {
@@ -133,6 +139,11 @@ struct SimulationResult {
   std::uint64_t trace_events_dropped = 0;
 
   OrchestratorStats orchestrator;
+  // Fault-injection totals and a rolling hash of the fault-event log (0 when
+  // faults are disabled). The hash participates in determinism comparisons:
+  // equal seeds must produce equal fault sequences.
+  FaultStats faults;
+  std::uint64_t fault_log_hash = 0;
   std::vector<SeriesPoint> series;  // 5-minute cadence when record_series
   // Mean absolute relative error of the profiler's estimates (0 when the
   // profiler is off).
@@ -162,6 +173,8 @@ class Simulator {
   const obs::MetricsRegistry& metrics() const { return obs_.metrics; }
   // The trace exporter, or null when options.trace_path is empty.
   const obs::TraceExporter* trace_exporter() const { return trace_.get(); }
+  // The fault injector, or null when options.faults.enabled is false.
+  const FaultInjector* fault_injector() const { return faults_.get(); }
 
  private:
   enum class EventType {
@@ -169,6 +182,15 @@ class Simulator {
     kJobFinish,
     kSchedulerTick,
     kOrchestratorTick,
+    // Fault events (DESIGN.md §7). `job` carries the server id for
+    // crash/recovery and the job id for straggler end; `generation` carries
+    // the per-job straggler generation.
+    kServerCrash,
+    kServerRecovery,
+    kWorkerFailure,
+    kRevocationStorm,
+    kStragglerStart,
+    kStragglerEnd,
   };
 
   struct Event {
@@ -198,6 +220,26 @@ class Simulator {
   void RecordSeriesPoint(TimeSec now);
   double OverallUsedGpus(TimeSec now) const;
 
+  // Placement-derived throughput times the job's straggler factor. Exactly
+  // equal to the model rate while the factor is 1.0 (no FP perturbation).
+  double EffectiveRate(const Job& job, const PlacementProfile& profile,
+                       const ThroughputModel& model) const;
+  // Requeues fully preempted jobs and refreshes scaled-in survivors after a
+  // reclaim-shaped disruption (orchestrator reclaim, crash, storm).
+  void PreemptAndRequeue(TimeSec now, const std::vector<JobId>& preempted,
+                         obs::TraceTrack track, const char* end_reason);
+  void RefreshScaledIn(TimeSec now, const std::vector<JobId>& scaled_in);
+
+  // Fault machinery (all no-ops unless options_.faults.enabled).
+  void PushFaultEvent(TimeSec time, EventType type);
+  void HandleServerCrash(TimeSec now);
+  void HandleServerRecovery(TimeSec now, std::int64_t server);
+  void HandleWorkerFailure(TimeSec now);
+  void HandleRevocationStorm(TimeSec now);
+  void HandleStragglerStart(TimeSec now);
+  void HandleStragglerEnd(TimeSec now, std::int64_t job_index,
+                          std::uint64_t generation);
+
   SimulatorOptions options_;
   JobScheduler* scheduler_;
   ReclaimPolicy* reclaim_policy_;
@@ -205,6 +247,10 @@ class Simulator {
   ClusterState cluster_;
   std::vector<std::unique_ptr<Job>> jobs_;
   std::vector<std::uint64_t> finish_generation_;
+  std::unique_ptr<FaultInjector> faults_;
+  // Per-job straggler generation: invalidates queued kStragglerEnd events
+  // when a newer straggler (or a preemption) superseded them.
+  std::vector<std::uint64_t> straggler_generation_;
   std::vector<Job*> pending_;
   std::vector<Job*> running_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;

@@ -105,6 +105,16 @@ class Job {
   bool tuned() const { return tuned_; }
   void set_tuned(bool tuned) { tuned_ = tuned; }
 
+  // Straggler degradation (fault model, DESIGN.md §7): a multiplier the
+  // simulator applies on top of the placement-derived throughput. 1.0 means
+  // healthy; reset on preemption (a restart lands on fresh hardware) and on
+  // finish.
+  double perf_factor() const { return perf_factor_; }
+  void set_perf_factor(double factor) {
+    LYRA_CHECK_GT(factor, 0.0);
+    perf_factor_ = factor;
+  }
+
   // Queuing time: from submission until the job first receives resources.
   // Defined only after the job has started.
   TimeSec QueuingTime() const {
@@ -183,6 +193,7 @@ class Job {
     state_ = JobState::kPending;
     rate_ = 0.0;
     current_workers_ = 0;
+    perf_factor_ = 1.0;
     if (spec_.checkpointing) {
       double kept = spec_.total_work - work_remaining_;
       if (checkpoint_chunk_work > 0.0) {
@@ -203,6 +214,17 @@ class Job {
     finish_time_ = now;
     rate_ = 0.0;
     current_workers_ = 0;
+    perf_factor_ = 1.0;
+  }
+
+  // Charges a transient stall of `delay` wall-seconds at the current rate (a
+  // failed worker restarting: the gang waits for it). Modeled as extra work,
+  // so the predicted finish slips by exactly `delay`.
+  void Stall(TimeSec now, TimeSec delay) {
+    LYRA_CHECK(state_ == JobState::kRunning);
+    LYRA_CHECK_GE(delay, 0.0);
+    AdvanceProgress(now);
+    work_remaining_ += rate_ * delay;
   }
 
   // Predicted wall-clock finish time at the current rate; +inf when stalled.
@@ -229,6 +251,7 @@ class Job {
   int scaling_operations_ = 0;
   bool ever_on_loaned_server_ = false;
   bool tuned_ = false;
+  double perf_factor_ = 1.0;
 };
 
 }  // namespace lyra

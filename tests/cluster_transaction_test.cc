@@ -125,7 +125,7 @@ void RandomMutation(ClusterState& cluster, Rng& rng, int& next_job) {
                       .ok());
       break;
     }
-    case 6: {  // Return an idle on-loan server.
+    case 6: {  // Return an idle on-loan server (may be guard-rejected).
       const auto& loaned = cluster.ServersInPool(ServerPool::kOnLoan);
       if (loaned.empty()) {
         break;
@@ -133,7 +133,15 @@ void RandomMutation(ClusterState& cluster, Rng& rng, int& next_job) {
       const ServerId id = loaned[static_cast<std::size_t>(
           rng.UniformInt(0, static_cast<std::int64_t>(loaned.size()) - 1))];
       if (cluster.server(id).idle()) {
-        EXPECT_TRUE(cluster.ReturnServer(id).ok());
+        // Under an open transaction the idleness may be speculative, in which
+        // case ReturnServer refuses (see ReturnServerRejectsSpeculativeIdleness
+        // below); out of a transaction an idle on-loan server always returns.
+        const Status status = cluster.ReturnServer(id);
+        if (!cluster.InTransaction()) {
+          EXPECT_TRUE(status.ok());
+        } else {
+          EXPECT_TRUE(status.ok() || !cluster.CommittedIdle(id));
+        }
       }
       break;
     }
@@ -188,8 +196,11 @@ TEST_P(TransactionPropertyTest, CommitKeepsMutationsAndClearsLog) {
   int next_job = 0;
   ClusterState cluster = SeedCluster(rng, next_job);
 
-  // Run the same mutation stream against an un-transacted clone: committing
-  // must leave exactly the state plain mutations would have produced.
+  // Run the same mutation stream against a clone under an identically
+  // committed transaction: committing must keep every mutation. (The
+  // reference stream also runs transacted because ReturnServer is guard-
+  // restricted under an open transaction — a plain replay could legally
+  // return a server the transacted run refused to.)
   ClusterState expected = cluster.Clone();
   Rng expected_rng = rng;
   int expected_next_job = next_job;
@@ -204,8 +215,12 @@ TEST_P(TransactionPropertyTest, CommitKeepsMutationsAndClearsLog) {
   EXPECT_EQ(cluster.UndoLogSize(), 0u);
   EXPECT_EQ(txn.ops(), 0u);  // closed transactions hold nothing
 
-  for (int i = 0; i < 50; ++i) {
-    RandomMutation(expected, expected_rng, expected_next_job);
+  {
+    ClusterTransaction expected_txn(expected);
+    for (int i = 0; i < 50; ++i) {
+      RandomMutation(expected, expected_rng, expected_next_job);
+    }
+    expected_txn.Commit();
   }
   ExpectStatesEqual(cluster, expected);
 }
@@ -276,6 +291,78 @@ TEST(ClusterTransactionTest, RollbackRestoresPoolTransitions) {
   ExpectStatesEqual(cluster, reference);
   EXPECT_EQ(cluster.server(i0).pool(), ServerPool::kInference);
   EXPECT_EQ(cluster.server(l0).pool(), ServerPool::kOnLoan);
+}
+
+// Regression: ReturnServer used to accept a server whose idleness existed
+// only inside an open transaction (e.g. a speculative what-if removed its
+// jobs). The return reported success, then the rollback silently moved the
+// server back on loan — the caller had acted on a state change that never
+// happened. Such returns are now rejected until the removal commits.
+TEST(ClusterTransactionTest, ReturnServerRejectsSpeculativeIdleness) {
+  ClusterState cluster;
+  cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  const ServerId l0 = cluster.AddServer(GpuType::kInferenceT4, 8, ServerPool::kOnLoan);
+  cluster.Place(JobId(7), l0, 4, false);  // committed occupancy
+  const ClusterState reference = cluster.Clone();
+
+  {
+    ClusterTransaction txn(cluster);
+    cluster.RemoveJob(JobId(7));  // speculative: makes l0 *look* idle
+    ASSERT_TRUE(cluster.server(l0).idle());
+    EXPECT_FALSE(cluster.CommittedIdle(l0));
+    EXPECT_FALSE(cluster.ReturnServer(l0).ok());  // the fix under test
+    EXPECT_EQ(cluster.server(l0).pool(), ServerPool::kOnLoan);
+    txn.Rollback();
+  }
+  ExpectStatesEqual(cluster, reference);
+
+  // A server placed *and* vacated inside the same transaction nets out to
+  // committed-idle, so returning it stays legal (RollbackRestoresPoolTransitions
+  // depends on this), and so does a return after the removal commits.
+  {
+    ClusterTransaction txn(cluster);
+    cluster.RemoveJob(JobId(7));
+    txn.Commit();
+  }
+  EXPECT_TRUE(cluster.CommittedIdle(l0));
+  EXPECT_TRUE(cluster.ReturnServer(l0).ok());
+  EXPECT_EQ(cluster.server(l0).pool(), ServerPool::kInference);
+  cluster.AuditInvariants();
+}
+
+// Health-state accounting: a down server's capacity leaves the counters and
+// membership index, placement and loaning refuse it, and recovery restores
+// everything — with AuditInvariants holding at every step.
+TEST(ClusterHealthTest, DownServerLeavesCountersAndComesBack) {
+  ClusterState cluster;
+  const ServerId t0 = cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  const ServerId t1 = cluster.AddServer(GpuType::kTrainingV100, 8, ServerPool::kTraining);
+  const ServerId i0 = cluster.AddServer(GpuType::kInferenceT4, 8, ServerPool::kInference);
+  cluster.Place(JobId(1), t1, 4, false);
+
+  EXPECT_FALSE(cluster.MarkServerDown(t1).ok());  // occupied: vacate first
+  ASSERT_TRUE(cluster.MarkServerDown(t0).ok());
+  EXPECT_FALSE(cluster.IsServerUp(t0));
+  EXPECT_EQ(cluster.NumServersDown(), 1);
+  EXPECT_EQ(cluster.TotalGpus(ServerPool::kTraining), 8);
+  EXPECT_EQ(cluster.TrainingSideFreeGpus(), 4);
+  EXPECT_EQ(cluster.ServersInPool(ServerPool::kTraining),
+            std::vector<ServerId>{t1});
+  EXPECT_FALSE(cluster.MarkServerDown(t0).ok());  // already down
+  cluster.AuditInvariants();
+
+  // Down inference servers can be neither loaned nor returned.
+  ASSERT_TRUE(cluster.MarkServerDown(i0).ok());
+  EXPECT_FALSE(cluster.LoanServer(i0).ok());
+  EXPECT_FALSE(cluster.ReturnServer(i0).ok());
+  ASSERT_TRUE(cluster.MarkServerUp(i0).ok());
+
+  ASSERT_TRUE(cluster.MarkServerUp(t0).ok());
+  EXPECT_FALSE(cluster.MarkServerUp(t0).ok());  // already up
+  EXPECT_EQ(cluster.NumServersDown(), 0);
+  EXPECT_EQ(cluster.TotalGpus(ServerPool::kTraining), 16);
+  EXPECT_EQ(cluster.TrainingSideFreeGpus(), 12);
+  cluster.AuditInvariants();
 }
 
 TEST(ClusterTransactionTest, WouldPlaceWorkersMatchesRealPlacementWithoutMutating) {

@@ -1,0 +1,197 @@
+// Unit semantics of the fault-injection subsystem: crash/recovery capacity
+// accounting through a live simulation, exact worker-stall arithmetic,
+// straggler rate degradation and restoration, storm bookkeeping, and the
+// zero-overhead contract when faults are disabled.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/lyra/lyra_scheduler.h"
+#include "src/sched/fifo.h"
+#include "src/sim/faults.h"
+#include "src/sim/simulator.h"
+
+namespace lyra {
+namespace {
+
+JobSpec SimpleJob(std::int64_t id, double submit, double duration, int gpus,
+                  bool checkpointing = false) {
+  JobSpec spec;
+  spec.id = JobId(id);
+  spec.submit_time = submit;
+  spec.gpus_per_worker = gpus;
+  spec.min_workers = 1;
+  spec.max_workers = 1;
+  spec.total_work = duration;  // one worker => work == duration
+  spec.checkpointing = checkpointing;
+  return spec;
+}
+
+TEST(FaultInjector, DisabledFaultsAddNothingToTheResult) {
+  Trace trace;
+  trace.jobs.push_back(SimpleJob(0, 0.0, 1000.0, 4));
+  trace.duration = kDay;
+
+  SimulatorOptions options;
+  options.training_servers = 1;
+  options.enable_loaning = false;
+
+  SimulatorOptions with_struct = options;
+  with_struct.faults = FaultOptions{};  // still disabled
+
+  FifoScheduler fifo_a;
+  const SimulationResult a = Simulator(options, trace, &fifo_a, nullptr, nullptr).Run();
+  FifoScheduler fifo_b;
+  const SimulationResult b =
+      Simulator(with_struct, trace, &fifo_b, nullptr, nullptr).Run();
+
+  EXPECT_EQ(a.jct.mean, b.jct.mean);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.fault_log_hash, 0u);
+  EXPECT_EQ(a.faults, FaultStats{});
+}
+
+TEST(FaultInjector, ScheduleIsAPureFunctionOfTheSeed) {
+  FaultOptions options;
+  options.enabled = true;
+  options.seed = 21;
+  options.server_mtbf = kHour;
+  options.worker_mtbf = kHour;
+
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextCrash(0.0), b.NextCrash(0.0));
+    EXPECT_EQ(a.NextWorkerFailure(0.0), b.NextWorkerFailure(0.0));
+    EXPECT_EQ(a.PickIndex(17), b.PickIndex(17));
+  }
+  EXPECT_EQ(a.log_hash(), b.log_hash());
+
+  // Disabled classes never consume a draw: their next time is +inf and the
+  // streams of the enabled classes are unperturbed.
+  FaultOptions storms_off = options;
+  storms_off.storm_mtbf = 0.0;
+  FaultInjector c(storms_off);
+  EXPECT_TRUE(std::isinf(c.NextStorm(0.0)));
+  EXPECT_EQ(c.NextCrash(0.0), FaultInjector(options).NextCrash(0.0));
+}
+
+TEST(FaultInjector, RecordFoldsStatsAndHash) {
+  FaultOptions options;
+  options.enabled = true;
+  FaultInjector injector(options);
+  const std::uint64_t empty_hash = injector.log_hash();
+
+  injector.Record({100.0, FaultKind::kServerCrash, 3, 2});
+  injector.Record({200.0, FaultKind::kServerRecovery, 3, 0});
+  injector.Record({300.0, FaultKind::kRevocationStorm, 4, 1});
+  injector.Record({400.0, FaultKind::kWorkerFailure, 7, 0});
+  injector.Record({500.0, FaultKind::kStragglerStart, 7, 0});
+
+  EXPECT_EQ(injector.stats().server_crashes, 1);
+  EXPECT_EQ(injector.stats().jobs_killed, 2);
+  EXPECT_EQ(injector.stats().server_recoveries, 1);
+  EXPECT_EQ(injector.stats().revocation_storms, 1);
+  EXPECT_EQ(injector.stats().storm_servers_revoked, 4);
+  EXPECT_EQ(injector.stats().worker_failures, 1);
+  EXPECT_EQ(injector.stats().stragglers, 1);
+  EXPECT_EQ(injector.log().size(), 5u);
+  EXPECT_NE(injector.log_hash(), empty_hash);
+}
+
+TEST(FaultInjector, StormSizeRespectsFractionAndBounds) {
+  FaultOptions options;
+  options.enabled = true;
+  options.storm_fraction = 0.5;
+  FaultInjector injector(options);
+  EXPECT_EQ(injector.StormSize(1), 1);   // at least one
+  EXPECT_EQ(injector.StormSize(8), 4);
+  EXPECT_EQ(injector.StormSize(100), 50);
+}
+
+// A worker failure stalls the gang: the predicted finish slips by exactly
+// the restart delay.
+TEST(FaultInjector, WorkerStallShiftsFinishByExactlyTheDelay) {
+  Job job(SimpleJob(0, 0.0, 1000.0, 1));
+  job.Start(0.0, 1.0, 1);
+  EXPECT_DOUBLE_EQ(job.PredictedFinish(0.0), 1000.0);
+  job.Stall(200.0, 300.0);
+  EXPECT_DOUBLE_EQ(job.PredictedFinish(200.0), 1300.0);
+}
+
+// A straggler multiplies the rate down while active; preemption clears it.
+TEST(FaultInjector, PerfFactorDegradesAndResets) {
+  Job job(SimpleJob(0, 0.0, 1000.0, 1, /*checkpointing=*/true));
+  job.Start(0.0, 1.0, 1);
+  job.set_perf_factor(0.5);
+  EXPECT_EQ(job.perf_factor(), 0.5);
+  job.Preempt(100.0, 63.0);
+  EXPECT_EQ(job.perf_factor(), 1.0);
+}
+
+// End-to-end crash lifecycle on a single-server cluster: the job dies with
+// the server, waits out the repair, then reruns from scratch — finishing
+// later than the fault-free run by at least the downtime it observed.
+TEST(FaultInjector, CrashKillsJobAndRecoveryRevivesCapacity) {
+  Trace trace;
+  trace.jobs.push_back(SimpleJob(0, 0.0, 4 * kHour, 4));
+  trace.duration = kDay;
+
+  SimulatorOptions options;
+  options.training_servers = 1;
+  options.enable_loaning = false;
+  options.max_time = 30 * kDay;
+  options.faults.enabled = true;
+  options.faults.seed = 3;
+  options.faults.server_mtbf = 2 * kHour;
+  options.faults.server_mttr = kHour;
+
+  FifoScheduler fifo;
+  Simulator simulator(options, trace, &fifo, nullptr, nullptr);
+  const SimulationResult result = simulator.Run();
+
+  EXPECT_EQ(result.finished_jobs, 1u);
+  EXPECT_GT(result.faults.server_crashes, 0);
+  EXPECT_GT(result.preemptions, 0);
+  EXPECT_NE(result.fault_log_hash, 0u);
+  // Recovery count can trail by one if the run ends while the server is down.
+  EXPECT_GE(result.faults.server_crashes, result.faults.server_recoveries);
+  // The non-checkpointing job lost all progress at least once.
+  EXPECT_GT(result.jct.mean, 8 * kHour);
+  simulator.cluster().AuditInvariants();
+
+  const auto& log = simulator.fault_injector()->log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.front().kind, FaultKind::kServerCrash);
+}
+
+// Stragglers slow a job down and the end event restores full speed: with a
+// 0.5 factor for 1 h in the middle of a 4 h job, the finish lands ~1 h late.
+TEST(FaultInjector, StragglerDegradesThroughputTemporarily) {
+  Trace trace;
+  trace.jobs.push_back(SimpleJob(0, 0.0, 4 * kHour, 4));
+  trace.duration = kDay;
+
+  SimulatorOptions options;
+  options.training_servers = 1;
+  options.enable_loaning = false;
+  options.faults.enabled = true;
+  options.faults.seed = 11;
+  options.faults.straggler_mtbf = 2 * kHour;
+  options.faults.straggler_factor = 0.5;
+  options.faults.straggler_duration = kHour;
+
+  FifoScheduler fifo;
+  Simulator simulator(options, trace, &fifo, nullptr, nullptr);
+  const SimulationResult result = simulator.Run();
+
+  EXPECT_EQ(result.finished_jobs, 1u);
+  EXPECT_GT(result.faults.stragglers, 0);
+  // Every straggler hour costs at most 30 extra minutes of runtime; the job
+  // must still be slower than the fault-free 4 h.
+  EXPECT_GT(result.jct.mean, 4 * kHour);
+  simulator.cluster().AuditInvariants();
+}
+
+}  // namespace
+}  // namespace lyra

@@ -17,6 +17,8 @@
 #include "src/sched/opportunistic.h"
 #include "src/sched/placement_util.h"
 #include "src/sched/pollux.h"
+#include "src/sim/simulator.h"
+#include "src/workload/synthetic.h"
 
 namespace lyra {
 namespace {
@@ -145,6 +147,116 @@ TEST_P(SchedulerConformance, PlacementContractsHold) {
 INSTANTIATE_TEST_SUITE_P(AllSchedulersAndSeeds, SchedulerConformance,
                          ::testing::Combine(::testing::Range(0, 7),
                                             ::testing::Range(1, 9)));
+
+// --- Fault matrix ------------------------------------------------------------
+//
+// Every scheduler must survive every fault class end-to-end: a full
+// simulation with aggressive fault rates has to finish with AuditInvariants
+// clean and zero leaked GPU shares — placements exist exactly for running
+// jobs, their servers are all up, and the counters match the placements.
+
+enum class FaultClass { kServerCrash, kWorkerFailure, kRevocationStorm };
+
+std::unique_ptr<InferenceCluster> SmallInference(int servers) {
+  DiurnalTrafficOptions traffic;
+  traffic.duration = 3 * kDay;
+  traffic.trough = 0.3;
+  traffic.peak = 0.6;
+  traffic.noise_sigma = 0.0;
+  traffic.bursts_per_day = 0.0;
+  traffic.weekend_dip = 0.0;
+  InferenceClusterOptions options;
+  options.num_servers = servers;
+  options.server_packing_spread = 1.0;
+  return std::make_unique<InferenceCluster>(options, DiurnalTrafficModel(traffic),
+                                            nullptr);
+}
+
+class SchedulerFaultMatrix
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchedulerFaultMatrix, SurvivesFaultsWithoutLeakingShares) {
+  const auto [kind_index, fault_index] = GetParam();
+  const Kind kind = static_cast<Kind>(kind_index);
+  const FaultClass fault = static_cast<FaultClass>(fault_index);
+
+  TestbedTraceOptions trace_options;
+  trace_options.num_jobs = 30;
+  trace_options.num_elastic_jobs = 6;
+  trace_options.max_demand_gpus = 16;
+  trace_options.submission_window = 4 * kHour;
+  trace_options.max_duration = kHour;
+  trace_options.seed = 7 + static_cast<std::uint64_t>(kind_index);
+  const Trace trace = MakeTestbedTrace(trace_options);
+
+  SimulatorOptions options;
+  options.training_servers = 6;
+  options.enable_loaning = true;
+  options.faults.enabled = true;
+  options.faults.seed = 17 + static_cast<std::uint64_t>(fault_index);
+  switch (fault) {
+    case FaultClass::kServerCrash:
+      options.faults.server_mtbf = 2 * kHour;  // fleet-wide: frequent crashes
+      options.faults.server_mttr = 30 * kMinute;
+      break;
+    case FaultClass::kWorkerFailure:
+      options.faults.worker_mtbf = 10 * kMinute;
+      options.faults.worker_restart_delay = 5 * kMinute;
+      break;
+    case FaultClass::kRevocationStorm:
+      options.faults.storm_mtbf = kHour;
+      options.faults.storm_fraction = 0.6;
+      break;
+  }
+
+  std::unique_ptr<JobScheduler> scheduler = Make(kind);
+  LyraReclaimPolicy reclaim;
+  Simulator simulator(options, trace, scheduler.get(), &reclaim,
+                      SmallInference(4));
+  const SimulationResult result = simulator.Run();
+
+  const ClusterState& cluster = simulator.cluster();
+  cluster.AuditInvariants();
+
+  // The configured fault class actually fired (rates are aggressive enough
+  // that a silent no-op run would be a wiring bug).
+  switch (fault) {
+    case FaultClass::kServerCrash:
+      EXPECT_GT(result.faults.server_crashes, 0) << scheduler->name();
+      break;
+    case FaultClass::kWorkerFailure:
+      EXPECT_GT(result.faults.worker_failures, 0) << scheduler->name();
+      break;
+    case FaultClass::kRevocationStorm:
+      // Firings are recorded even when the storm catches an empty loan pool.
+      EXPECT_GT(result.faults.revocation_storms, 0) << scheduler->name();
+      break;
+  }
+
+  // Zero leaked GPU shares: a placement exists iff the job is running, only
+  // on up servers, and the placements sum exactly to the used counters.
+  int placed_gpus = 0;
+  for (const auto& job : simulator.jobs()) {
+    const JobPlacement* placement = cluster.FindPlacement(job->id());
+    if (job->state() == JobState::kRunning) {
+      ASSERT_NE(placement, nullptr) << scheduler->name();
+      for (const auto& [server_id, share] : placement->shares) {
+        EXPECT_TRUE(cluster.IsServerUp(server_id)) << scheduler->name();
+      }
+      placed_gpus += placement->total_gpus();
+    } else {
+      EXPECT_EQ(placement, nullptr)
+          << scheduler->name() << " leaked job " << job->id().value;
+    }
+  }
+  EXPECT_EQ(placed_gpus, cluster.TrainingSideUsedGpus()) << scheduler->name();
+  EXPECT_EQ(cluster.UsedGpus(ServerPool::kInference), 0) << scheduler->name();
+  EXPECT_GE(result.finished_jobs, 1u) << scheduler->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulersAndFaults, SchedulerFaultMatrix,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Range(0, 3)));
 
 }  // namespace
 }  // namespace lyra
