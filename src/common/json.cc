@@ -1,11 +1,85 @@
 #include "src/common/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/common/check.h"
 
 namespace lyra {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
 
 bool JsonValue::AsBool() const {
   LYRA_CHECK(is_bool());
@@ -37,6 +111,18 @@ const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject() cons
   return object_;
 }
 
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  LYRA_CHECK(is_object());
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  LYRA_CHECK(is_array());
+  array_.push_back(std::move(value));
+  return *this;
+}
+
 const JsonValue* JsonValue::Find(const std::string& key) const {
   if (!is_object()) {
     return nullptr;
@@ -59,13 +145,114 @@ std::string JsonValue::GetString(const std::string& key, std::string fallback) c
   return v != nullptr && v->is_string() ? v->string_ : fallback;
 }
 
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->bool_ : fallback;
+}
+
+namespace {
+
+void DumpTo(const JsonValue& value, std::string& out) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += value.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      const double n = value.AsDouble();
+      LYRA_CHECK(std::isfinite(n));
+      char buf[40];
+      // Integral values within int64 range print exactly; everything else
+      // uses %.17g, which round-trips IEEE doubles bit-exactly.
+      if (n == std::floor(n) && std::fabs(n) < 9.2e18) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", n);
+      }
+      out += buf;
+      break;
+    }
+    case JsonValue::Type::kString:
+      out.push_back('"');
+      out += JsonEscape(value.AsString());
+      out.push_back('"');
+      break;
+    case JsonValue::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.AsArray()) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        DumpTo(item, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : value.AsObject()) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        out.push_back('"');
+        out += JsonEscape(key);
+        out += "\":";
+        DumpTo(item, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(*this, out);
+  return out;
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.type_ != b.type_) {
+    return false;
+  }
+  switch (a.type_) {
+    case JsonValue::Type::kNull:
+      return true;
+    case JsonValue::Type::kBool:
+      return a.bool_ == b.bool_;
+    case JsonValue::Type::kNumber:
+      return a.number_ == b.number_;
+    case JsonValue::Type::kString:
+      return a.string_ == b.string_;
+    case JsonValue::Type::kArray:
+      return a.array_ == b.array_;
+    case JsonValue::Type::kObject:
+      return a.object_ == b.object_;
+  }
+  return false;
+}
+
 class JsonParser {
  public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
+  JsonParser(const std::string& text, const JsonParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   StatusOr<JsonValue> Parse() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      return Status::InvalidArgument(
+          "json: document of " + std::to_string(text_.size()) +
+          " bytes exceeds limit of " + std::to_string(limits_.max_bytes));
+    }
     JsonValue value;
-    Status status = ParseValue(value);
+    Status status = ParseValue(value, 0);
     if (!status.ok()) {
       return status;
     }
@@ -108,7 +295,10 @@ class JsonParser {
     return true;
   }
 
-  Status ParseValue(JsonValue& out) {
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > limits_.max_depth) {
+      return Error("nesting deeper than " + std::to_string(limits_.max_depth));
+    }
     SkipWhitespace();
     if (pos_ >= text_.size()) {
       return Error("unexpected end of input");
@@ -116,9 +306,9 @@ class JsonParser {
     const char c = text_[pos_];
     switch (c) {
       case '{':
-        return ParseObject(out);
+        return ParseObject(out, depth);
       case '[':
-        return ParseArray(out);
+        return ParseArray(out, depth);
       case '"':
         out.type_ = JsonValue::Type::kString;
         return ParseString(out.string_);
@@ -147,7 +337,7 @@ class JsonParser {
     }
   }
 
-  Status ParseObject(JsonValue& out) {
+  Status ParseObject(JsonValue& out, int depth) {
     out.type_ = JsonValue::Type::kObject;
     ++pos_;  // '{'
     SkipWhitespace();
@@ -164,12 +354,16 @@ class JsonParser {
       if (!status.ok()) {
         return status;
       }
+      if (limits_.duplicates == JsonParseLimits::DuplicateKeys::kReject &&
+          out.Find(key) != nullptr) {
+        return Error("duplicate object key '" + key + "'");
+      }
       SkipWhitespace();
       if (!Consume(':')) {
         return Error("expected ':'");
       }
       JsonValue value;
-      status = ParseValue(value);
+      status = ParseValue(value, depth + 1);
       if (!status.ok()) {
         return status;
       }
@@ -185,7 +379,7 @@ class JsonParser {
     }
   }
 
-  Status ParseArray(JsonValue& out) {
+  Status ParseArray(JsonValue& out, int depth) {
     out.type_ = JsonValue::Type::kArray;
     ++pos_;  // '['
     SkipWhitespace();
@@ -194,7 +388,7 @@ class JsonParser {
     }
     while (true) {
       JsonValue value;
-      Status status = ParseValue(value);
+      Status status = ParseValue(value, depth + 1);
       if (!status.ok()) {
         return status;
       }
@@ -216,6 +410,11 @@ class JsonParser {
       const char c = text_[pos_++];
       if (c == '"') {
         return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        // RFC 8259: control characters must be escaped. Everything we emit
+        // escapes them (JsonEscape), so only hostile input trips this.
+        return Error("unescaped control character in string");
       }
       if (c != '\\') {
         out.push_back(c);
@@ -304,17 +503,26 @@ class JsonParser {
     if (end == nullptr || *end != '\0') {
       return Error("bad number '" + token + "'");
     }
+    if (!std::isfinite(value)) {
+      return Error("number '" + token + "' out of range");
+    }
     out.type_ = JsonValue::Type::kNumber;
     out.number_ = value;
     return Status::Ok();
   }
 
   const std::string& text_;
+  JsonParseLimits limits_;
   std::size_t pos_ = 0;
 };
 
 StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
-  return JsonParser(text).Parse();
+  return JsonParser(text, JsonParseLimits()).Parse();
+}
+
+StatusOr<JsonValue> JsonValue::Parse(const std::string& text,
+                                     const JsonParseLimits& limits) {
+  return JsonParser(text, limits).Parse();
 }
 
 }  // namespace lyra

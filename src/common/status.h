@@ -18,6 +18,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  // Transient I/O failure (peer closed, connect refused); retryable.
+  kUnavailable,
+  // A stream or file ended mid-record; not retryable on the same stream.
+  kDataLoss,
 };
 
 class Status {
@@ -41,6 +45,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

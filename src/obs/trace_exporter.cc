@@ -83,6 +83,8 @@ const char* TraceTrackName(TraceTrack track) {
       return "phases";
     case TraceTrack::kFaults:
       return "faults";
+    case TraceTrack::kService:
+      return "svc";
   }
   return "?";
 }
@@ -157,7 +159,7 @@ std::string TraceExporter::ToJson() const {
   AppendMetadata(json, "process_name", kWallPid, -1, "profiler (wall clock)");
   for (TraceTrack track : {TraceTrack::kJobs, TraceTrack::kLoans, TraceTrack::kReclaims,
                            TraceTrack::kDecisions, TraceTrack::kPhases,
-                           TraceTrack::kFaults}) {
+                           TraceTrack::kFaults, TraceTrack::kService}) {
     AppendMetadata(json, "thread_name", TrackPid(track),
                    static_cast<int>(track), TraceTrackName(track));
   }

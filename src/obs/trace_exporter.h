@@ -29,6 +29,7 @@ enum class TraceTrack : std::uint8_t {
   kDecisions,
   kPhases,
   kFaults,
+  kService,  // online-service commands (submit/cancel/drain/snapshot/...)
 };
 
 const char* TraceTrackName(TraceTrack track);

@@ -17,6 +17,8 @@ const char* DecisionKindName(DecisionKind kind) {
       return "preempt";
     case DecisionKind::kJobScale:
       return "scale";
+    case DecisionKind::kJobCancel:
+      return "cancel";
     case DecisionKind::kServersLoaned:
       return "loan";
     case DecisionKind::kServersReturned:
@@ -30,8 +32,8 @@ namespace {
 bool KindFromName(const std::string& name, DecisionKind* kind) {
   for (DecisionKind k :
        {DecisionKind::kJobStart, DecisionKind::kJobFinish, DecisionKind::kJobPreempt,
-        DecisionKind::kJobScale, DecisionKind::kServersLoaned,
-        DecisionKind::kServersReturned}) {
+        DecisionKind::kJobScale, DecisionKind::kJobCancel,
+        DecisionKind::kServersLoaned, DecisionKind::kServersReturned}) {
     if (name == DecisionKindName(k)) {
       *kind = k;
       return true;

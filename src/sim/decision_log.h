@@ -23,6 +23,7 @@ enum class DecisionKind {
   kJobFinish,
   kJobPreempt,
   kJobScale,     // worker count changed while running
+  kJobCancel,    // online cancel command (service mode)
   kServersLoaned,
   kServersReturned,
 };

@@ -625,112 +625,207 @@ void Simulator::HandleFinish(TimeSec now, std::int64_t job_index,
   dirty_ = true;
 }
 
-SimulationResult Simulator::Run() {
+void Simulator::Begin() {
+  if (began_) {
+    return;
+  }
+  began_ = true;
+  wall_start_ = std::chrono::steady_clock::now();
+  if (trace_ != nullptr) {
+    trace_->SetWallEpoch(wall_start_);
+  }
+  obs::ScopedObsContext obs_scope(&obs_);
+  // Pre-register so the metric is present (at 0) even when the periodic
+  // schedule never produces a same-timestamp duplicate to collapse.
+  obs_.metrics.counter("sim.ticks_coalesced");
+}
+
+bool Simulator::StepUntil(TimeSec horizon, std::uint64_t max_events) {
+  Begin();
   // Install this run's observability context on the current thread: all
   // obs::AddCounter/PhaseSpan calls below (including ones deep inside the
   // schedulers and reclaim policies) land in obs_, never in another
   // simulation's registry. Parallel runs on different threads stay disjoint.
   obs::ScopedObsContext obs_scope(&obs_);
-  const auto wall_start = std::chrono::steady_clock::now();
-  if (trace_ != nullptr) {
-    trace_->SetWallEpoch(wall_start);
+  obs::PhaseSpan drain_span(obs::Phase::kEventDrain);
+  if (hit_max_time_) {
+    return false;
   }
-  TimeSec now = 0.0;
-  TimeSec next_scheduler_tick = 0.0;
-  TimeSec next_orchestrator_tick = 0.0;
-  // Pre-register so the metric is present (at 0) even when the periodic
-  // schedule never produces a same-timestamp duplicate to collapse.
-  obs_.metrics.counter("sim.ticks_coalesced");
-
-  {
-    obs::PhaseSpan drain_span(obs::Phase::kEventDrain);
-    while (!events_.empty() && finished_count_ < jobs_.size()) {
-      const Event event = events_.top();
-      events_.pop();
-      if (event.time > options_.max_time) {
-        LYRA_LOG_WARNING("simulation hit max_time with %zu/%zu jobs finished",
-                         finished_count_, jobs_.size());
-        break;
-      }
-      // Coalesce queued duplicates of a periodic tick: absorb the run of
-      // same-type tick events at this timestamp so the handler (a full
-      // scheduling or orchestration pass over an unchanged cluster) fires
-      // once for the whole run. Events keep their strict (time, seq) order
-      // otherwise — an arrival or finish queued between two ticks still
-      // lands between them, so fixed-seed runs stay bit-identical.
-      if (event.type == EventType::kSchedulerTick ||
-          event.type == EventType::kOrchestratorTick) {
-        while (!events_.empty() && events_.top().time == event.time &&
-               events_.top().type == event.type) {
-          events_.pop();
-          ++result_.events_processed;
-          obs_.metrics.counter("sim.ticks_coalesced")->Add();
-        }
-      }
-      ++result_.events_processed;
-      LYRA_CHECK_GE(event.time, now);
-      AdvanceMeters(event.time);
-      now = event.time;
-
-      switch (event.type) {
-        case EventType::kJobArrival: {
-          obs_.metrics.counter("sim.events.arrival")->Add();
-          Job* job = jobs_[static_cast<std::size_t>(event.job)].get();
-          if (options_.use_profiler) {
-            job->set_estimated_total_work(profiler_.EstimateTotalWork(job->spec()));
-          }
-          pending_.push_back(job);
-          dirty_ = true;
-          break;
-        }
-        case EventType::kJobFinish:
-          obs_.metrics.counter("sim.events.finish")->Add();
-          HandleFinish(now, event.job, event.generation);
-          break;
-        case EventType::kSchedulerTick:
-          obs_.metrics.counter("sim.events.scheduler_tick")->Add();
-          HandleSchedulerTick(now);
-          if (now >= next_scheduler_tick) {
-            next_scheduler_tick = now + options_.scheduler_interval;
-            PushEvent(next_scheduler_tick, EventType::kSchedulerTick);
-          }
-          break;
-        case EventType::kOrchestratorTick:
-          obs_.metrics.counter("sim.events.orchestrator_tick")->Add();
-          HandleOrchestratorTick(now);
-          if (now >= next_orchestrator_tick) {
-            next_orchestrator_tick = now + options_.orchestrator_interval;
-            PushEvent(next_orchestrator_tick, EventType::kOrchestratorTick);
-          }
-          break;
-        case EventType::kServerCrash:
-          obs_.metrics.counter("sim.events.fault")->Add();
-          HandleServerCrash(now);
-          break;
-        case EventType::kServerRecovery:
-          obs_.metrics.counter("sim.events.fault")->Add();
-          HandleServerRecovery(now, event.job);
-          break;
-        case EventType::kWorkerFailure:
-          obs_.metrics.counter("sim.events.fault")->Add();
-          HandleWorkerFailure(now);
-          break;
-        case EventType::kRevocationStorm:
-          obs_.metrics.counter("sim.events.fault")->Add();
-          HandleRevocationStorm(now);
-          break;
-        case EventType::kStragglerStart:
-          obs_.metrics.counter("sim.events.fault")->Add();
-          HandleStragglerStart(now);
-          break;
-        case EventType::kStragglerEnd:
-          obs_.metrics.counter("sim.events.fault")->Add();
-          HandleStragglerEnd(now, event.job, event.generation);
-          break;
+  std::uint64_t stepped = 0;
+  while (!events_.empty() && finished_count_ < jobs_.size()) {
+    if (events_.top().time > horizon) {
+      return false;
+    }
+    if (stepped >= max_events) {
+      return true;
+    }
+    const Event event = events_.top();
+    events_.pop();
+    if (event.time > options_.max_time) {
+      LYRA_LOG_WARNING("simulation hit max_time with %zu/%zu jobs finished",
+                       finished_count_, jobs_.size());
+      hit_max_time_ = true;
+      break;
+    }
+    // Coalesce queued duplicates of a periodic tick: absorb the run of
+    // same-type tick events at this timestamp so the handler (a full
+    // scheduling or orchestration pass over an unchanged cluster) fires
+    // once for the whole run. Events keep their strict (time, seq) order
+    // otherwise — an arrival or finish queued between two ticks still
+    // lands between them, so fixed-seed runs stay bit-identical.
+    if (event.type == EventType::kSchedulerTick ||
+        event.type == EventType::kOrchestratorTick) {
+      while (!events_.empty() && events_.top().time == event.time &&
+             events_.top().type == event.type) {
+        events_.pop();
+        ++result_.events_processed;
+        ++stepped;
+        obs_.metrics.counter("sim.ticks_coalesced")->Add();
       }
     }
-  }
+    ++result_.events_processed;
+    ++stepped;
+    LYRA_CHECK_GE(event.time, now_);
+    AdvanceMeters(event.time);
+    now_ = event.time;
 
+    switch (event.type) {
+      case EventType::kJobArrival: {
+        obs_.metrics.counter("sim.events.arrival")->Add();
+        Job* job = jobs_[static_cast<std::size_t>(event.job)].get();
+        if (job->state() == JobState::kCancelled) {
+          break;  // cancelled online before arriving
+        }
+        if (options_.use_profiler) {
+          job->set_estimated_total_work(profiler_.EstimateTotalWork(job->spec()));
+        }
+        pending_.push_back(job);
+        dirty_ = true;
+        break;
+      }
+      case EventType::kJobFinish:
+        obs_.metrics.counter("sim.events.finish")->Add();
+        HandleFinish(now_, event.job, event.generation);
+        break;
+      case EventType::kSchedulerTick:
+        obs_.metrics.counter("sim.events.scheduler_tick")->Add();
+        HandleSchedulerTick(now_);
+        if (now_ >= next_scheduler_tick_) {
+          next_scheduler_tick_ = now_ + options_.scheduler_interval;
+          PushEvent(next_scheduler_tick_, EventType::kSchedulerTick);
+        }
+        break;
+      case EventType::kOrchestratorTick:
+        obs_.metrics.counter("sim.events.orchestrator_tick")->Add();
+        HandleOrchestratorTick(now_);
+        if (now_ >= next_orchestrator_tick_) {
+          next_orchestrator_tick_ = now_ + options_.orchestrator_interval;
+          PushEvent(next_orchestrator_tick_, EventType::kOrchestratorTick);
+        }
+        break;
+      case EventType::kServerCrash:
+        obs_.metrics.counter("sim.events.fault")->Add();
+        HandleServerCrash(now_);
+        break;
+      case EventType::kServerRecovery:
+        obs_.metrics.counter("sim.events.fault")->Add();
+        HandleServerRecovery(now_, event.job);
+        break;
+      case EventType::kWorkerFailure:
+        obs_.metrics.counter("sim.events.fault")->Add();
+        HandleWorkerFailure(now_);
+        break;
+      case EventType::kRevocationStorm:
+        obs_.metrics.counter("sim.events.fault")->Add();
+        HandleRevocationStorm(now_);
+        break;
+      case EventType::kStragglerStart:
+        obs_.metrics.counter("sim.events.fault")->Add();
+        HandleStragglerStart(now_);
+        break;
+      case EventType::kStragglerEnd:
+        obs_.metrics.counter("sim.events.fault")->Add();
+        HandleStragglerEnd(now_, event.job, event.generation);
+        break;
+    }
+  }
+  return false;
+}
+
+StatusOr<JobId> Simulator::SubmitJob(JobSpec spec) {
+  if (spec.total_work <= 0.0) {
+    return Status::InvalidArgument("total_work must be positive");
+  }
+  if (spec.gpus_per_worker < 1 || spec.min_workers < 1 ||
+      spec.max_workers < spec.min_workers) {
+    return Status::InvalidArgument("bad worker spec (need gpus_per_worker >= 1, "
+                                   "1 <= min_workers <= max_workers)");
+  }
+  if (spec.requested_workers < 0 || spec.requested_workers > spec.max_workers) {
+    return Status::InvalidArgument("requested_workers out of range");
+  }
+  spec.id = JobId(static_cast<std::int64_t>(jobs_.size()));
+  if (spec.submit_time < now_) {
+    spec.submit_time = now_;  // arrivals cannot predate the event frontier
+  }
+  jobs_.push_back(std::make_unique<Job>(spec));
+  finish_generation_.push_back(0);
+  if (faults_ != nullptr) {
+    straggler_generation_.push_back(0);
+  }
+  ++result_.total_jobs;
+  result_.queued_flags.push_back(false);
+  result_.submit_times.push_back(spec.submit_time);
+  PushEvent(spec.submit_time, EventType::kJobArrival, spec.id.value);
+  return spec.id;
+}
+
+Status Simulator::CancelJob(JobId id) {
+  if (!id.valid() || static_cast<std::size_t>(id.value) >= jobs_.size()) {
+    return Status::NotFound("no such job: " + std::to_string(id.value));
+  }
+  Job* job = jobs_[static_cast<std::size_t>(id.value)].get();
+  if (job->state() == JobState::kFinished || job->state() == JobState::kCancelled) {
+    return Status::FailedPrecondition("job " + std::to_string(id.value) +
+                                      " already terminated");
+  }
+  obs::ScopedObsContext obs_scope(&obs_);
+  if (job->state() == JobState::kRunning) {
+    cluster_.RemoveJob(id);
+    running_.erase(std::find(running_.begin(), running_.end(), job));
+    ++finish_generation_[static_cast<std::size_t>(id.value)];  // stale finish
+    if (trace_ != nullptr) {
+      trace_->AsyncEnd(obs::TraceTrack::kJobs, JobTrackName(id.value), now_, id.value,
+                       "\"reason\": \"cancelled\"");
+    }
+  } else {
+    // Pending: may or may not have arrived yet (the arrival event skips
+    // cancelled jobs, so a pre-arrival cancel needs no queue surgery).
+    const auto it = std::find(pending_.begin(), pending_.end(), job);
+    if (it != pending_.end()) {
+      pending_.erase(it);
+    }
+  }
+  job->Cancel(now_);
+  ++finished_count_;
+  ++cancelled_count_;
+  dirty_ = true;
+  if (options_.record_decisions) {
+    decision_log_.Append(now_, DecisionKind::kJobCancel, id.value, 0);
+  }
+  obs_.metrics.counter("sim.jobs_cancelled")->Add();
+  return Status::Ok();
+}
+
+SimulationResult Simulator::Run() {
+  Begin();
+  StepUntil(std::numeric_limits<double>::infinity());
+  return Finalize();
+}
+
+SimulationResult Simulator::Finalize() {
+  Begin();
+  obs::ScopedObsContext obs_scope(&obs_);
   {
     // Covers everything after the drain — meter close-out, final reconcile,
     // and the result folding — so phase self times account for (nearly) all
@@ -740,10 +835,10 @@ SimulationResult Simulator::Run() {
     // (all jobs finished) before the window does, leaving idle time uncounted.
     AdvanceMeters(meter_cutoff_);
     // Final reconcile so the execution layer tears down the last containers.
-    MirrorIntoResourceManager(now);
+    MirrorIntoResourceManager(now_);
 
     // --- Final metrics -------------------------------------------------------
-    result_.finished_jobs = finished_count_;
+    result_.finished_jobs = finished_count_ - cancelled_count_;
     for (const auto& job : jobs_) {
       if (job->state() != JobState::kFinished) {
         continue;
@@ -785,7 +880,7 @@ SimulationResult Simulator::Run() {
             : 0.0;
   }
   result_.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start_)
           .count();
   result_.events_per_sec =
       result_.wall_seconds > 0.0

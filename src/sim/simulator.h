@@ -12,6 +12,8 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <chrono>
+#include <limits>
 #include <memory>
 #include <queue>
 #include <string>
@@ -163,6 +165,51 @@ class Simulator {
 
   SimulationResult Run();
 
+  // --- Incremental driving (online service mode) ---------------------------
+  //
+  // Run() is exactly Begin() + StepUntil(+inf) + Finalize(); the service
+  // layer instead interleaves StepUntil with SubmitJob/CancelJob, so the
+  // scheduling core is identical between batch simulation and online serving
+  // and batch results stay bit-identical (enforced by the golden fixture).
+
+  // Arms the run (wall epoch, obs pre-registration). Idempotent; Run() and
+  // the first StepUntil call it implicitly.
+  void Begin();
+
+  // Drains queued events with time <= horizon, at most max_events of them,
+  // stopping early when every submitted job reached a terminal state (batch
+  // semantics: an idle cluster does not tick forever). Returns true when
+  // events at or below the horizon may remain (max_events exhausted), false
+  // once quiescent at the horizon. Chunk boundaries never change behaviour:
+  // StepUntil(t1); StepUntil(t2) processes the same events in the same order
+  // as a single StepUntil(t2) for t1 <= t2.
+  bool StepUntil(TimeSec horizon,
+                 std::uint64_t max_events = std::numeric_limits<std::uint64_t>::max());
+
+  // Closes meters, folds final metrics, writes the trace file. Call once,
+  // after the last StepUntil.
+  SimulationResult Finalize();
+
+  // Injects a job online. The spec's id is assigned by the simulator (dense,
+  // arrival order); submit_time below now() is clamped to now(). Returns the
+  // assigned id, or InvalidArgument for a malformed spec.
+  StatusOr<JobId> SubmitJob(JobSpec spec);
+
+  // Cancels a pending or running job, releasing its resources. NotFound for
+  // unknown ids, FailedPrecondition when the job already terminated.
+  Status CancelJob(JobId id);
+
+  // Simulated-clock frontier: the time of the last processed event.
+  TimeSec now() const { return now_; }
+  // Time of the next queued event, +inf when the queue is empty.
+  TimeSec NextEventTime() const {
+    return events_.empty() ? std::numeric_limits<double>::infinity()
+                           : events_.top().time;
+  }
+  // True while any submitted job is pending or running.
+  bool HasUnfinishedJobs() const { return finished_count_ < jobs_.size(); }
+  std::uint64_t events_processed() const { return result_.events_processed; }
+
   // Read-only access for tests and examples (valid after Run()).
   const ClusterState& cluster() const { return cluster_; }
   const std::vector<std::unique_ptr<Job>>& jobs() const { return jobs_; }
@@ -173,6 +220,9 @@ class Simulator {
   const obs::MetricsRegistry& metrics() const { return obs_.metrics; }
   // The trace exporter, or null when options.trace_path is empty.
   const obs::TraceExporter* trace_exporter() const { return trace_.get(); }
+  // Mutable variant for the service layer, which emits its command stream
+  // onto the svc track of the same timeline. Single-threaded use only.
+  obs::TraceExporter* mutable_trace_exporter() { return trace_.get(); }
   // The fault injector, or null when options.faults.enabled is false.
   const FaultInjector* fault_injector() const { return faults_.get(); }
 
@@ -255,9 +305,18 @@ class Simulator {
   std::vector<Job*> running_;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
   std::uint64_t next_seq_ = 0;
-  std::size_t finished_count_ = 0;
+  std::size_t finished_count_ = 0;  // jobs in any terminal state
+  std::size_t cancelled_count_ = 0;
   bool dirty_ = true;  // cluster/job state changed since the last tick
   TimeSec meter_cutoff_ = 0.0;
+
+  // Stepping state (members so StepUntil can resume where it left off).
+  bool began_ = false;
+  bool hit_max_time_ = false;
+  TimeSec now_ = 0.0;
+  TimeSec next_scheduler_tick_ = 0.0;
+  TimeSec next_orchestrator_tick_ = 0.0;
+  std::chrono::steady_clock::time_point wall_start_{};
 
   obs::ObsContext obs_;
   std::unique_ptr<obs::TraceExporter> trace_;

@@ -1,0 +1,129 @@
+#include "src/svc/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/types.h"
+#include "src/lyra/lyra_scheduler.h"
+#include "src/predict/lstm.h"
+#include "src/sched/afs.h"
+#include "src/sched/fifo.h"
+#include "src/sched/gandiva.h"
+#include "src/sched/opportunistic.h"
+#include "src/sched/pollux.h"
+#include "src/sim/inference_cluster.h"
+#include "src/workload/trace.h"
+
+namespace lyra::svc {
+
+std::unique_ptr<JobScheduler> MakeSchedulerByName(const std::string& name,
+                                                  bool info_agnostic, bool tuned) {
+  if (name == "fifo") {
+    return std::make_unique<FifoScheduler>();
+  }
+  if (name == "sjf") {
+    return std::make_unique<SjfScheduler>();
+  }
+  if (name == "gandiva") {
+    return std::make_unique<GandivaScheduler>();
+  }
+  if (name == "afs") {
+    return std::make_unique<AfsScheduler>();
+  }
+  if (name == "pollux") {
+    return std::make_unique<PolluxScheduler>();
+  }
+  if (name == "opportunistic") {
+    return std::make_unique<OpportunisticScheduler>();
+  }
+  if (name == "lyra") {
+    LyraSchedulerOptions options;
+    options.information_agnostic = info_agnostic;
+    options.tuned_jobs = tuned;
+    return std::make_unique<LyraScheduler>(options);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ReclaimPolicy> MakeReclaimByName(const std::string& name) {
+  if (name == "lyra") {
+    return std::make_unique<LyraReclaimPolicy>();
+  }
+  if (name == "random") {
+    return std::make_unique<RandomReclaimPolicy>();
+  }
+  if (name == "scf") {
+    return std::make_unique<ScfReclaimPolicy>();
+  }
+  if (name == "optimal") {
+    return std::make_unique<OptimalReclaimPolicy>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<UsagePredictor> MakeUsagePredictor(bool lstm) {
+  if (lstm) {
+    return std::make_unique<LstmPredictor>();
+  }
+  return std::make_unique<SeasonalNaivePredictor>();
+}
+
+StatusOr<Engine> BuildEngine(const EngineConfig& config,
+                             const std::string& trace_path) {
+  if (!(config.scale > 0.0) || !std::isfinite(config.scale)) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  if (!(config.horizon_days > 0.0) || !std::isfinite(config.horizon_days)) {
+    return Status::InvalidArgument("horizon_days must be positive");
+  }
+  Engine engine;
+  engine.scheduler =
+      MakeSchedulerByName(config.scheduler, config.info_agnostic, config.tuned);
+  if (engine.scheduler == nullptr) {
+    return Status::InvalidArgument("unknown scheduler: " + config.scheduler);
+  }
+  engine.reclaim = MakeReclaimByName(config.reclaim);
+  if (engine.reclaim == nullptr) {
+    return Status::InvalidArgument("unknown reclaim policy: " + config.reclaim);
+  }
+
+  const int training_servers = std::max(1, static_cast<int>(443 * config.scale));
+  const int inference_servers = std::max(1, static_cast<int>(520 * config.scale));
+
+  // Online serving starts from an empty trace: jobs arrive only through
+  // SubmitJob. The duration sets the usage-metering window and (plus the
+  // standard 7-day drain) the engine's max_time.
+  Trace trace;
+  trace.duration = config.horizon_days * kDay;
+
+  DiurnalTrafficOptions traffic;
+  traffic.duration = trace.duration + 8 * kDay;
+  traffic.seed = config.seed ^ 0x7aff1c;
+  InferenceClusterOptions inference_options;
+  inference_options.num_servers = inference_servers;
+  auto inference = std::make_unique<InferenceCluster>(
+      inference_options, DiurnalTrafficModel(traffic),
+      MakeUsagePredictor(config.lstm));
+
+  SimulatorOptions options;
+  options.training_servers = training_servers;
+  options.enable_loaning = config.loaning;
+  options.seed = config.seed;
+  // The decision log is the service's replay-equality artifact (DESIGN.md
+  // §8); always record it.
+  options.record_decisions = true;
+  options.trace_path = trace_path;
+  if (config.faults) {
+    options.faults.enabled = true;
+    options.faults.seed = config.seed ^ 0xfa17;
+    options.faults.server_mtbf = 12 * kHour;
+    options.faults.worker_mtbf = 6 * kHour;
+    options.faults.storm_mtbf = 2 * kDay;
+    options.faults.straggler_mtbf = 8 * kHour;
+  }
+  engine.sim = std::make_unique<Simulator>(options, trace, engine.scheduler.get(),
+                                           engine.reclaim.get(), std::move(inference));
+  return engine;
+}
+
+}  // namespace lyra::svc

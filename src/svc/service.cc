@@ -1,0 +1,658 @@
+#include "src/svc/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "src/common/check.h"
+#include "src/obs/trace_exporter.h"
+
+namespace lyra::svc {
+namespace {
+
+// Events the engine processes per auto-advance chunk before re-checking the
+// command queue; bounds command latency while the engine free-runs.
+constexpr std::uint64_t kAutoStepChunk = 4096;
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+  }
+  return "unknown";
+}
+
+JsonValue ErrorReply(const char* code, const std::string& message) {
+  JsonValue reply = JsonValue::MakeObject();
+  reply.Set("ok", JsonValue::MakeBool(false));
+  reply.Set("code", JsonValue::MakeString(code));
+  reply.Set("error", JsonValue::MakeString(message));
+  return reply;
+}
+
+JsonValue StatusReply(const Status& status) {
+  return ErrorReply(CodeName(status.code()), status.message());
+}
+
+JsonValue OkReply() {
+  JsonValue reply = JsonValue::MakeObject();
+  reply.Set("ok", JsonValue::MakeBool(true));
+  return reply;
+}
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kFinished:
+      return "finished";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+bool ModelFamilyFromName(const std::string& name, ModelFamily* family) {
+  for (ModelFamily candidate :
+       {ModelFamily::kResNet, ModelFamily::kVgg, ModelFamily::kBert,
+        ModelFamily::kGnmt, ModelFamily::kOther}) {
+    if (name == ModelFamilyName(candidate)) {
+      *family = candidate;
+      return true;
+    }
+  }
+  // Lowercase shorthands for hand-typed commands.
+  if (name == "resnet") {
+    *family = ModelFamily::kResNet;
+  } else if (name == "vgg") {
+    *family = ModelFamily::kVgg;
+  } else if (name == "bert") {
+    *family = ModelFamily::kBert;
+  } else if (name == "gnmt") {
+    *family = ModelFamily::kGnmt;
+  } else if (name == "other" || name.empty()) {
+    *family = ModelFamily::kOther;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+JsonValue PoolStats(const ClusterState& cluster, ServerPool pool) {
+  JsonValue stats = JsonValue::MakeObject();
+  stats.Set("servers", JsonValue::MakeNumber(cluster.NumServersInPool(pool)));
+  stats.Set("total_gpus", JsonValue::MakeNumber(cluster.TotalGpus(pool)));
+  stats.Set("used_gpus", JsonValue::MakeNumber(cluster.UsedGpus(pool)));
+  stats.Set("free_gpus", JsonValue::MakeNumber(cluster.FreeGpus(pool)));
+  return stats;
+}
+
+}  // namespace
+
+SchedulerService::SchedulerService(ServiceOptions options,
+                                   std::unique_ptr<TimeDriver> driver)
+    : options_(std::move(options)), driver_(std::move(driver)) {
+  LYRA_CHECK(driver_ != nullptr);
+  LYRA_CHECK_GT(options_.queue_capacity, 0);
+}
+
+SchedulerService::~SchedulerService() { Stop(); }
+
+Status SchedulerService::Start() {
+  StatusOr<Engine> built = BuildEngine(options_.engine, options_.trace_path);
+  if (!built.ok()) {
+    return built.status();
+  }
+  engine_ = std::move(built.value());
+  engine_.sim->Begin();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  engine_thread_ = std::thread(&SchedulerService::EngineLoop, this);
+  return Status::Ok();
+}
+
+Status SchedulerService::Restore(const std::string& snapshot_path) {
+  StatusOr<ServiceSnapshot> loaded = LoadSnapshot(snapshot_path);
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  ServiceSnapshot& snapshot = loaded.value();
+  options_.engine = snapshot.config;
+  StatusOr<Engine> built = BuildEngine(options_.engine, options_.trace_path);
+  if (!built.ok()) {
+    return built.status();
+  }
+  engine_ = std::move(built.value());
+  engine_.sim->Begin();
+  // Replay: the exact discipline the live service used — step to the stamp,
+  // re-apply. Event sequencing is a pure function of this command list, so
+  // the rebuilt engine's decision log matches the original's byte-for-byte.
+  for (const LoggedCommand& cmd : snapshot.commands) {
+    const Status replayed = ReplayCommand(cmd);
+    if (!replayed.ok()) {
+      return replayed;
+    }
+  }
+  engine_.sim->StepUntil(snapshot.horizon);
+  driver_->AdvanceTo(engine_.sim->now());
+  log_ = std::move(snapshot.commands);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  engine_thread_ = std::thread(&SchedulerService::EngineLoop, this);
+  return Status::Ok();
+}
+
+Status SchedulerService::ReplayCommand(const LoggedCommand& cmd) {
+  Simulator& sim = *engine_.sim;
+  switch (cmd.kind) {
+    case CommandKind::kSubmit: {
+      sim.StepUntil(cmd.stamp);
+      const StatusOr<JobId> id = sim.SubmitJob(cmd.spec);
+      if (!id.ok()) {
+        return Status::DataLoss("snapshot replay: submit failed: " +
+                                id.status().message());
+      }
+      return Status::Ok();
+    }
+    case CommandKind::kCancel: {
+      sim.StepUntil(cmd.stamp);
+      const Status status = sim.CancelJob(JobId(cmd.job));
+      if (!status.ok()) {
+        return Status::DataLoss("snapshot replay: cancel failed: " +
+                                status.message());
+      }
+      return Status::Ok();
+    }
+    case CommandKind::kAdvance:
+      sim.StepUntil(cmd.stamp);
+      return Status::Ok();
+    case CommandKind::kDrain:
+      sim.StepUntil(kInfinity);
+      return Status::Ok();
+  }
+  return Status::DataLoss("snapshot replay: unknown command kind");
+}
+
+void SchedulerService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) {
+      stopped_.store(true, std::memory_order_release);
+      return;
+    }
+    stop_requested_ = true;
+  }
+  stopped_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  driver_->Interrupt();
+  if (engine_thread_.joinable()) {
+    engine_thread_.join();
+  }
+  if (engine_.sim != nullptr && !finalized_) {
+    finalized_ = true;
+    engine_.sim->Finalize();  // closes meters, writes the trace file
+  }
+}
+
+SchedulerService::Stats SchedulerService::stats() const {
+  Stats stats;
+  stats.commands_applied = commands_applied_.load(std::memory_order_relaxed);
+  stats.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  stats.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
+  stats.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  stats.command_errors = command_errors_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.queue_depth = queue_.size();
+  stats.queue_peak = queue_peak_;
+  return stats;
+}
+
+JsonValue SchedulerService::Execute(const JsonValue& request) {
+  if (stopped()) {
+    return ErrorReply("unavailable", "service is stopped");
+  }
+  auto cmd = std::make_shared<PendingCommand>();
+  cmd->request = request;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_requested_) {
+      return ErrorReply("unavailable", "service is stopped");
+    }
+    if (queue_.size() >= static_cast<std::size_t>(options_.queue_capacity)) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      JsonValue reply = ErrorReply("overloaded", "command queue full");
+      reply.Set("retry_after_ms", JsonValue::MakeNumber(options_.retry_after_ms));
+      return reply;
+    }
+    queue_.push_back(cmd);
+    queue_peak_ = std::max(queue_peak_, queue_.size());
+  }
+  cv_.notify_all();
+  driver_->Interrupt();
+
+  std::unique_lock<std::mutex> lock(cmd->mu);
+  cmd->cv.wait(lock, [&] { return cmd->done; });
+  return cmd->reply;
+}
+
+std::string SchedulerService::ExecuteText(const std::string& request_text) {
+  const StatusOr<JsonValue> parsed =
+      JsonValue::Parse(request_text, JsonParseLimits::Untrusted());
+  if (!parsed.ok()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply("invalid_argument", "bad request: " + parsed.status().message())
+        .Dump();
+  }
+  if (!parsed.value().is_object()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply("invalid_argument", "request must be a JSON object").Dump();
+  }
+  return Execute(parsed.value()).Dump();
+}
+
+void SchedulerService::Reply(PendingCommand& cmd, JsonValue reply) {
+  {
+    std::lock_guard<std::mutex> lock(cmd.mu);
+    cmd.reply = std::move(reply);
+    cmd.done = true;
+  }
+  cmd.cv.notify_all();
+}
+
+SchedulerService::NextAction SchedulerService::Next(
+    std::shared_ptr<PendingCommand>* cmd) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!queue_.empty()) {
+      *cmd = queue_.front();
+      queue_.pop_front();
+      return NextAction::kApply;
+    }
+    if (stop_requested_) {
+      return NextAction::kStop;
+    }
+    Simulator& sim = *engine_.sim;
+    if (driver_->realtime()) {
+      if (sim.HasUnfinishedJobs() && std::isfinite(sim.NextEventTime())) {
+        return NextAction::kWaitRealTime;
+      }
+    } else if (options_.auto_advance && !auto_quiescent_ &&
+               sim.HasUnfinishedJobs()) {
+      return NextAction::kStep;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void SchedulerService::EngineLoop() {
+  for (;;) {
+    std::shared_ptr<PendingCommand> cmd;
+    switch (Next(&cmd)) {
+      case NextAction::kApply:
+        Reply(*cmd, Apply(cmd->request));
+        break;
+      case NextAction::kStep: {
+        // Free-run toward quiescence in bounded chunks so a newly queued
+        // command waits at most one chunk.
+        const bool more = engine_.sim->StepUntil(kInfinity, kAutoStepChunk);
+        driver_->AdvanceTo(engine_.sim->now());
+        if (!more) {
+          auto_quiescent_ = true;
+        }
+        break;
+      }
+      case NextAction::kWaitRealTime: {
+        // Sleep (interruptibly) until the wall clock reaches the next
+        // event, then catch the engine up to the driver's time.
+        if (driver_->WaitUntil(engine_.sim->NextEventTime())) {
+          engine_.sim->StepUntil(driver_->Now());
+        }
+        break;
+      }
+      case NextAction::kStop:
+        return;
+    }
+  }
+}
+
+TimeSec SchedulerService::StampFor(const JsonValue& request) const {
+  const double at = request.GetDouble("at", -1.0);
+  const double base = at >= 0.0 ? at : driver_->Now();
+  return std::max(base, engine_.sim->now());
+}
+
+void SchedulerService::TraceCommand(const char* name, TimeSec stamp) {
+  obs::TraceExporter* trace = engine_.sim->mutable_trace_exporter();
+  if (trace != nullptr) {
+    char args[48];
+    std::snprintf(args, sizeof(args), "\"log_seq\": %zu", log_.size());
+    trace->Instant(obs::TraceTrack::kService, name, stamp, args);
+  }
+}
+
+JsonValue SchedulerService::Apply(const JsonValue& request) {
+  commands_applied_.fetch_add(1, std::memory_order_relaxed);
+  const std::string cmd = request.GetString("cmd");
+  if (cmd == "submit") {
+    return ApplySubmit(request);
+  }
+  if (cmd == "cancel") {
+    return ApplyCancel(request);
+  }
+  if (cmd == "advance") {
+    return ApplyAdvance(request);
+  }
+  if (cmd == "drain") {
+    return ApplyDrain();
+  }
+  if (cmd == "query_job") {
+    return ApplyQueryJob(request);
+  }
+  if (cmd == "cluster_stats") {
+    return ApplyClusterStats();
+  }
+  if (cmd == "metrics") {
+    return ApplyMetrics();
+  }
+  if (cmd == "snapshot") {
+    return ApplySnapshot(request);
+  }
+  if (cmd == "ping") {
+    return ApplyPing();
+  }
+  if (cmd == "shutdown") {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_requested_ = true;
+    }
+    stopped_.store(true, std::memory_order_release);
+    cv_.notify_all();
+    JsonValue reply = OkReply();
+    reply.Set("stopping", JsonValue::MakeBool(true));
+    return reply;
+  }
+  command_errors_.fetch_add(1, std::memory_order_relaxed);
+  return ErrorReply("invalid_argument", "unknown cmd: \"" + cmd + "\"");
+}
+
+JsonValue SchedulerService::ApplySubmit(const JsonValue& request) {
+  JobSpec spec;
+  spec.gpus_per_worker = static_cast<int>(request.GetDouble("gpus_per_worker", 1));
+  spec.min_workers = static_cast<int>(request.GetDouble("min_workers", 1));
+  spec.max_workers = static_cast<int>(
+      request.GetDouble("max_workers", static_cast<double>(spec.min_workers)));
+  spec.requested_workers =
+      static_cast<int>(request.GetDouble("requested_workers", 0));
+  spec.fungible = request.GetBool("fungible");
+  spec.heterogeneous = request.GetBool("heterogeneous");
+  spec.checkpointing = request.GetBool("checkpointing");
+  spec.total_work = request.GetDouble("total_work", 0.0);
+  const std::string model = request.GetString("model", "other");
+  if (!ModelFamilyFromName(model, &spec.model)) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply("invalid_argument", "unknown model family: " + model);
+  }
+
+  const TimeSec stamp = StampFor(request);
+  spec.submit_time = stamp;
+  engine_.sim->StepUntil(stamp);
+  const StatusOr<JobId> id = engine_.sim->SubmitJob(spec);
+  if (!id.ok()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return StatusReply(id.status());
+  }
+  LoggedCommand logged;
+  logged.kind = CommandKind::kSubmit;
+  logged.stamp = stamp;
+  logged.spec = spec;
+  TraceCommand("submit", stamp);
+  log_.push_back(std::move(logged));
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto_quiescent_ = false;
+
+  JsonValue reply = OkReply();
+  reply.Set("job", JsonValue::MakeNumber(static_cast<double>(id.value().value)));
+  reply.Set("time", JsonValue::MakeNumber(stamp));
+  return reply;
+}
+
+JsonValue SchedulerService::ApplyCancel(const JsonValue& request) {
+  const JsonValue* job = request.Find("job");
+  if (job == nullptr || !job->is_number()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply("invalid_argument", "cancel requires a numeric \"job\"");
+  }
+  const std::int64_t id = job->AsInt();
+  const TimeSec stamp = StampFor(request);
+  engine_.sim->StepUntil(stamp);
+  const Status status = engine_.sim->CancelJob(JobId(id));
+  if (!status.ok()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return StatusReply(status);
+  }
+  LoggedCommand logged;
+  logged.kind = CommandKind::kCancel;
+  logged.stamp = stamp;
+  logged.job = id;
+  TraceCommand("cancel", stamp);
+  log_.push_back(std::move(logged));
+  jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  auto_quiescent_ = false;
+
+  JsonValue reply = OkReply();
+  reply.Set("job", JsonValue::MakeNumber(static_cast<double>(id)));
+  reply.Set("time", JsonValue::MakeNumber(engine_.sim->now()));
+  return reply;
+}
+
+JsonValue SchedulerService::ApplyAdvance(const JsonValue& request) {
+  const double to = request.GetDouble("to", -1.0);
+  if (to < 0.0 || !std::isfinite(to)) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply("invalid_argument",
+                      "advance requires a finite non-negative \"to\"");
+  }
+  const TimeSec stamp = std::max(to, engine_.sim->now());
+  engine_.sim->StepUntil(stamp);
+  driver_->AdvanceTo(stamp);
+  LoggedCommand logged;
+  logged.kind = CommandKind::kAdvance;
+  logged.stamp = stamp;
+  TraceCommand("advance", stamp);
+  log_.push_back(std::move(logged));
+  auto_quiescent_ = false;
+
+  JsonValue reply = OkReply();
+  reply.Set("time", JsonValue::MakeNumber(engine_.sim->now()));
+  reply.Set("virtual_time", JsonValue::MakeNumber(stamp));
+  return reply;
+}
+
+JsonValue SchedulerService::ApplyDrain() {
+  engine_.sim->StepUntil(kInfinity);
+  driver_->AdvanceTo(engine_.sim->now());
+  LoggedCommand logged;
+  logged.kind = CommandKind::kDrain;
+  logged.stamp = engine_.sim->now();
+  TraceCommand("drain", logged.stamp);
+  log_.push_back(std::move(logged));
+  auto_quiescent_ = true;
+
+  std::size_t finished = 0;
+  for (const auto& job : engine_.sim->jobs()) {
+    if (job->state() == JobState::kFinished ||
+        job->state() == JobState::kCancelled) {
+      ++finished;
+    }
+  }
+  JsonValue reply = OkReply();
+  reply.Set("time", JsonValue::MakeNumber(engine_.sim->now()));
+  reply.Set("jobs", JsonValue::MakeNumber(
+                        static_cast<double>(engine_.sim->jobs().size())));
+  reply.Set("terminal", JsonValue::MakeNumber(static_cast<double>(finished)));
+  return reply;
+}
+
+JsonValue SchedulerService::ApplyQueryJob(const JsonValue& request) const {
+  const JsonValue* job_field = request.Find("job");
+  if (job_field == nullptr || !job_field->is_number()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply("invalid_argument", "query_job requires a numeric \"job\"");
+  }
+  const std::int64_t id = job_field->AsInt();
+  const auto& jobs = engine_.sim->jobs();
+  if (id < 0 || static_cast<std::size_t>(id) >= jobs.size()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply("not_found", "no such job: " + std::to_string(id));
+  }
+  const Job& job = *jobs[static_cast<std::size_t>(id)];
+  JsonValue reply = OkReply();
+  reply.Set("job", JsonValue::MakeNumber(static_cast<double>(id)));
+  reply.Set("state", JsonValue::MakeString(JobStateName(job.state())));
+  reply.Set("submit_time", JsonValue::MakeNumber(job.spec().submit_time));
+  reply.Set("gpus_per_worker", JsonValue::MakeNumber(job.spec().gpus_per_worker));
+  reply.Set("min_workers", JsonValue::MakeNumber(job.spec().min_workers));
+  reply.Set("max_workers", JsonValue::MakeNumber(job.spec().max_workers));
+  reply.Set("workers", JsonValue::MakeNumber(job.current_workers()));
+  reply.Set("work_remaining", JsonValue::MakeNumber(job.work_remaining()));
+  reply.Set("preemptions", JsonValue::MakeNumber(job.preemptions()));
+  reply.Set("scaling_operations", JsonValue::MakeNumber(job.scaling_operations()));
+  if (job.first_start_time() >= 0.0) {
+    reply.Set("first_start_time", JsonValue::MakeNumber(job.first_start_time()));
+  }
+  if (job.finish_time() >= 0.0) {
+    reply.Set("finish_time", JsonValue::MakeNumber(job.finish_time()));
+  }
+  return reply;
+}
+
+JsonValue SchedulerService::ApplyClusterStats() const {
+  const Simulator& sim = *engine_.sim;
+  std::size_t pending = 0;
+  std::size_t running = 0;
+  std::size_t finished = 0;
+  std::size_t cancelled = 0;
+  for (const auto& job : sim.jobs()) {
+    switch (job->state()) {
+      case JobState::kPending:
+        ++pending;
+        break;
+      case JobState::kRunning:
+        ++running;
+        break;
+      case JobState::kFinished:
+        ++finished;
+        break;
+      case JobState::kCancelled:
+        ++cancelled;
+        break;
+    }
+  }
+  JsonValue jobs = JsonValue::MakeObject();
+  jobs.Set("total", JsonValue::MakeNumber(static_cast<double>(sim.jobs().size())));
+  jobs.Set("pending", JsonValue::MakeNumber(static_cast<double>(pending)));
+  jobs.Set("running", JsonValue::MakeNumber(static_cast<double>(running)));
+  jobs.Set("finished", JsonValue::MakeNumber(static_cast<double>(finished)));
+  jobs.Set("cancelled", JsonValue::MakeNumber(static_cast<double>(cancelled)));
+
+  JsonValue pools = JsonValue::MakeObject();
+  pools.Set("training", PoolStats(sim.cluster(), ServerPool::kTraining));
+  pools.Set("on_loan", PoolStats(sim.cluster(), ServerPool::kOnLoan));
+  pools.Set("inference", PoolStats(sim.cluster(), ServerPool::kInference));
+
+  JsonValue reply = OkReply();
+  reply.Set("time", JsonValue::MakeNumber(sim.now()));
+  reply.Set("events_processed",
+            JsonValue::MakeNumber(static_cast<double>(sim.events_processed())));
+  reply.Set("jobs", std::move(jobs));
+  reply.Set("cluster", std::move(pools));
+  return reply;
+}
+
+JsonValue SchedulerService::ApplyMetrics() const {
+  JsonValue reply = OkReply();
+  reply.Set("time", JsonValue::MakeNumber(engine_.sim->now()));
+  // The engine's registry already exports JSON; re-parse so the reply is one
+  // coherent document (Dump/Parse round-trips are exact).
+  const StatusOr<JsonValue> engine_metrics =
+      JsonValue::Parse(engine_.sim->metrics().ExportJson());
+  reply.Set("engine",
+            engine_metrics.ok() ? engine_metrics.value() : JsonValue::MakeNull());
+
+  const Stats stats = this->stats();
+  JsonValue service = JsonValue::MakeObject();
+  service.Set("commands_applied", JsonValue::MakeNumber(
+                                      static_cast<double>(stats.commands_applied)));
+  service.Set("jobs_submitted",
+              JsonValue::MakeNumber(static_cast<double>(stats.jobs_submitted)));
+  service.Set("jobs_cancelled",
+              JsonValue::MakeNumber(static_cast<double>(stats.jobs_cancelled)));
+  service.Set("rejected_overload",
+              JsonValue::MakeNumber(static_cast<double>(stats.rejected_overload)));
+  service.Set("command_errors",
+              JsonValue::MakeNumber(static_cast<double>(stats.command_errors)));
+  service.Set("queue_depth",
+              JsonValue::MakeNumber(static_cast<double>(stats.queue_depth)));
+  service.Set("queue_peak",
+              JsonValue::MakeNumber(static_cast<double>(stats.queue_peak)));
+  service.Set("command_log", JsonValue::MakeNumber(static_cast<double>(log_.size())));
+  service.Set("driver", JsonValue::MakeString(driver_->name()));
+  reply.Set("service", std::move(service));
+  return reply;
+}
+
+JsonValue SchedulerService::ApplySnapshot(const JsonValue& request) {
+  const std::string path = request.GetString("path");
+  if (path.empty()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorReply("invalid_argument", "snapshot requires a \"path\"");
+  }
+  ServiceSnapshot snapshot;
+  snapshot.config = options_.engine;
+  snapshot.commands = log_;
+  snapshot.horizon = engine_.sim->now();
+  const Status saved = SaveSnapshot(snapshot, path);
+  if (!saved.ok()) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    return StatusReply(saved);
+  }
+  TraceCommand("snapshot", snapshot.horizon);
+  JsonValue reply = OkReply();
+  reply.Set("path", JsonValue::MakeString(path));
+  reply.Set("commands", JsonValue::MakeNumber(static_cast<double>(log_.size())));
+  reply.Set("time", JsonValue::MakeNumber(snapshot.horizon));
+  return reply;
+}
+
+JsonValue SchedulerService::ApplyPing() const {
+  JsonValue reply = OkReply();
+  reply.Set("time", JsonValue::MakeNumber(engine_.sim->now()));
+  reply.Set("virtual_time", JsonValue::MakeNumber(driver_->Now()));
+  reply.Set("driver", JsonValue::MakeString(driver_->name()));
+  return reply;
+}
+
+}  // namespace lyra::svc

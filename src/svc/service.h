@@ -1,0 +1,169 @@
+// SchedulerService: the online scheduler daemon core (DESIGN.md §8).
+//
+// Wraps the Simulator/ClusterState/Lyra orchestrator stack behind a
+// single-writer command queue: one engine thread owns the simulation, every
+// command (mutating or read-only) is serialized through a bounded queue, and
+// callers block on a per-command reply. Backpressure is explicit — when the
+// queue is full, Execute returns an `overloaded` reply with a retry-after
+// hint instead of blocking, so socket workers never wedge behind a slow
+// engine.
+//
+// Commands are JSON objects with a "cmd" field: submit, cancel, query_job,
+// cluster_stats, metrics, advance, drain, snapshot, ping, shutdown. Mutating
+// commands are stamped with virtual time (max of the engine frontier, the
+// time driver's clock, and an optional explicit "at" parameter) and recorded
+// in an in-memory command log; the engine always steps to the stamp before
+// applying, which makes its event sequence a pure function of the logged
+// command sequence. That is the warm-restart invariant: a snapshot persists
+// the EngineConfig plus the command log, and Restore replays it into a
+// bit-identical engine (same decision log, same fault-log hash).
+#ifndef SRC_SVC_SERVICE_H_
+#define SRC_SVC_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/svc/registry.h"
+#include "src/svc/snapshot.h"
+#include "src/svc/time_driver.h"
+
+namespace lyra::svc {
+
+struct ServiceOptions {
+  EngineConfig engine;
+  // Runtime knobs; none of these affect scheduling decisions, so none are
+  // snapshotted.
+  int queue_capacity = 1024;
+  // Virtual-time mode only: free-run the engine toward quiescence between
+  // commands (a daemon's jobs make progress without client traffic). Leave
+  // off for deterministic scripting, where the engine moves only on command
+  // stamps and explicit advance/drain.
+  bool auto_advance = false;
+  // Hint clients receive with an `overloaded` rejection.
+  double retry_after_ms = 50.0;
+  // When non-empty, the engine streams a Perfetto trace here (including the
+  // service's own command instants on the svc track), written on Stop().
+  std::string trace_path;
+};
+
+class SchedulerService {
+ public:
+  struct Stats {
+    std::uint64_t commands_applied = 0;
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_cancelled = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t command_errors = 0;
+    std::size_t queue_depth = 0;
+    std::size_t queue_peak = 0;
+  };
+
+  SchedulerService(ServiceOptions options, std::unique_ptr<TimeDriver> driver);
+  ~SchedulerService();
+
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
+
+  // Builds the engine and starts the engine thread. InvalidArgument on
+  // unknown scheduler/reclaim names.
+  Status Start();
+
+  // Builds the engine from `snapshot_path` (its EngineConfig overrides
+  // options.engine) and replays the persisted command log before serving.
+  // Call instead of Start().
+  Status Restore(const std::string& snapshot_path);
+
+  // Processes every queued command, stops the engine thread, and finalizes
+  // the engine (flushing the trace file). Idempotent.
+  void Stop();
+
+  // True once a shutdown command or Stop() landed.
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  // Thread-safe command entry point. Blocks until the engine thread replies,
+  // except when the queue is full (immediate `overloaded` reply) or the
+  // service is stopped (immediate `stopped` reply).
+  JsonValue Execute(const JsonValue& request);
+  // Wire entry point: parses with JsonParseLimits::Untrusted() and returns
+  // the serialized reply.
+  std::string ExecuteText(const std::string& request_text);
+
+  Stats stats() const;
+  const ServiceOptions& options() const { return options_; }
+  TimeDriver* driver() { return driver_.get(); }
+
+  // Engine access for embedding and tests. Safe only when no engine thread
+  // is running (before Start or after Stop).
+  const Simulator& simulator() const { return *engine_.sim; }
+  const std::vector<LoggedCommand>& command_log() const { return log_; }
+
+ private:
+  struct PendingCommand {
+    JsonValue request;
+    JsonValue reply;
+    bool done = false;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  enum class NextAction { kApply, kStep, kWaitRealTime, kStop };
+
+  void EngineLoop();
+  NextAction Next(std::shared_ptr<PendingCommand>* cmd);
+  void Reply(PendingCommand& cmd, JsonValue reply);
+
+  JsonValue Apply(const JsonValue& request);
+  JsonValue ApplySubmit(const JsonValue& request);
+  JsonValue ApplyCancel(const JsonValue& request);
+  JsonValue ApplyAdvance(const JsonValue& request);
+  JsonValue ApplyDrain();
+  JsonValue ApplyQueryJob(const JsonValue& request) const;
+  JsonValue ApplyClusterStats() const;
+  JsonValue ApplyMetrics() const;
+  JsonValue ApplySnapshot(const JsonValue& request);
+  JsonValue ApplyPing() const;
+
+  // Virtual-time stamp for a mutating command: max(engine frontier, driver
+  // clock, explicit "at"). Monotone by construction.
+  TimeSec StampFor(const JsonValue& request) const;
+  void TraceCommand(const char* name, TimeSec stamp);
+  Status ReplayCommand(const LoggedCommand& cmd);
+
+  ServiceOptions options_;
+  std::unique_ptr<TimeDriver> driver_;
+  Engine engine_;
+  std::vector<LoggedCommand> log_;
+
+  std::thread engine_thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // engine thread waits for work here
+  std::deque<std::shared_ptr<PendingCommand>> queue_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::atomic<bool> stopped_{false};
+  // Engine-thread-only: true once auto-advance reached quiescence (reset by
+  // the next mutating command), so the loop blocks instead of spinning.
+  bool auto_quiescent_ = false;
+  bool finalized_ = false;
+
+  std::atomic<std::uint64_t> commands_applied_{0};
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  // mutable: read-only command handlers count their own rejections.
+  mutable std::atomic<std::uint64_t> command_errors_{0};
+  std::size_t queue_peak_ = 0;  // guarded by mu_
+};
+
+}  // namespace lyra::svc
+
+#endif  // SRC_SVC_SERVICE_H_

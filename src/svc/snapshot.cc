@@ -1,0 +1,385 @@
+#include "src/svc/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lyra::svc {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'Y', 'R', 'A', 'S', 'N', 'A', 'P'};
+
+std::uint64_t Fnv1a(const std::string& data) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+// --- Little-endian field writers/readers ------------------------------------
+
+void PutU8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string& out, std::int64_t v) {
+  PutU64(out, static_cast<std::uint64_t>(v));
+}
+
+void PutF64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+// Cursor over the payload; every read is bounds-checked so a truncated or
+// corrupted payload surfaces as DataLoss, never as out-of-bounds access.
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  Status U8(std::uint8_t* v) {
+    if (!Have(1)) {
+      return Truncated();
+    }
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status U32(std::uint32_t* v) {
+    if (!Have(4)) {
+      return Truncated();
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+            << (8 * i);
+    }
+    return Status::Ok();
+  }
+
+  Status U64(std::uint64_t* v) {
+    if (!Have(8)) {
+      return Truncated();
+    }
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+            << (8 * i);
+    }
+    return Status::Ok();
+  }
+
+  Status I64(std::int64_t* v) {
+    std::uint64_t u = 0;
+    const Status status = U64(&u);
+    *v = static_cast<std::int64_t>(u);
+    return status;
+  }
+
+  Status F64(double* v) {
+    std::uint64_t bits = 0;
+    const Status status = U64(&bits);
+    std::memcpy(v, &bits, sizeof(*v));
+    return status;
+  }
+
+  Status Str(std::string* v) {
+    std::uint32_t length = 0;
+    Status status = U32(&length);
+    if (!status.ok()) {
+      return status;
+    }
+    if (!Have(length)) {
+      return Truncated();
+    }
+    v->assign(data_, pos_, length);
+    pos_ += length;
+    return Status::Ok();
+  }
+
+  Status Bool(bool* v) {
+    std::uint8_t byte = 0;
+    const Status status = U8(&byte);
+    *v = byte != 0;
+    return status;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool Have(std::size_t n) const { return data_.size() - pos_ >= n; }
+  static Status Truncated() { return Status::DataLoss("snapshot payload truncated"); }
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+void PutConfig(std::string& out, const EngineConfig& config) {
+  PutString(out, config.scheduler);
+  PutString(out, config.reclaim);
+  PutU8(out, config.info_agnostic ? 1 : 0);
+  PutU8(out, config.tuned ? 1 : 0);
+  PutU8(out, config.loaning ? 1 : 0);
+  PutU8(out, config.lstm ? 1 : 0);
+  PutU8(out, config.faults ? 1 : 0);
+  PutF64(out, config.scale);
+  PutF64(out, config.horizon_days);
+  PutU64(out, config.seed);
+}
+
+Status ReadConfig(Reader& in, EngineConfig* config) {
+  Status status = in.Str(&config->scheduler);
+  if (status.ok()) status = in.Str(&config->reclaim);
+  if (status.ok()) status = in.Bool(&config->info_agnostic);
+  if (status.ok()) status = in.Bool(&config->tuned);
+  if (status.ok()) status = in.Bool(&config->loaning);
+  if (status.ok()) status = in.Bool(&config->lstm);
+  if (status.ok()) status = in.Bool(&config->faults);
+  if (status.ok()) status = in.F64(&config->scale);
+  if (status.ok()) status = in.F64(&config->horizon_days);
+  if (status.ok()) status = in.U64(&config->seed);
+  return status;
+}
+
+void PutCommand(std::string& out, const LoggedCommand& cmd) {
+  PutU8(out, static_cast<std::uint8_t>(cmd.kind));
+  PutF64(out, cmd.stamp);
+  switch (cmd.kind) {
+    case CommandKind::kSubmit: {
+      const JobSpec& spec = cmd.spec;
+      PutF64(out, spec.submit_time);
+      PutU32(out, static_cast<std::uint32_t>(spec.gpus_per_worker));
+      PutU32(out, static_cast<std::uint32_t>(spec.min_workers));
+      PutU32(out, static_cast<std::uint32_t>(spec.max_workers));
+      PutU32(out, static_cast<std::uint32_t>(spec.requested_workers));
+      PutU8(out, spec.fungible ? 1 : 0);
+      PutU8(out, spec.heterogeneous ? 1 : 0);
+      PutU8(out, spec.checkpointing ? 1 : 0);
+      PutU8(out, static_cast<std::uint8_t>(spec.model));
+      PutF64(out, spec.total_work);
+      break;
+    }
+    case CommandKind::kCancel:
+      PutI64(out, cmd.job);
+      break;
+    case CommandKind::kAdvance:
+    case CommandKind::kDrain:
+      break;
+  }
+}
+
+Status ReadCommand(Reader& in, LoggedCommand* cmd) {
+  std::uint8_t kind = 0;
+  Status status = in.U8(&kind);
+  if (!status.ok()) {
+    return status;
+  }
+  if (kind < 1 || kind > 4) {
+    return Status::DataLoss("unknown command kind in snapshot: " +
+                            std::to_string(kind));
+  }
+  cmd->kind = static_cast<CommandKind>(kind);
+  status = in.F64(&cmd->stamp);
+  if (!status.ok()) {
+    return status;
+  }
+  switch (cmd->kind) {
+    case CommandKind::kSubmit: {
+      JobSpec& spec = cmd->spec;
+      std::uint32_t u = 0;
+      std::uint8_t model = 0;
+      status = in.F64(&spec.submit_time);
+      if (status.ok()) {
+        status = in.U32(&u);
+        spec.gpus_per_worker = static_cast<int>(u);
+      }
+      if (status.ok()) {
+        status = in.U32(&u);
+        spec.min_workers = static_cast<int>(u);
+      }
+      if (status.ok()) {
+        status = in.U32(&u);
+        spec.max_workers = static_cast<int>(u);
+      }
+      if (status.ok()) {
+        status = in.U32(&u);
+        spec.requested_workers = static_cast<int>(u);
+      }
+      if (status.ok()) status = in.Bool(&spec.fungible);
+      if (status.ok()) status = in.Bool(&spec.heterogeneous);
+      if (status.ok()) status = in.Bool(&spec.checkpointing);
+      if (status.ok()) {
+        status = in.U8(&model);
+        if (model > static_cast<std::uint8_t>(ModelFamily::kOther)) {
+          return Status::DataLoss("unknown model family in snapshot");
+        }
+        spec.model = static_cast<ModelFamily>(model);
+      }
+      if (status.ok()) status = in.F64(&spec.total_work);
+      return status;
+    }
+    case CommandKind::kCancel:
+      return in.I64(&cmd->job);
+    case CommandKind::kAdvance:
+    case CommandKind::kDrain:
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* CommandKindName(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kSubmit:
+      return "submit";
+    case CommandKind::kCancel:
+      return "cancel";
+    case CommandKind::kAdvance:
+      return "advance";
+    case CommandKind::kDrain:
+      return "drain";
+  }
+  return "?";
+}
+
+Status SaveSnapshot(const ServiceSnapshot& snapshot, const std::string& path) {
+  std::string payload;
+  PutConfig(payload, snapshot.config);
+  PutU64(payload, snapshot.commands.size());
+  for (const LoggedCommand& cmd : snapshot.commands) {
+    PutCommand(payload, cmd);
+  }
+  PutF64(payload, snapshot.horizon);
+
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  PutU32(file, kSnapshotVersion);
+  PutU64(file, payload.size());
+  file += payload;
+  PutU64(file, Fnv1a(payload));
+
+  // Write-then-rename so a crash mid-write never leaves a torn snapshot at
+  // the target path.
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + tmp);
+  }
+  const std::size_t written = std::fwrite(file.data(), 1, file.size(), out);
+  const bool closed = std::fclose(out) == 0;
+  if (written != file.size() || !closed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<ServiceSnapshot> LoadSnapshot(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::NotFound("cannot open snapshot: " + path);
+  }
+  std::string file;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    file.append(buf, n);
+  }
+  const bool read_error = std::ferror(in) != 0;
+  std::fclose(in);
+  if (read_error) {
+    return Status::DataLoss("read error: " + path);
+  }
+
+  if (file.size() < sizeof(kMagic) + 4 + 8 ||
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a Lyra snapshot: " + path);
+  }
+  std::size_t pos = sizeof(kMagic);
+  auto read_u32 = [&](std::uint32_t* v) {
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(static_cast<unsigned char>(file[pos++]))
+            << (8 * i);
+    }
+  };
+  auto read_u64 = [&](std::uint64_t* v) {
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(static_cast<unsigned char>(file[pos++]))
+            << (8 * i);
+    }
+  };
+  std::uint32_t version = 0;
+  read_u32(&version);
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version) + " (expected " +
+                                   std::to_string(kSnapshotVersion) + ")");
+  }
+  std::uint64_t payload_size = 0;
+  read_u64(&payload_size);
+  if (file.size() < pos + payload_size + 8) {
+    return Status::DataLoss("snapshot truncated: " + path);
+  }
+  const std::string payload = file.substr(pos, payload_size);
+  pos += payload_size;
+  std::uint64_t stored_hash = 0;
+  read_u64(&stored_hash);
+  if (Fnv1a(payload) != stored_hash) {
+    return Status::DataLoss("snapshot checksum mismatch: " + path);
+  }
+
+  ServiceSnapshot snapshot;
+  Reader reader(payload);
+  Status status = ReadConfig(reader, &snapshot.config);
+  if (!status.ok()) {
+    return status;
+  }
+  std::uint64_t count = 0;
+  status = reader.U64(&count);
+  if (!status.ok()) {
+    return status;
+  }
+  snapshot.commands.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LoggedCommand cmd;
+    status = ReadCommand(reader, &cmd);
+    if (!status.ok()) {
+      return status;
+    }
+    snapshot.commands.push_back(cmd);
+  }
+  status = reader.F64(&snapshot.horizon);
+  if (!status.ok()) {
+    return status;
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in snapshot payload: " + path);
+  }
+  return snapshot;
+}
+
+}  // namespace lyra::svc

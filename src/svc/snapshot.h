@@ -1,0 +1,70 @@
+// Versioned binary snapshot of the online scheduler service (DESIGN.md §8).
+//
+// A snapshot is *logical*, not a memory image: it stores the EngineConfig and
+// the ordered log of mutating commands (submit / cancel / advance / drain),
+// each stamped with the virtual time it was applied at, plus the engine's
+// position (horizon) when the snapshot was taken. Restore rebuilds the engine
+// from the config and replays the log — StepUntil(stamp) then re-apply, the
+// exact discipline the live service uses — then steps to the horizon. Because
+// the engine is seed-deterministic and StepUntil chunk boundaries never change
+// behaviour, the restored service's decision log and fault-log hash are
+// byte-identical to an uninterrupted run's (ctest-enforced).
+//
+// File layout (all integers little-endian, doubles as IEEE-754 bit patterns):
+//   magic  "LYRASNAP" (8 bytes)
+//   u32    version (currently 1; any other value is rejected)
+//   u64    payload size
+//   bytes  payload: EngineConfig, command count, commands, horizon
+//   u64    FNV-1a hash of the payload (integrity gate)
+#ifndef SRC_SVC_SNAPSHOT_H_
+#define SRC_SVC_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/svc/registry.h"
+#include "src/workload/job.h"
+
+namespace lyra::svc {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+enum class CommandKind : std::uint8_t {
+  kSubmit = 1,
+  kCancel = 2,
+  kAdvance = 3,  // explicit StepUntil(stamp)
+  kDrain = 4,    // run to quiescence
+};
+
+const char* CommandKindName(CommandKind kind);
+
+// One mutating command, as replayed on restore. `stamp` is the virtual time
+// the command was applied at (the engine steps to it before re-applying).
+struct LoggedCommand {
+  CommandKind kind = CommandKind::kSubmit;
+  TimeSec stamp = 0.0;
+  JobSpec spec;            // kSubmit only (id is reassigned on replay)
+  std::int64_t job = -1;   // kCancel only
+
+  friend bool operator==(const LoggedCommand&, const LoggedCommand&) = default;
+};
+
+struct ServiceSnapshot {
+  EngineConfig config;
+  std::vector<LoggedCommand> commands;
+  // Engine position when the snapshot was taken; restore steps here after
+  // the replay so the service resumes exactly where it left off.
+  TimeSec horizon = 0.0;
+};
+
+Status SaveSnapshot(const ServiceSnapshot& snapshot, const std::string& path);
+
+// InvalidArgument on bad magic or an unsupported version, DataLoss on a
+// truncated file or checksum mismatch.
+StatusOr<ServiceSnapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace lyra::svc
+
+#endif  // SRC_SVC_SNAPSHOT_H_

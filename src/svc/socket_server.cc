@@ -1,0 +1,151 @@
+#include "src/svc/socket_server.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/check.h"
+#include "src/common/json.h"
+#include "src/svc/wire.h"
+
+namespace lyra::svc {
+
+SocketServer::SocketServer(SocketServerOptions options, SchedulerService* service)
+    : options_(std::move(options)), service_(service) {
+  LYRA_CHECK(service_ != nullptr);
+  LYRA_CHECK_GT(options_.workers, 0);
+  LYRA_CHECK_GT(options_.max_pending_connections, 0);
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  StatusOr<int> listener = ListenUnix(options_.path, options_.backlog);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listen_fd_ = listener.value();
+  started_ = true;
+  accept_thread_ = std::thread(&SocketServer::AcceptLoop, this);
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back(&SocketServer::WorkerLoop, this);
+  }
+  return Status::Ok();
+}
+
+void SocketServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  // Unblock the accept thread; workers blocked in read are unblocked by the
+  // peer closing (clients of a stopping daemon) or the process exiting — the
+  // shutdown below covers fds still queued for a worker.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  cv_.notify_all();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : pending_) {
+      ::close(fd);
+    }
+    pending_.clear();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+  ::unlink(options_.path.c_str());
+}
+
+void SocketServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener closed (Stop) or fatal accept error
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool reject = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_ ||
+          pending_.size() >= static_cast<std::size_t>(options_.max_pending_connections)) {
+        reject = true;
+      } else {
+        pending_.push_back(fd);
+      }
+    }
+    if (reject) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      JsonValue reply = JsonValue::MakeObject();
+      reply.Set("ok", JsonValue::MakeBool(false));
+      reply.Set("code", JsonValue::MakeString("overloaded"));
+      reply.Set("error", JsonValue::MakeString("connection queue full"));
+      (void)WriteFrame(fd, reply.Dump());
+      ::close(fd);
+      continue;
+    }
+    cv_.notify_one();
+  }
+}
+
+void SocketServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (!pending_.empty()) {
+        fd = pending_.front();
+        pending_.pop_front();
+      } else if (stopping_) {
+        return;
+      }
+    }
+    if (fd >= 0) {
+      ServeConnection(fd);
+      ::close(fd);
+    }
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  for (;;) {
+    StatusOr<std::string> request = ReadFrame(fd);
+    if (!request.ok()) {
+      // Clean EOF, truncated frame, or an oversized length prefix: tell the
+      // peer when the stream is still coherent enough to answer, then drop.
+      if (request.status().code() == StatusCode::kInvalidArgument) {
+        JsonValue reply = JsonValue::MakeObject();
+        reply.Set("ok", JsonValue::MakeBool(false));
+        reply.Set("code", JsonValue::MakeString("invalid_argument"));
+        reply.Set("error", JsonValue::MakeString(request.status().message()));
+        (void)WriteFrame(fd, reply.Dump());
+      }
+      return;
+    }
+    const std::string reply = service_->ExecuteText(request.value());
+    if (!WriteFrame(fd, reply).ok()) {
+      return;
+    }
+  }
+}
+
+}  // namespace lyra::svc

@@ -1,0 +1,82 @@
+// Unix-domain socket front end for SchedulerService.
+//
+// One accept thread hands connections to a bounded pool of worker threads
+// through a bounded queue. Each worker owns one connection at a time and runs
+// a strict request/reply loop: read a frame, SchedulerService::ExecuteText,
+// write the reply, repeat until the peer closes. Backpressure is explicit at
+// both layers: a full connection queue answers with one `overloaded` frame
+// and closes; a full command queue inside the service answers per-request
+// with `overloaded` + retry_after_ms (the worker never blocks behind the
+// engine, because Execute itself never blocks on a full queue).
+#ifndef SRC_SVC_SOCKET_SERVER_H_
+#define SRC_SVC_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/svc/service.h"
+
+namespace lyra::svc {
+
+struct SocketServerOptions {
+  std::string path;       // Unix socket path (must fit sockaddr_un)
+  int workers = 4;        // concurrent connections served
+  int backlog = 128;      // listen(2) backlog
+  int max_pending_connections = 64;  // beyond this: overloaded frame + close
+};
+
+class SocketServer {
+ public:
+  SocketServer(SocketServerOptions options, SchedulerService* service);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds, listens, and starts the accept + worker threads.
+  Status Start();
+
+  // Closes the listener, drains workers, unlinks the socket. Idempotent.
+  void Stop();
+
+  const std::string& path() const { return options_.path; }
+
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_rejected() const {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  SocketServerOptions options_;
+  SchedulerService* service_;  // not owned
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+};
+
+}  // namespace lyra::svc
+
+#endif  // SRC_SVC_SOCKET_SERVER_H_

@@ -1,0 +1,73 @@
+#include "src/svc/time_driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace lyra::svc {
+
+TimeSec VirtualTimeDriver::Now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+bool VirtualTimeDriver::WaitUntil(TimeSec target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ = std::max(now_, target);
+  return true;
+}
+
+void VirtualTimeDriver::AdvanceTo(TimeSec t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ = std::max(now_, t);
+}
+
+ScaledRealTimeDriver::ScaledRealTimeDriver(double speedup)
+    : speedup_(speedup), epoch_(std::chrono::steady_clock::now()) {
+  LYRA_CHECK_GT(speedup_, 0.0);
+}
+
+TimeSec ScaledRealTimeDriver::Now() {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(elapsed).count() * speedup_;
+}
+
+std::chrono::steady_clock::time_point ScaledRealTimeDriver::WallFor(
+    TimeSec virtual_time) const {
+  return epoch_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(virtual_time / speedup_));
+}
+
+bool ScaledRealTimeDriver::WaitUntil(TimeSec target) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (wake_pending_) {
+    wake_pending_ = false;
+    return false;
+  }
+  if (!std::isfinite(target)) {
+    // No event horizon: sleep until a command interrupts us.
+    cv_.wait(lock, [&] { return wake_pending_; });
+    wake_pending_ = false;
+    return false;
+  }
+  const auto deadline = WallFor(target);
+  while (!wake_pending_) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout ||
+        std::chrono::steady_clock::now() >= deadline) {
+      return true;
+    }
+  }
+  wake_pending_ = false;
+  return false;  // interrupted: a command arrived
+}
+
+void ScaledRealTimeDriver::Interrupt() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wake_pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace lyra::svc

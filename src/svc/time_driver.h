@@ -1,0 +1,94 @@
+// Time drivers: how the online scheduler service maps wall-clock time onto
+// the engine's virtual clock.
+//
+// The service's engine thread asks its driver two questions: "what virtual
+// time is it?" (commands are stamped with it) and "wait until virtual time t"
+// (the gap until the next discrete event). Two implementations:
+//   - VirtualTimeDriver: as-fast-as-possible. WaitUntil jumps the clock and
+//     returns immediately, so a drain runs at full simulation speed and the
+//     served decisions are bit-identical to a batch run of the same command
+//     sequence (the warm-restart tests rely on this).
+//   - ScaledRealTimeDriver: virtual time advances at `speedup` times the wall
+//     clock. WaitUntil sleeps on a condition variable and is interruptible,
+//     so a newly arrived command wakes the engine thread immediately instead
+//     of waiting out the sleep.
+#ifndef SRC_SVC_TIME_DRIVER_H_
+#define SRC_SVC_TIME_DRIVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/common/types.h"
+
+namespace lyra::svc {
+
+class TimeDriver {
+ public:
+  virtual ~TimeDriver() = default;
+
+  // Current virtual time in seconds. Monotone non-decreasing.
+  virtual TimeSec Now() = 0;
+
+  // Blocks until virtual time reaches `target` or Interrupt() is called.
+  // Returns true when the target was reached, false when interrupted early.
+  virtual bool WaitUntil(TimeSec target) = 0;
+
+  // Wakes a blocked WaitUntil (no-op when none is blocked). Thread-safe.
+  virtual void Interrupt() {}
+
+  // Tells the driver the engine frontier moved (the virtual driver follows
+  // it; the real-time driver follows the wall clock and ignores this).
+  virtual void AdvanceTo(TimeSec /*t*/) {}
+
+  // True when WaitUntil actually sleeps (the service's engine loop waits on
+  // the driver between events instead of free-running).
+  virtual bool realtime() const { return false; }
+
+  virtual const char* name() const = 0;
+};
+
+// Virtual time: the clock is wherever the engine says it is. WaitUntil never
+// blocks, which makes the service run as fast as the simulation core can.
+class VirtualTimeDriver : public TimeDriver {
+ public:
+  TimeSec Now() override;
+  bool WaitUntil(TimeSec target) override;
+  void AdvanceTo(TimeSec t) override;
+  const char* name() const override { return "virtual"; }
+
+ private:
+  std::mutex mu_;
+  TimeSec now_ = 0.0;
+};
+
+// Wall-clock time scaled by `speedup` (1.0 = real time, 60.0 = one virtual
+// minute per wall second). The epoch is captured at construction.
+class ScaledRealTimeDriver : public TimeDriver {
+ public:
+  explicit ScaledRealTimeDriver(double speedup);
+
+  TimeSec Now() override;
+  bool WaitUntil(TimeSec target) override;
+  void Interrupt() override;
+  bool realtime() const override { return true; }
+  const char* name() const override { return "scaled-realtime"; }
+
+  double speedup() const { return speedup_; }
+
+ private:
+  std::chrono::steady_clock::time_point WallFor(TimeSec virtual_time) const;
+
+  const double speedup_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Level-triggered wake: set by Interrupt, consumed by WaitUntil. An
+  // interrupt that lands between two waits is caught by the next one, so a
+  // command enqueued while the engine is applying work is never missed.
+  bool wake_pending_ = false;
+};
+
+}  // namespace lyra::svc
+
+#endif  // SRC_SVC_TIME_DRIVER_H_

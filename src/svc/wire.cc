@@ -1,0 +1,182 @@
+#include "src/svc/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace lyra::svc {
+namespace {
+
+void PutU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+std::uint32_t GetU32(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return (static_cast<std::uint32_t>(u[0]) << 24) |
+         (static_cast<std::uint32_t>(u[1]) << 16) |
+         (static_cast<std::uint32_t>(u[2]) << 8) | static_cast<std::uint32_t>(u[3]);
+}
+
+Status WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Reads exactly `size` bytes. Returns the byte count read before EOF (so the
+// caller can distinguish a clean close from a truncated frame).
+StatusOr<std::size_t> ReadFull(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return got;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds 1 MiB");
+  }
+  const std::string framed = EncodeFrame(payload);
+  return WriteAll(fd, framed.data(), framed.size());
+}
+
+StatusOr<std::string> ReadFrame(int fd) {
+  char header[4];
+  StatusOr<std::size_t> got = ReadFull(fd, header, sizeof(header));
+  if (!got.ok()) {
+    return got.status();
+  }
+  if (got.value() == 0) {
+    return Status::Unavailable("eof");
+  }
+  if (got.value() < sizeof(header)) {
+    return Status::DataLoss("connection closed mid-header");
+  }
+  const std::uint32_t length = GetU32(header);
+  if (length > kMaxFramePayload) {
+    return Status::InvalidArgument("frame length " + std::to_string(length) +
+                                   " exceeds 1 MiB cap");
+  }
+  std::string payload(length, '\0');
+  got = ReadFull(fd, payload.data(), length);
+  if (!got.ok()) {
+    return got.status();
+  }
+  if (got.value() < length) {
+    return Status::DataLoss("connection closed mid-frame");
+  }
+  return payload;
+}
+
+void FrameDecoder::Append(const char* data, std::size_t size) {
+  // Compact once consumed bytes dominate, so the buffer stays bounded.
+  if (consumed_ > 0 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+StatusOr<bool> FrameDecoder::Next(std::string* payload) {
+  if (buffered() < 4) {
+    return false;
+  }
+  const std::uint32_t length = GetU32(buffer_.data() + consumed_);
+  if (length > kMaxFramePayload) {
+    return Status::InvalidArgument("frame length exceeds 1 MiB cap");
+  }
+  if (buffered() < 4 + static_cast<std::size_t>(length)) {
+    return false;
+  }
+  payload->assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + length;
+  return true;
+}
+
+StatusOr<int> ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::Unavailable("bind " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status =
+        Status::Unavailable("listen " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+StatusOr<int> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Status::Unavailable("connect " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+}  // namespace lyra::svc

@@ -1,0 +1,57 @@
+// Wire protocol for the online scheduler service.
+//
+// Frames are a 4-byte big-endian payload length followed by that many bytes
+// of UTF-8 JSON. The payload cap matches JsonParseLimits::Untrusted()
+// (1 MiB): a frame the parser would reject is refused at the framing layer,
+// before any allocation proportional to the claimed length. Helpers here do
+// blocking fd I/O with EINTR retry; FrameDecoder is the incremental variant
+// for callers that manage their own buffers (the load generator's receiver
+// thread).
+#ifndef SRC_SVC_WIRE_H_
+#define SRC_SVC_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace lyra::svc {
+
+// Maximum frame payload, aligned with the untrusted JSON parse limit.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+
+// Length-prefixes `payload` for transmission.
+std::string EncodeFrame(const std::string& payload);
+
+// Writes one frame to `fd`, retrying short writes and EINTR.
+Status WriteFrame(int fd, const std::string& payload);
+
+// Reads one frame from `fd`. Unavailable("eof") on a clean close at a frame
+// boundary, DataLoss on a mid-frame close, InvalidArgument on an oversized
+// length prefix.
+StatusOr<std::string> ReadFrame(int fd);
+
+// Incremental decoder: feed bytes as they arrive, pop complete payloads.
+class FrameDecoder {
+ public:
+  void Append(const char* data, std::size_t size);
+
+  // Extracts the next complete payload into `payload`. Returns false when no
+  // complete frame is buffered. Fails on an oversized length prefix (the
+  // stream is unrecoverable after that).
+  StatusOr<bool> Next(std::string* payload);
+
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+// Unix-domain socket helpers. Paths must fit sockaddr_un (~107 chars).
+StatusOr<int> ListenUnix(const std::string& path, int backlog);
+StatusOr<int> ConnectUnix(const std::string& path);
+
+}  // namespace lyra::svc
+
+#endif  // SRC_SVC_WIRE_H_

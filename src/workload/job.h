@@ -62,12 +62,17 @@ struct JobSpec {
   TimeSec MinRunningTime() const { return total_work / max_workers; }
   // Running time at base demand on training GPUs.
   TimeSec BaseRunningTime() const { return total_work / min_workers; }
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
 };
 
 enum class JobState {
   kPending,
   kRunning,
   kFinished,
+  // Terminated by an online cancel command before finishing (service mode
+  // only; batch traces never cancel). Cancelled jobs report no JCT.
+  kCancelled,
 };
 
 // Runtime state of a job inside the simulator. Progress is piecewise linear:
@@ -211,6 +216,18 @@ class Job {
     LYRA_CHECK(state_ == JobState::kRunning);
     AdvanceProgress(now);
     state_ = JobState::kFinished;
+    finish_time_ = now;
+    rate_ = 0.0;
+    current_workers_ = 0;
+    perf_factor_ = 1.0;
+  }
+
+  // Cancels the job (online service command). Legal from kPending or
+  // kRunning; the caller is responsible for releasing any cluster resources.
+  void Cancel(TimeSec now) {
+    LYRA_CHECK(state_ == JobState::kPending || state_ == JobState::kRunning);
+    AdvanceProgress(now);
+    state_ = JobState::kCancelled;
     finish_time_ = now;
     rate_ = 0.0;
     current_workers_ = 0;

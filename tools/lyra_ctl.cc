@@ -1,0 +1,146 @@
+// lyra_ctl: command-line client for lyra_schedd.
+//
+// Builds one JSON command from the subcommand + flags, sends it over the
+// daemon's Unix socket as a length-prefixed frame, and prints the reply.
+// Exit status is 0 when the reply carries "ok": true, 2 on an error reply,
+// and 1 on transport/usage failure.
+//
+//   lyra_ctl --socket=/tmp/lyra.sock submit --gpus-per-worker=1 --max-workers=4
+//   lyra_ctl --socket=/tmp/lyra.sock query_job --job=0
+//   lyra_ctl --socket=/tmp/lyra.sock advance --to=3600
+//   lyra_ctl --socket=/tmp/lyra.sock drain
+//   lyra_ctl --socket=/tmp/lyra.sock snapshot --path=/tmp/lyra.snap
+//   lyra_ctl --socket=/tmp/lyra.sock shutdown
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "src/common/flags.h"
+#include "src/common/json.h"
+#include "src/svc/wire.h"
+
+namespace {
+
+const char kSubcommands[] =
+    "submit | cancel | advance | drain | query_job | cluster_stats | metrics "
+    "| snapshot | ping | shutdown";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/lyra_schedd.sock";
+  std::string path;
+  std::string model;
+  double at = -1.0;
+  double to = -1.0;
+  double total_work = -1.0;
+  int job = -1;
+  int gpus_per_worker = 1;
+  int min_workers = 1;
+  int max_workers = -1;
+  int requested_workers = -1;
+  bool fungible = false;
+  bool heterogeneous = false;
+  bool checkpointing = false;
+
+  lyra::FlagSet flags(std::string("lyra_ctl <subcommand>: drive lyra_schedd. "
+                                  "Subcommands: ") + kSubcommands);
+  flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddDouble("at", &at, "virtual-time stamp for mutating commands (<0 = now)");
+  flags.AddDouble("to", &to, "advance: target virtual time");
+  flags.AddInt("job", &job, "cancel/query_job: job id");
+  flags.AddString("path", &path, "snapshot: output file");
+  flags.AddInt("gpus-per-worker", &gpus_per_worker, "submit: GPUs per worker");
+  flags.AddInt("min-workers", &min_workers, "submit: minimum worker count");
+  flags.AddInt("max-workers", &max_workers, "submit: maximum workers (<0 = min)");
+  flags.AddInt("requested-workers", &requested_workers,
+               "submit: initial request (<0 = max)");
+  flags.AddDouble("total-work", &total_work,
+                  "submit: total work in GPU-seconds (<0 = default)");
+  flags.AddString("model", &model, "submit: resnet | vgg | bert | gnmt | other");
+  flags.AddBool("fungible", &fungible, "submit: job tolerates reclaims");
+  flags.AddBool("heterogeneous", &heterogeneous, "submit: may span GPU types");
+  flags.AddBool("checkpointing", &checkpointing, "submit: checkpoint-enabled");
+
+  const lyra::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.message().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested() || flags.positional().empty()) {
+    std::fputs(flags.Usage().c_str(), flags.help_requested() ? stdout : stderr);
+    return flags.help_requested() ? 0 : 1;
+  }
+  const std::string& cmd = flags.positional().front();
+
+  lyra::JsonValue request = lyra::JsonValue::MakeObject();
+  request.Set("cmd", lyra::JsonValue::MakeString(cmd));
+  if (at >= 0.0) {
+    request.Set("at", lyra::JsonValue::MakeNumber(at));
+  }
+  if (cmd == "submit") {
+    request.Set("gpus_per_worker", lyra::JsonValue::MakeNumber(gpus_per_worker));
+    request.Set("min_workers", lyra::JsonValue::MakeNumber(min_workers));
+    if (max_workers >= 0) {
+      request.Set("max_workers", lyra::JsonValue::MakeNumber(max_workers));
+    }
+    if (requested_workers >= 0) {
+      request.Set("requested_workers",
+                  lyra::JsonValue::MakeNumber(requested_workers));
+    }
+    if (total_work >= 0.0) {
+      request.Set("total_work", lyra::JsonValue::MakeNumber(total_work));
+    }
+    if (!model.empty()) {
+      request.Set("model", lyra::JsonValue::MakeString(model));
+    }
+    request.Set("fungible", lyra::JsonValue::MakeBool(fungible));
+    request.Set("heterogeneous", lyra::JsonValue::MakeBool(heterogeneous));
+    request.Set("checkpointing", lyra::JsonValue::MakeBool(checkpointing));
+  } else if (cmd == "cancel" || cmd == "query_job") {
+    if (job < 0) {
+      std::fprintf(stderr, "lyra_ctl: %s requires --job\n", cmd.c_str());
+      return 1;
+    }
+    request.Set("job", lyra::JsonValue::MakeNumber(job));
+  } else if (cmd == "advance") {
+    if (to < 0.0) {
+      std::fprintf(stderr, "lyra_ctl: advance requires --to\n");
+      return 1;
+    }
+    request.Set("to", lyra::JsonValue::MakeNumber(to));
+  } else if (cmd == "snapshot") {
+    if (path.empty()) {
+      std::fprintf(stderr, "lyra_ctl: snapshot requires --path\n");
+      return 1;
+    }
+    request.Set("path", lyra::JsonValue::MakeString(path));
+  }
+
+  lyra::StatusOr<int> fd = lyra::svc::ConnectUnix(socket_path);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "lyra_ctl: connect %s: %s\n", socket_path.c_str(),
+                 fd.status().message().c_str());
+    return 1;
+  }
+  lyra::Status sent = lyra::svc::WriteFrame(fd.value(), request.Dump());
+  if (!sent.ok()) {
+    std::fprintf(stderr, "lyra_ctl: send: %s\n", sent.message().c_str());
+    ::close(fd.value());
+    return 1;
+  }
+  lyra::StatusOr<std::string> reply = lyra::svc::ReadFrame(fd.value());
+  ::close(fd.value());
+  if (!reply.ok()) {
+    std::fprintf(stderr, "lyra_ctl: recv: %s\n", reply.status().message().c_str());
+    return 1;
+  }
+  std::printf("%s\n", reply.value().c_str());
+
+  lyra::StatusOr<lyra::JsonValue> parsed_reply =
+      lyra::JsonValue::Parse(reply.value());
+  if (parsed_reply.ok() && parsed_reply.value().GetBool("ok", false)) {
+    return 0;
+  }
+  return 2;
+}

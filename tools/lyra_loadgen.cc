@@ -1,0 +1,272 @@
+// lyra_loadgen: open-loop load generator for lyra_schedd.
+//
+// Each connection runs a paced sender thread (open-loop: sends are scheduled
+// by the clock, never gated on replies) and a receiver thread that matches
+// replies to sends FIFO — the daemon serves each connection with a strict
+// in-order request/reply loop, so FIFO matching is exact. Reports submit
+// throughput and latency percentiles, counts `overloaded` backpressure
+// rejections separately from errors, and can merge the summary into the
+// repo's BENCH_perf.json under a "lyra_loadgen" key.
+//
+//   lyra_loadgen --socket=/tmp/lyra.sock --rate=20000 --duration=5
+//       --connections=4 --report=BENCH_perf.json
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/common/flags.h"
+#include "src/common/json.h"
+#include "src/svc/wire.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Connection {
+  int fd = -1;
+  std::mutex mu;
+  std::deque<Clock::time_point> in_flight;  // send stamps, FIFO per connection
+  std::vector<double> latencies_ms;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;
+  bool sender_done = false;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void SenderLoop(Connection* conn, const std::string& frame_payload,
+                double interval_sec, Clock::time_point deadline) {
+  Clock::time_point next = Clock::now();
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(interval_sec));
+  while (Clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->in_flight.push_back(Clock::now());
+    }
+    if (!lyra::svc::WriteFrame(conn->fd, frame_payload).ok()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->in_flight.pop_back();
+      break;
+    }
+    ++conn->sent;
+    next += interval;
+    std::this_thread::sleep_until(next);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->sender_done = true;
+  }
+  // Half-close: the daemon finishes replying to everything buffered, then
+  // sees EOF and closes, which cleanly terminates the receiver.
+  ::shutdown(conn->fd, SHUT_WR);
+}
+
+void ReceiverLoop(Connection* conn) {
+  for (;;) {
+    lyra::StatusOr<std::string> reply = lyra::svc::ReadFrame(conn->fd);
+    const Clock::time_point now = Clock::now();
+    if (!reply.ok()) {
+      return;  // clean EOF after half-close, or transport failure
+    }
+    Clock::time_point sent_at;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->in_flight.empty()) {
+        ++conn->errors;  // reply without a matching send: protocol bug
+        continue;
+      }
+      sent_at = conn->in_flight.front();
+      conn->in_flight.pop_front();
+    }
+    conn->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(now - sent_at).count());
+    lyra::StatusOr<lyra::JsonValue> parsed = lyra::JsonValue::Parse(
+        reply.value(), lyra::JsonParseLimits::Untrusted());
+    if (!parsed.ok()) {
+      ++conn->errors;
+    } else if (parsed.value().GetBool("ok", false)) {
+      ++conn->ok;
+    } else if (parsed.value().GetString("code") == "overloaded") {
+      ++conn->overloaded;
+    } else {
+      ++conn->errors;
+    }
+  }
+}
+
+// Merges `section` into the JSON report at `path` under the "lyra_loadgen"
+// key, preserving every other key (and replacing a previous loadgen section).
+void MergeReport(const std::string& path, const lyra::JsonValue& section) {
+  lyra::JsonValue report = lyra::JsonValue::MakeObject();
+  std::ifstream in(path);
+  if (in) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    lyra::StatusOr<lyra::JsonValue> existing = lyra::JsonValue::Parse(buffer.str());
+    if (existing.ok() && existing.value().is_object()) {
+      for (const auto& [key, value] : existing.value().AsObject()) {
+        if (key != "lyra_loadgen") {
+          report.Set(key, value);
+        }
+      }
+    }
+  }
+  report.Set("lyra_loadgen", section);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "lyra_loadgen: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << report.Dump() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/lyra_schedd.sock";
+  std::string report_path;
+  double rate = 10000.0;
+  double duration = 5.0;
+  int connections = 4;
+  int gpus_per_worker = 1;
+
+  lyra::FlagSet flags(
+      "lyra_loadgen: open-loop submit load against lyra_schedd");
+  flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddDouble("rate", &rate, "aggregate submit rate (submits/sec)");
+  flags.AddDouble("duration", &duration, "send window in wall seconds");
+  flags.AddInt("connections", &connections,
+               "parallel connections (keep <= daemon --workers)");
+  flags.AddInt("gpus-per-worker", &gpus_per_worker, "GPUs per submitted worker");
+  flags.AddString("report", &report_path,
+                  "merge a lyra_loadgen section into this BENCH_perf.json");
+
+  const lyra::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.message().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.Usage().c_str(), stdout);
+    return 0;
+  }
+  if (rate <= 0.0 || duration <= 0.0 || connections <= 0) {
+    std::fprintf(stderr, "lyra_loadgen: rate, duration, connections must be > 0\n");
+    return 1;
+  }
+
+  lyra::JsonValue request = lyra::JsonValue::MakeObject();
+  request.Set("cmd", lyra::JsonValue::MakeString("submit"));
+  request.Set("gpus_per_worker", lyra::JsonValue::MakeNumber(gpus_per_worker));
+  request.Set("min_workers", lyra::JsonValue::MakeNumber(1));
+  request.Set("max_workers", lyra::JsonValue::MakeNumber(1));
+  request.Set("total_work", lyra::JsonValue::MakeNumber(3600.0));
+  request.Set("fungible", lyra::JsonValue::MakeBool(true));
+  const std::string payload = request.Dump();
+
+  std::vector<std::unique_ptr<Connection>> conns;
+  for (int i = 0; i < connections; ++i) {
+    lyra::StatusOr<int> fd = lyra::svc::ConnectUnix(socket_path);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "lyra_loadgen: connect %s: %s\n", socket_path.c_str(),
+                   fd.status().message().c_str());
+      return 1;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd.value();
+    conns.push_back(std::move(conn));
+  }
+
+  const double interval_sec = static_cast<double>(connections) / rate;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(duration));
+
+  std::vector<std::thread> threads;
+  for (auto& conn : conns) {
+    threads.emplace_back(SenderLoop, conn.get(), payload, interval_sec, deadline);
+    threads.emplace_back(ReceiverLoop, conn.get());
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::uint64_t sent = 0, ok = 0, overloaded = 0, errors = 0;
+  std::vector<double> latencies;
+  for (auto& conn : conns) {
+    ::close(conn->fd);
+    sent += conn->sent;
+    ok += conn->ok;
+    overloaded += conn->overloaded;
+    errors += conn->errors;
+    latencies.insert(latencies.end(), conn->latencies_ms.begin(),
+                     conn->latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double achieved = wall > 0.0 ? static_cast<double>(ok) / wall : 0.0;
+  const double p50 = Percentile(latencies, 0.50);
+  const double p90 = Percentile(latencies, 0.90);
+  const double p99 = Percentile(latencies, 0.99);
+  const double max = latencies.empty() ? 0.0 : latencies.back();
+
+  std::printf("lyra_loadgen: %llu sent, %llu ok, %llu overloaded, %llu error(s) "
+              "in %.2fs (%d connection(s))\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(overloaded),
+              static_cast<unsigned long long>(errors), wall, connections);
+  std::printf("  target %.0f/s -> achieved %.0f submits/s accepted\n", rate,
+              achieved);
+  std::printf("  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f (n=%zu)\n", p50,
+              p90, p99, max, latencies.size());
+
+  if (!report_path.empty()) {
+    lyra::JsonValue section = lyra::JsonValue::MakeObject();
+    section.Set("rate_target", lyra::JsonValue::MakeNumber(rate));
+    section.Set("duration_sec", lyra::JsonValue::MakeNumber(wall));
+    section.Set("connections", lyra::JsonValue::MakeNumber(connections));
+    section.Set("sent", lyra::JsonValue::MakeNumber(static_cast<double>(sent)));
+    section.Set("ok", lyra::JsonValue::MakeNumber(static_cast<double>(ok)));
+    section.Set("overloaded",
+                lyra::JsonValue::MakeNumber(static_cast<double>(overloaded)));
+    section.Set("errors", lyra::JsonValue::MakeNumber(static_cast<double>(errors)));
+    section.Set("submits_per_sec", lyra::JsonValue::MakeNumber(achieved));
+    section.Set("latency_ms_p50", lyra::JsonValue::MakeNumber(p50));
+    section.Set("latency_ms_p90", lyra::JsonValue::MakeNumber(p90));
+    section.Set("latency_ms_p99", lyra::JsonValue::MakeNumber(p99));
+    section.Set("latency_ms_max", lyra::JsonValue::MakeNumber(max));
+    MergeReport(report_path, section);
+    std::printf("  merged lyra_loadgen section into %s\n", report_path.c_str());
+  }
+
+  // Errors are failures; overloaded replies are the backpressure working.
+  return errors == 0 ? 0 : 2;
+}

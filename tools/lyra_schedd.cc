@@ -1,0 +1,138 @@
+// lyra_schedd: the online scheduler daemon.
+//
+// Serves the Lyra scheduling engine over a Unix-domain socket speaking
+// length-prefixed JSON (see DESIGN.md §8 for the protocol). Virtual-time by
+// default (as fast as the engine can run); --time-scale switches to scaled
+// wall-clock pacing. --restore warm-restarts from a snapshot taken with
+// `lyra_ctl snapshot` (or the snapshot command), replaying the persisted
+// command log into a bit-identical engine.
+//
+//   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock
+//   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --restore=/tmp/lyra.snap
+//   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --time-scale=3600
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/common/flags.h"
+#include "src/svc/service.h"
+#include "src/svc/socket_server.h"
+#include "src/svc/time_driver.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void HandleSignal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lyra::svc::ServiceOptions options;
+  options.auto_advance = true;  // a daemon's jobs progress without traffic
+  lyra::svc::SocketServerOptions server_options;
+  server_options.path = "/tmp/lyra_schedd.sock";
+  std::string restore_path;
+  std::string snapshot_on_exit;
+  double time_scale = 0.0;
+  int seed = 42;
+  double scale = 0.25;
+  double horizon_days = 30.0;
+  bool faults = false;
+
+  lyra::FlagSet flags("lyra_schedd: serve the Lyra scheduler over a Unix socket");
+  flags.AddString("socket", &server_options.path, "Unix socket path to listen on");
+  flags.AddString("scheduler", &options.engine.scheduler,
+                  "fifo | sjf | gandiva | afs | pollux | opportunistic | lyra");
+  flags.AddString("reclaim", &options.engine.reclaim, "lyra | random | scf | optimal");
+  flags.AddString("restore", &restore_path, "warm-restart from this snapshot");
+  flags.AddString("snapshot-on-exit", &snapshot_on_exit,
+                  "write a snapshot here on SIGINT/SIGTERM");
+  flags.AddString("trace-json", &options.trace_path,
+                  "stream a Perfetto trace (incl. the svc track) here");
+  flags.AddDouble("time-scale", &time_scale,
+                  "virtual seconds per wall second (0 = as fast as possible)");
+  flags.AddDouble("scale", &scale, "cluster scale (1.0 = 443+520 servers)");
+  flags.AddDouble("horizon-days", &horizon_days, "metering window in days");
+  flags.AddInt("seed", &seed, "engine seed");
+  flags.AddBool("loaning", &options.engine.loaning, "enable capacity loaning");
+  flags.AddBool("faults", &faults, "enable deterministic fault injection");
+  flags.AddBool("auto-advance", &options.auto_advance,
+                "virtual mode: free-run the engine between commands");
+  flags.AddInt("queue-capacity", &options.queue_capacity,
+               "command queue bound (backpressure beyond it)");
+  flags.AddInt("workers", &server_options.workers, "connection worker threads");
+
+  const lyra::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.message().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.Usage().c_str(), stdout);
+    return 0;
+  }
+  options.engine.seed = static_cast<std::uint64_t>(seed);
+  options.engine.scale = scale;
+  options.engine.horizon_days = horizon_days;
+  options.engine.faults = faults;
+
+  std::unique_ptr<lyra::svc::TimeDriver> driver;
+  if (time_scale > 0.0) {
+    driver = std::make_unique<lyra::svc::ScaledRealTimeDriver>(time_scale);
+  } else {
+    driver = std::make_unique<lyra::svc::VirtualTimeDriver>();
+  }
+  lyra::svc::SchedulerService service(options, std::move(driver));
+  const lyra::Status started = restore_path.empty()
+                                   ? service.Start()
+                                   : service.Restore(restore_path);
+  if (!started.ok()) {
+    std::fprintf(stderr, "lyra_schedd: %s\n", started.message().c_str());
+    return 1;
+  }
+  if (!restore_path.empty()) {
+    std::printf("restored %zu command(s) from %s; engine at t=%.1fs\n",
+                service.command_log().size(), restore_path.c_str(),
+                service.simulator().now());
+  }
+
+  lyra::svc::SocketServer server(server_options, &service);
+  const lyra::Status listening = server.Start();
+  if (!listening.ok()) {
+    std::fprintf(stderr, "lyra_schedd: %s\n", listening.message().c_str());
+    return 1;
+  }
+  std::printf("lyra_schedd listening on %s (scheduler=%s reclaim=%s driver=%s)\n",
+              server.path().c_str(), options.engine.scheduler.c_str(),
+              options.engine.reclaim.c_str(),
+              time_scale > 0.0 ? "scaled-realtime" : "virtual");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_signal == 0 && !service.stopped()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  if (g_signal != 0 && !snapshot_on_exit.empty() && !service.stopped()) {
+    lyra::JsonValue request = lyra::JsonValue::MakeObject();
+    request.Set("cmd", lyra::JsonValue::MakeString("snapshot"));
+    request.Set("path", lyra::JsonValue::MakeString(snapshot_on_exit));
+    const lyra::JsonValue reply = service.Execute(request);
+    std::printf("snapshot-on-exit: %s\n", reply.Dump().c_str());
+  }
+
+  server.Stop();
+  service.Stop();
+  const lyra::svc::SchedulerService::Stats stats = service.stats();
+  std::printf("lyra_schedd exiting: %llu command(s), %llu submit(s), "
+              "%llu rejection(s)\n",
+              static_cast<unsigned long long>(stats.commands_applied),
+              static_cast<unsigned long long>(stats.jobs_submitted),
+              static_cast<unsigned long long>(stats.rejected_overload));
+  return 0;
+}

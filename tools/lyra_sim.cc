@@ -4,72 +4,31 @@
 // trace (or a CSV trace file), and optionally dumps the usage series and the
 // decision log for offline analysis.
 //
+// On SIGINT/SIGTERM the event loop stops at the next chunk boundary and every
+// requested output (--trace-json, --metrics-json, CSVs) is still flushed, with
+// the metrics JSON marked "partial_run": true.
+//
 //   ./build/tools/lyra_sim --scheduler=lyra --scale=0.5 --days=6 --loaning
 //   ./build/tools/lyra_sim --scheduler=pollux --trace=/path/trace.csv
 //   ./build/tools/lyra_sim --help
+#include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 
 #include "src/common/flags.h"
-#include "src/lyra/lyra_scheduler.h"
-#include "src/lyra/reclaim.h"
-#include "src/predict/lstm.h"
-#include "src/sched/afs.h"
-#include "src/sched/fifo.h"
-#include "src/sched/gandiva.h"
-#include "src/sched/opportunistic.h"
-#include "src/sched/pollux.h"
+#include "src/common/json.h"
+#include "src/svc/registry.h"
 #include "src/sim/simulator.h"
 #include "src/workload/synthetic.h"
 
 namespace {
 
-std::unique_ptr<lyra::JobScheduler> MakeScheduler(const std::string& name,
-                                                  bool info_agnostic, bool tuned) {
-  if (name == "fifo") {
-    return std::make_unique<lyra::FifoScheduler>();
-  }
-  if (name == "sjf") {
-    return std::make_unique<lyra::SjfScheduler>();
-  }
-  if (name == "gandiva") {
-    return std::make_unique<lyra::GandivaScheduler>();
-  }
-  if (name == "afs") {
-    return std::make_unique<lyra::AfsScheduler>();
-  }
-  if (name == "pollux") {
-    return std::make_unique<lyra::PolluxScheduler>();
-  }
-  if (name == "opportunistic") {
-    return std::make_unique<lyra::OpportunisticScheduler>();
-  }
-  if (name == "lyra") {
-    lyra::LyraSchedulerOptions options;
-    options.information_agnostic = info_agnostic;
-    options.tuned_jobs = tuned;
-    return std::make_unique<lyra::LyraScheduler>(options);
-  }
-  return nullptr;
-}
+volatile std::sig_atomic_t g_interrupted = 0;
 
-std::unique_ptr<lyra::ReclaimPolicy> MakeReclaim(const std::string& name) {
-  if (name == "lyra") {
-    return std::make_unique<lyra::LyraReclaimPolicy>();
-  }
-  if (name == "random") {
-    return std::make_unique<lyra::RandomReclaimPolicy>();
-  }
-  if (name == "scf") {
-    return std::make_unique<lyra::ScfReclaimPolicy>();
-  }
-  if (name == "optimal") {
-    return std::make_unique<lyra::OptimalReclaimPolicy>();
-  }
-  return nullptr;
-}
+void HandleSignal(int) { g_interrupted = 1; }
 
 }  // namespace
 
@@ -133,8 +92,9 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<lyra::JobScheduler> scheduler =
-      MakeScheduler(scheduler_name, info_agnostic, tuned);
-  std::unique_ptr<lyra::ReclaimPolicy> reclaim = MakeReclaim(reclaim_name);
+      lyra::svc::MakeSchedulerByName(scheduler_name, info_agnostic, tuned);
+  std::unique_ptr<lyra::ReclaimPolicy> reclaim =
+      lyra::svc::MakeReclaimByName(reclaim_name);
   if (scheduler == nullptr || reclaim == nullptr) {
     std::fprintf(stderr, "unknown --scheduler or --reclaim\n%s", flags.Usage().c_str());
     return 1;
@@ -172,14 +132,9 @@ int main(int argc, char** argv) {
   traffic.seed = static_cast<std::uint64_t>(seed) ^ 0x7aff1c;
   lyra::InferenceClusterOptions inference_options;
   inference_options.num_servers = inference_servers;
-  std::unique_ptr<lyra::UsagePredictor> predictor;
-  if (lstm) {
-    predictor = std::make_unique<lyra::LstmPredictor>();
-  } else {
-    predictor = std::make_unique<lyra::SeasonalNaivePredictor>();
-  }
   auto inference = std::make_unique<lyra::InferenceCluster>(
-      inference_options, lyra::DiurnalTrafficModel(traffic), std::move(predictor));
+      inference_options, lyra::DiurnalTrafficModel(traffic),
+      lyra::svc::MakeUsagePredictor(lstm));
 
   lyra::SimulatorOptions options;
   options.training_servers = training_servers;
@@ -191,8 +146,26 @@ int main(int argc, char** argv) {
   options.seed = static_cast<std::uint64_t>(seed);
   lyra::Simulator simulator(options, trace, scheduler.get(), reclaim.get(),
                             std::move(inference));
-  const lyra::SimulationResult result = simulator.Run();
 
+  // Chunked event drain so SIGINT/SIGTERM can stop the run at an event
+  // boundary while still flushing every requested output below.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  simulator.Begin();
+  constexpr std::uint64_t kChunk = 65536;
+  bool partial = false;
+  while (simulator.StepUntil(std::numeric_limits<double>::infinity(), kChunk)) {
+    if (g_interrupted != 0) {
+      partial = true;
+      break;
+    }
+  }
+  const lyra::SimulationResult result = simulator.Finalize();
+
+  if (partial) {
+    std::printf("interrupted at t=%.0fs; flushing partial outputs\n",
+                simulator.now());
+  }
   std::printf("scheduler=%s reclaim=%s jobs=%zu finished=%zu\n", scheduler->name(),
               reclaim_name.c_str(), result.total_jobs, result.finished_jobs);
   std::printf("queuing  mean=%.0fs p50=%.0fs p95=%.0fs\n", result.queuing.mean,
@@ -238,9 +211,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.trace_events_dropped));
   }
   if (!metrics_json.empty()) {
+    std::string exported = simulator.metrics().ExportJson();
+    if (partial) {
+      // Mark interrupted runs so downstream consumers never mistake a
+      // truncated metrics file for a completed experiment.
+      lyra::StatusOr<lyra::JsonValue> doc = lyra::JsonValue::Parse(exported);
+      if (doc.ok()) {
+        doc.value().Set("partial_run", lyra::JsonValue::MakeBool(true));
+        exported = doc.value().Dump() + "\n";
+      }
+    }
     std::ofstream out(metrics_json);
-    out << simulator.metrics().ExportJson();
-    std::printf("metrics  wrote %s\n", metrics_json.c_str());
+    out << exported;
+    std::printf("metrics  wrote %s%s\n", metrics_json.c_str(),
+                partial ? " (partial run)" : "");
   }
-  return 0;
+  return partial ? 130 : 0;
 }
