@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "bench/harness.h"
+#include "src/common/json.h"
 #include "src/common/rng.h"
 #include "src/lyra/mckp.h"
 #include "src/lyra/reclaim.h"
@@ -476,6 +477,55 @@ void BM_ReclaimTickRescan(benchmark::State& state) {
 }
 BENCHMARK(BM_ReclaimTickRescan)->Arg(64)->Arg(256);
 
+// A cluster_stats-shaped reply: the document the service serializes most on
+// its hot path (nested objects, mixed numbers/strings/bools).
+lyra::JsonValue ServiceReplyDoc() {
+  lyra::JsonValue pool = lyra::JsonValue::MakeObject();
+  pool.Set("servers", lyra::JsonValue::MakeNumber(22));
+  pool.Set("total_gpus", lyra::JsonValue::MakeNumber(176));
+  pool.Set("used_gpus", lyra::JsonValue::MakeNumber(131));
+  pool.Set("free_gpus", lyra::JsonValue::MakeNumber(45));
+  lyra::JsonValue cluster = lyra::JsonValue::MakeObject();
+  cluster.Set("training", pool);
+  cluster.Set("on_loan", pool);
+  cluster.Set("inference", std::move(pool));
+  lyra::JsonValue jobs = lyra::JsonValue::MakeObject();
+  jobs.Set("total", lyra::JsonValue::MakeNumber(1234));
+  jobs.Set("pending", lyra::JsonValue::MakeNumber(17));
+  jobs.Set("running", lyra::JsonValue::MakeNumber(980));
+  jobs.Set("finished", lyra::JsonValue::MakeNumber(201));
+  jobs.Set("cancelled", lyra::JsonValue::MakeNumber(36));
+  lyra::JsonValue reply = lyra::JsonValue::MakeObject();
+  reply.Set("ok", lyra::JsonValue::MakeBool(true));
+  reply.Set("time", lyra::JsonValue::MakeNumber(86400.125));
+  reply.Set("driver", lyra::JsonValue::MakeString("virtual"));
+  reply.Set("cluster", std::move(cluster));
+  reply.Set("jobs", std::move(jobs));
+  return reply;
+}
+
+// Serialization with the size-estimating reserve (one allocation per Dump).
+void BM_JsonDumpReply(benchmark::State& state) {
+  const lyra::JsonValue reply = ServiceReplyDoc();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reply.Dump());
+  }
+}
+BENCHMARK(BM_JsonDumpReply);
+
+// The event-loop variant: append into a reused payload buffer, amortizing
+// even the single allocation away.
+void BM_JsonAppendToReply(benchmark::State& state) {
+  const lyra::JsonValue reply = ServiceReplyDoc();
+  std::string payload;
+  for (auto _ : state) {
+    payload.clear();
+    reply.AppendTo(payload);
+    benchmark::DoNotOptimize(payload.data());
+  }
+}
+BENCHMARK(BM_JsonAppendToReply);
+
 void BM_LstmTrainStep(benchmark::State& state) {
   lyra::LstmOptions options;
   lyra::LstmNetwork network(options);
@@ -564,6 +614,22 @@ void RecordMicroReport() {
   }
   // Note: both reclaim timings include rebuilding the instance per iteration;
   // the ratio understates the policy-only speedup.
+
+  {
+    const lyra::JsonValue reply = ServiceReplyDoc();
+    const double dump_ns =
+        TimeNsPerOp([&] { benchmark::DoNotOptimize(reply.Dump()); });
+    std::string payload;
+    const double append_ns = TimeNsPerOp([&] {
+      payload.clear();
+      reply.AppendTo(payload);
+      benchmark::DoNotOptimize(payload.data());
+    });
+    lyra::RecordMicroBench("json_dump_reply", dump_ns);
+    lyra::RecordMicroBench("json_append_reply", append_ns);
+    std::printf("json reply: dump %.0f ns/op, append-reuse %.0f ns/op\n",
+                dump_ns, append_ns);
+  }
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "src/common/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,11 @@ namespace lyra {
 std::string JsonEscape(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());
+  JsonEscapeTo(raw, out);
+  return out;
+}
+
+void JsonEscapeTo(const std::string& raw, std::string& out) {
   for (const char c : raw) {
     switch (c) {
       case '"':
@@ -45,7 +51,6 @@ std::string JsonEscape(const std::string& raw) {
         }
     }
   }
-  return out;
 }
 
 JsonValue JsonValue::MakeBool(bool b) {
@@ -113,6 +118,11 @@ const std::vector<std::pair<std::string, JsonValue>>& JsonValue::AsObject() cons
 
 JsonValue& JsonValue::Set(std::string key, JsonValue value) {
   LYRA_CHECK(is_object());
+  if (object_.empty()) {
+    // Replies built field-by-field would otherwise walk the 1/2/4 capacity
+    // chain; most hand-built objects have a handful of members.
+    object_.reserve(4);
+  }
   object_.emplace_back(std::move(key), std::move(value));
   return *this;
 }
@@ -164,19 +174,23 @@ void DumpTo(const JsonValue& value, std::string& out) {
       const double n = value.AsDouble();
       LYRA_CHECK(std::isfinite(n));
       char buf[40];
-      // Integral values within int64 range print exactly; everything else
-      // uses %.17g, which round-trips IEEE doubles bit-exactly.
+      // Integral values within int64 range print exactly (to_chars: same
+      // digits as "%lld", ~5x cheaper than snprintf on the reply hot path);
+      // everything else uses %.17g, which round-trips IEEE doubles
+      // bit-exactly.
       if (n == std::floor(n) && std::fabs(n) < 9.2e18) {
-        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+        const auto result =
+            std::to_chars(buf, buf + sizeof(buf), static_cast<long long>(n));
+        out.append(buf, result.ptr);
       } else {
         std::snprintf(buf, sizeof(buf), "%.17g", n);
+        out += buf;
       }
-      out += buf;
       break;
     }
     case JsonValue::Type::kString:
       out.push_back('"');
-      out += JsonEscape(value.AsString());
+      JsonEscapeTo(value.AsString(), out);
       out.push_back('"');
       break;
     case JsonValue::Type::kArray: {
@@ -201,7 +215,7 @@ void DumpTo(const JsonValue& value, std::string& out) {
         }
         first = false;
         out.push_back('"');
-        out += JsonEscape(key);
+        JsonEscapeTo(key, out);
         out += "\":";
         DumpTo(item, out);
       }
@@ -211,13 +225,47 @@ void DumpTo(const JsonValue& value, std::string& out) {
   }
 }
 
+// Allocation-free upper-ish bound on the serialized size, so Dump can reserve
+// once instead of growing geometrically. Escapes can exceed the string terms
+// (rare in our documents); the string then grows once more, still correct.
+std::size_t EstimateDumpSize(const JsonValue& value) {
+  switch (value.type()) {
+    case JsonValue::Type::kNull:
+      return 4;
+    case JsonValue::Type::kBool:
+      return 5;
+    case JsonValue::Type::kNumber:
+      return 24;  // %.17g worst case plus sign/exponent
+    case JsonValue::Type::kString:
+      return value.AsString().size() + 2;
+    case JsonValue::Type::kArray: {
+      std::size_t total = 2;
+      for (const JsonValue& item : value.AsArray()) {
+        total += EstimateDumpSize(item) + 1;
+      }
+      return total;
+    }
+    case JsonValue::Type::kObject: {
+      std::size_t total = 2;
+      for (const auto& [key, item] : value.AsObject()) {
+        total += key.size() + 4 + EstimateDumpSize(item);
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string JsonValue::Dump() const {
   std::string out;
+  out.reserve(EstimateDumpSize(*this));
   DumpTo(*this, out);
   return out;
 }
+
+void JsonValue::AppendTo(std::string& out) const { DumpTo(*this, out); }
 
 bool operator==(const JsonValue& a, const JsonValue& b) {
   if (a.type_ != b.type_) {
@@ -270,7 +318,11 @@ class JsonParser {
   }
 
   void SkipWhitespace() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
       ++pos_;
     }
   }
@@ -344,6 +396,9 @@ class JsonParser {
     if (Consume('}')) {
       return Status::Ok();
     }
+    // Typical documents here (commands, replies) carry a handful of keys;
+    // one up-front reservation replaces the 1/2/4/8 growth reallocations.
+    out.object_.reserve(8);
     while (true) {
       SkipWhitespace();
       if (pos_ >= text_.size() || text_[pos_] != '"') {
@@ -486,7 +541,27 @@ class JsonParser {
 
   Status ParseNumber(JsonValue& out) {
     const std::size_t start = pos_;
-    if (Consume('-')) {
+    const bool negative = Consume('-');
+    // Fast path: short pure-integer tokens (the overwhelming majority of
+    // numbers on the wire) accumulate directly — every digit sequence of
+    // <= 15 digits is exactly representable, so this matches strtod
+    // bit-for-bit. Anything with '.', exponent, or more digits falls back.
+    std::uint64_t magnitude = 0;
+    std::size_t digits = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      magnitude = magnitude * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++digits;
+      ++pos_;
+    }
+    const bool more =
+        pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+         text_[pos_] == '+' || text_[pos_] == '-');
+    if (digits > 0 && digits <= 15 && !more) {
+      out.type_ = JsonValue::Type::kNumber;
+      out.number_ = negative ? -static_cast<double>(magnitude)
+                             : static_cast<double>(magnitude);
+      return Status::Ok();
     }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||

@@ -47,6 +47,10 @@ struct JsonParseLimits {
 // quotes added). Control characters become \u00XX escapes.
 std::string JsonEscape(const std::string& raw);
 
+// Append-into-buffer variant of JsonEscape: no intermediate string. The
+// serializer's hot path (every reply the service sends goes through it).
+void JsonEscapeTo(const std::string& raw, std::string& out);
+
 class JsonValue {
  public:
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -100,6 +104,12 @@ class JsonValue {
   // range print without an exponent or trailing ".0". All numbers must be
   // finite (JSON has no inf/nan; LYRA_CHECK enforces it).
   std::string Dump() const;
+
+  // Appends the compact serialization to `out` without intermediate strings
+  // (Dump is AppendTo into a buffer reserved at the estimated final size).
+  // Callers assembling framed wire messages append directly into their send
+  // buffer instead of concatenating Dump() results.
+  void AppendTo(std::string& out) const;
 
   // Deep structural equality (numbers compare bit-exactly).
   friend bool operator==(const JsonValue& a, const JsonValue& b);

@@ -635,9 +635,18 @@ void Simulator::Begin() {
     trace_->SetWallEpoch(wall_start_);
   }
   obs::ScopedObsContext obs_scope(&obs_);
-  // Pre-register so the metric is present (at 0) even when the periodic
-  // schedule never produces a same-timestamp duplicate to collapse.
-  obs_.metrics.counter("sim.ticks_coalesced");
+  // Pre-register the hot per-event counters and cache their (stable)
+  // addresses: StepUntil bumps one per event and a string-keyed lookup per
+  // event costs real throughput at online-service rates. This also keeps
+  // sim.ticks_coalesced present (at 0) even when the periodic schedule
+  // never produces a same-timestamp duplicate to collapse.
+  arrival_counter_ = obs_.metrics.counter("sim.events.arrival");
+  finish_counter_ = obs_.metrics.counter("sim.events.finish");
+  scheduler_tick_counter_ = obs_.metrics.counter("sim.events.scheduler_tick");
+  orchestrator_tick_counter_ =
+      obs_.metrics.counter("sim.events.orchestrator_tick");
+  fault_counter_ = obs_.metrics.counter("sim.events.fault");
+  ticks_coalesced_counter_ = obs_.metrics.counter("sim.ticks_coalesced");
 }
 
 bool Simulator::StepUntil(TimeSec horizon, std::uint64_t max_events) {
@@ -680,7 +689,7 @@ bool Simulator::StepUntil(TimeSec horizon, std::uint64_t max_events) {
         events_.pop();
         ++result_.events_processed;
         ++stepped;
-        obs_.metrics.counter("sim.ticks_coalesced")->Add();
+        ticks_coalesced_counter_->Add();
       }
     }
     ++result_.events_processed;
@@ -691,7 +700,7 @@ bool Simulator::StepUntil(TimeSec horizon, std::uint64_t max_events) {
 
     switch (event.type) {
       case EventType::kJobArrival: {
-        obs_.metrics.counter("sim.events.arrival")->Add();
+        arrival_counter_->Add();
         Job* job = jobs_[static_cast<std::size_t>(event.job)].get();
         if (job->state() == JobState::kCancelled) {
           break;  // cancelled online before arriving
@@ -704,11 +713,11 @@ bool Simulator::StepUntil(TimeSec horizon, std::uint64_t max_events) {
         break;
       }
       case EventType::kJobFinish:
-        obs_.metrics.counter("sim.events.finish")->Add();
+        finish_counter_->Add();
         HandleFinish(now_, event.job, event.generation);
         break;
       case EventType::kSchedulerTick:
-        obs_.metrics.counter("sim.events.scheduler_tick")->Add();
+        scheduler_tick_counter_->Add();
         HandleSchedulerTick(now_);
         if (now_ >= next_scheduler_tick_) {
           next_scheduler_tick_ = now_ + options_.scheduler_interval;
@@ -716,7 +725,7 @@ bool Simulator::StepUntil(TimeSec horizon, std::uint64_t max_events) {
         }
         break;
       case EventType::kOrchestratorTick:
-        obs_.metrics.counter("sim.events.orchestrator_tick")->Add();
+        orchestrator_tick_counter_->Add();
         HandleOrchestratorTick(now_);
         if (now_ >= next_orchestrator_tick_) {
           next_orchestrator_tick_ = now_ + options_.orchestrator_interval;
@@ -724,27 +733,27 @@ bool Simulator::StepUntil(TimeSec horizon, std::uint64_t max_events) {
         }
         break;
       case EventType::kServerCrash:
-        obs_.metrics.counter("sim.events.fault")->Add();
+        fault_counter_->Add();
         HandleServerCrash(now_);
         break;
       case EventType::kServerRecovery:
-        obs_.metrics.counter("sim.events.fault")->Add();
+        fault_counter_->Add();
         HandleServerRecovery(now_, event.job);
         break;
       case EventType::kWorkerFailure:
-        obs_.metrics.counter("sim.events.fault")->Add();
+        fault_counter_->Add();
         HandleWorkerFailure(now_);
         break;
       case EventType::kRevocationStorm:
-        obs_.metrics.counter("sim.events.fault")->Add();
+        fault_counter_->Add();
         HandleRevocationStorm(now_);
         break;
       case EventType::kStragglerStart:
-        obs_.metrics.counter("sim.events.fault")->Add();
+        fault_counter_->Add();
         HandleStragglerStart(now_);
         break;
       case EventType::kStragglerEnd:
-        obs_.metrics.counter("sim.events.fault")->Add();
+        fault_counter_->Add();
         HandleStragglerEnd(now_, event.job, event.generation);
         break;
     }
@@ -769,6 +778,9 @@ StatusOr<JobId> Simulator::SubmitJob(JobSpec spec) {
     spec.submit_time = now_;  // arrivals cannot predate the event frontier
   }
   jobs_.push_back(std::make_unique<Job>(spec));
+  if (job_dirty_sink_ != nullptr) {
+    jobs_.back()->ArmDirtySink(job_dirty_sink_);
+  }
   finish_generation_.push_back(0);
   if (faults_ != nullptr) {
     straggler_generation_.push_back(0);

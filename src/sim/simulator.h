@@ -226,6 +226,17 @@ class Simulator {
   // The fault injector, or null when options.faults.enabled is false.
   const FaultInjector* fault_injector() const { return faults_.get(); }
 
+  // Arms `sink` on every current and future job so the service layer can
+  // publish read snapshots in O(changed jobs). Service mode only; batch
+  // simulation never calls this. `sink` must outlive the simulator. Call from
+  // the engine thread (the only thread that mutates jobs).
+  void set_job_dirty_sink(Job::DirtySink* sink) {
+    job_dirty_sink_ = sink;
+    for (const auto& job : jobs_) {
+      job->ArmDirtySink(sink);
+    }
+  }
+
  private:
   enum class EventType {
     kJobArrival,
@@ -308,6 +319,7 @@ class Simulator {
   std::size_t finished_count_ = 0;  // jobs in any terminal state
   std::size_t cancelled_count_ = 0;
   bool dirty_ = true;  // cluster/job state changed since the last tick
+  Job::DirtySink* job_dirty_sink_ = nullptr;  // not owned; null in batch mode
   TimeSec meter_cutoff_ = 0.0;
 
   // Stepping state (members so StepUntil can resume where it left off).
@@ -319,6 +331,16 @@ class Simulator {
   std::chrono::steady_clock::time_point wall_start_{};
 
   obs::ObsContext obs_;
+  // Cached pointers into obs_.metrics for the per-event counters: the event
+  // loop bumps one of these on every event, and a string-keyed registry
+  // lookup per event is measurable at online-service rates. Addresses are
+  // stable (the registry owns counters by unique_ptr). Set in Begin().
+  obs::Counter* arrival_counter_ = nullptr;
+  obs::Counter* finish_counter_ = nullptr;
+  obs::Counter* scheduler_tick_counter_ = nullptr;
+  obs::Counter* orchestrator_tick_counter_ = nullptr;
+  obs::Counter* fault_counter_ = nullptr;
+  obs::Counter* ticks_coalesced_counter_ = nullptr;
   std::unique_ptr<obs::TraceExporter> trace_;
   JobProfiler profiler_;
   DecisionLog decision_log_;

@@ -1,0 +1,289 @@
+#include "src/svc/loadclient.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/svc/wire.h"
+
+namespace lyra::svc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+// One send batch's worth of in-flight frames: every frame in a batch shares
+// one stamp, so FIFO matching works on (stamp, count) runs instead of a
+// deque entry per frame — the client must stay cheaper than the daemon it
+// measures, and per-frame bookkeeping was its biggest cost at saturation.
+struct InFlightRun {
+  Clock::time_point stamp;
+  std::uint64_t count = 0;
+};
+
+struct Connection {
+  int fd = -1;
+  std::mutex mu;
+  std::deque<InFlightRun> in_flight;  // send-batch runs, FIFO
+  std::vector<double> latencies_ms;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t errors = 0;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// Replies are classified without a JSON parse: at saturation rates the
+// client must stay cheaper than the daemon it measures. Accepted replies
+// start with `{"ok":true` (the service emits "ok" first); everything else
+// is inspected for the overload code only.
+void Classify(const std::string& payload, Connection* conn) {
+  if (payload.rfind("{\"ok\":true", 0) == 0) {
+    ++conn->ok;
+  } else if (payload.find("\"code\":\"overloaded\"") != std::string::npos) {
+    ++conn->overloaded;
+  } else {
+    ++conn->errors;
+  }
+}
+
+void SenderLoop(Connection* conn, const std::string& payload, double interval_s,
+                Clock::time_point start, Clock::time_point deadline) {
+  const std::string framed = EncodeFrame(payload);
+  // Every frame is identical, so a batch is a slice of this pre-built block
+  // — no per-frame memcpy into a staging buffer at send time.
+  constexpr std::size_t kBlockFrames = 256;
+  std::string block;
+  block.reserve(framed.size() * kBlockFrames);
+  for (std::size_t i = 0; i < kBlockFrames; ++i) {
+    block.append(framed);
+  }
+  std::uint64_t scheduled = 0;
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    if (now >= deadline) {
+      break;
+    }
+    // Everything due by `now` goes out as one batch. Under a rate the daemon
+    // cannot absorb, the blocking write itself paces us and the next wakeup
+    // materializes a correspondingly larger batch.
+    const double elapsed = std::chrono::duration<double>(now - start).count();
+    const std::uint64_t due =
+        static_cast<std::uint64_t>(elapsed / interval_s) + 1;
+    if (due > scheduled) {
+      const std::uint64_t batch = due - scheduled;
+      const Clock::time_point stamp = Clock::now();
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->in_flight.push_back({stamp, batch});
+      }
+      std::uint64_t remaining = batch;
+      bool failed = false;
+      while (remaining > 0) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(remaining, kBlockFrames);
+        if (!WriteAllBytes(conn->fd, block.data(), n * framed.size()).ok()) {
+          failed = true;
+          break;
+        }
+        remaining -= n;
+      }
+      conn->sent += batch - remaining;
+      if (failed) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        // Remove the unsent tail of the batch from the in-flight run.
+        if (!conn->in_flight.empty()) {
+          conn->in_flight.back().count -= remaining;
+          if (conn->in_flight.back().count == 0) {
+            conn->in_flight.pop_back();
+          }
+        }
+        break;
+      }
+      scheduled = due;
+    }
+    const Clock::time_point next =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(scheduled) * interval_s));
+    std::this_thread::sleep_until(std::min(next, deadline));
+  }
+  // Half-close: the daemon answers everything pipelined, then sees EOF and
+  // closes, which cleanly terminates the receiver.
+  ::shutdown(conn->fd, SHUT_WR);
+}
+
+void ReceiverLoop(Connection* conn) {
+  FrameDecoder decoder;
+  std::string payload;
+  char buf[kRecvChunk];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return;  // clean EOF after half-close, or transport failure
+    }
+    decoder.Append(buf, static_cast<std::size_t>(n));
+    // Classify every frame in this chunk, then match stamps FIFO under one
+    // lock — at saturation a chunk carries hundreds of replies and the
+    // receiver must not take a mutex per frame.
+    std::size_t frames = 0;
+    bool broken = false;
+    for (;;) {
+      StatusOr<bool> next = decoder.Next(&payload);
+      if (!next.ok()) {
+        ++conn->errors;
+        broken = true;
+        break;
+      }
+      if (!next.value()) {
+        break;
+      }
+      Classify(payload, conn);
+      ++frames;
+    }
+    if (frames > 0) {
+      const Clock::time_point now = Clock::now();
+      std::size_t unmatched = frames;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        while (unmatched > 0 && !conn->in_flight.empty()) {
+          InFlightRun& run = conn->in_flight.front();
+          const std::uint64_t take =
+              std::min<std::uint64_t>(unmatched, run.count);
+          const double ms =
+              std::chrono::duration<double, std::milli>(now - run.stamp)
+                  .count();
+          conn->latencies_ms.insert(conn->latencies_ms.end(), take, ms);
+          run.count -= take;
+          unmatched -= take;
+          if (run.count == 0) {
+            conn->in_flight.pop_front();
+          }
+        }
+      }
+      conn->errors += unmatched;  // replies without a matching send
+    }
+    if (broken) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options) {
+  if (options.rate <= 0.0 || options.duration_s <= 0.0 ||
+      options.connections <= 0 || options.payload.empty()) {
+    return Status::InvalidArgument(
+        "load client needs rate, duration, connections > 0 and a payload");
+  }
+  std::vector<std::unique_ptr<Connection>> conns;
+  for (int i = 0; i < options.connections; ++i) {
+    StatusOr<int> fd = !options.unix_path.empty()
+                           ? ConnectUnix(options.unix_path)
+                           : ConnectTcp(options.tcp_host, options.tcp_port);
+    if (!fd.ok()) {
+      for (const auto& conn : conns) {
+        ::close(conn->fd);
+      }
+      return fd.status();
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd.value();
+    // Reserve the expected sample count so the receiver never reallocates
+    // its latency vector mid-measurement (capped for absurd rate*duration).
+    const double expected =
+        options.rate * options.duration_s / options.connections;
+    conn->latencies_ms.reserve(static_cast<std::size_t>(
+        std::min(expected * 1.25, 8e6)));
+    conns.push_back(std::move(conn));
+  }
+
+  const double interval_s =
+      static_cast<double>(options.connections) / options.rate;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+
+  std::vector<std::thread> threads;
+  threads.reserve(conns.size() * 2);
+  for (auto& conn : conns) {
+    threads.emplace_back(SenderLoop, conn.get(), options.payload, interval_s,
+                         start, deadline);
+    threads.emplace_back(ReceiverLoop, conn.get());
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+
+  LoadPoint point;
+  point.offered_rate = options.rate;
+  point.wall_s = wall;
+  point.connections = options.connections;
+  std::vector<double> latencies;
+  for (auto& conn : conns) {
+    ::close(conn->fd);
+    point.sent += conn->sent;
+    point.ok += conn->ok;
+    point.overloaded += conn->overloaded;
+    point.errors += conn->errors;
+    latencies.insert(latencies.end(), conn->latencies_ms.begin(),
+                     conn->latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  point.accepted_per_s =
+      wall > 0.0 ? static_cast<double>(point.ok) / wall : 0.0;
+  point.p50_ms = Percentile(latencies, 0.50);
+  point.p90_ms = Percentile(latencies, 0.90);
+  point.p99_ms = Percentile(latencies, 0.99);
+  point.p999_ms = Percentile(latencies, 0.999);
+  point.max_ms = latencies.empty() ? 0.0 : latencies.back();
+  point.samples = latencies.size();
+  return point;
+}
+
+JsonValue LoadPointJson(const LoadPoint& point) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("rate_target", JsonValue::MakeNumber(point.offered_rate));
+  out.Set("duration_sec", JsonValue::MakeNumber(point.wall_s));
+  out.Set("connections", JsonValue::MakeNumber(point.connections));
+  out.Set("sent", JsonValue::MakeNumber(static_cast<double>(point.sent)));
+  out.Set("ok", JsonValue::MakeNumber(static_cast<double>(point.ok)));
+  out.Set("overloaded",
+          JsonValue::MakeNumber(static_cast<double>(point.overloaded)));
+  out.Set("errors", JsonValue::MakeNumber(static_cast<double>(point.errors)));
+  out.Set("submits_per_sec", JsonValue::MakeNumber(point.accepted_per_s));
+  out.Set("latency_ms_p50", JsonValue::MakeNumber(point.p50_ms));
+  out.Set("latency_ms_p90", JsonValue::MakeNumber(point.p90_ms));
+  out.Set("latency_ms_p99", JsonValue::MakeNumber(point.p99_ms));
+  out.Set("latency_ms_p999", JsonValue::MakeNumber(point.p999_ms));
+  out.Set("latency_ms_max", JsonValue::MakeNumber(point.max_ms));
+  return out;
+}
+
+}  // namespace lyra::svc

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/obs/trace_exporter.h"
+#include "src/svc/replies.h"
 
 namespace lyra::svc {
 namespace {
@@ -16,60 +18,6 @@ namespace {
 constexpr std::uint64_t kAutoStepChunk = 4096;
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
-
-const char* CodeName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return "ok";
-    case StatusCode::kInvalidArgument:
-      return "invalid_argument";
-    case StatusCode::kNotFound:
-      return "not_found";
-    case StatusCode::kFailedPrecondition:
-      return "failed_precondition";
-    case StatusCode::kResourceExhausted:
-      return "resource_exhausted";
-    case StatusCode::kInternal:
-      return "internal";
-    case StatusCode::kUnavailable:
-      return "unavailable";
-    case StatusCode::kDataLoss:
-      return "data_loss";
-  }
-  return "unknown";
-}
-
-JsonValue ErrorReply(const char* code, const std::string& message) {
-  JsonValue reply = JsonValue::MakeObject();
-  reply.Set("ok", JsonValue::MakeBool(false));
-  reply.Set("code", JsonValue::MakeString(code));
-  reply.Set("error", JsonValue::MakeString(message));
-  return reply;
-}
-
-JsonValue StatusReply(const Status& status) {
-  return ErrorReply(CodeName(status.code()), status.message());
-}
-
-JsonValue OkReply() {
-  JsonValue reply = JsonValue::MakeObject();
-  reply.Set("ok", JsonValue::MakeBool(true));
-  return reply;
-}
-
-const char* JobStateName(JobState state) {
-  switch (state) {
-    case JobState::kPending:
-      return "pending";
-    case JobState::kRunning:
-      return "running";
-    case JobState::kFinished:
-      return "finished";
-    case JobState::kCancelled:
-      return "cancelled";
-  }
-  return "?";
-}
 
 bool ModelFamilyFromName(const std::string& name, ModelFamily* family) {
   for (ModelFamily candidate :
@@ -97,16 +45,19 @@ bool ModelFamilyFromName(const std::string& name, ModelFamily* family) {
   return true;
 }
 
-JsonValue PoolStats(const ClusterState& cluster, ServerPool pool) {
-  JsonValue stats = JsonValue::MakeObject();
-  stats.Set("servers", JsonValue::MakeNumber(cluster.NumServersInPool(pool)));
-  stats.Set("total_gpus", JsonValue::MakeNumber(cluster.TotalGpus(pool)));
-  stats.Set("used_gpus", JsonValue::MakeNumber(cluster.UsedGpus(pool)));
-  stats.Set("free_gpus", JsonValue::MakeNumber(cluster.FreeGpus(pool)));
-  return stats;
-}
-
 }  // namespace
+
+SchedulerService::CmdClass SchedulerService::Classify(const std::string& cmd) {
+  if (cmd == "query_job" || cmd == "cluster_stats" || cmd == "metrics" ||
+      cmd == "ping") {
+    return CmdClass::kRead;
+  }
+  if (cmd == "submit" || cmd == "cancel" || cmd == "advance" || cmd == "drain" ||
+      cmd == "snapshot" || cmd == "shutdown") {
+    return CmdClass::kEngine;
+  }
+  return CmdClass::kUnknown;
+}
 
 SchedulerService::SchedulerService(ServiceOptions options,
                                    std::unique_ptr<TimeDriver> driver)
@@ -124,9 +75,14 @@ Status SchedulerService::Start() {
   }
   engine_ = std::move(built.value());
   engine_.sim->Begin();
+  engine_.sim->set_job_dirty_sink(builder_.sink());
+  snapshot_.store(builder_.Publish(*engine_.sim, log_.size(), true),
+                  std::memory_order_release);
+  last_metrics_refresh_ = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
+    snapshots_published_ = 1;
   }
   engine_thread_ = std::thread(&SchedulerService::EngineLoop, this);
   return Status::Ok();
@@ -157,9 +113,14 @@ Status SchedulerService::Restore(const std::string& snapshot_path) {
   engine_.sim->StepUntil(snapshot.horizon);
   driver_->AdvanceTo(engine_.sim->now());
   log_ = std::move(snapshot.commands);
+  engine_.sim->set_job_dirty_sink(builder_.sink());
+  snapshot_.store(builder_.Publish(*engine_.sim, log_.size(), true),
+                  std::memory_order_release);
+  last_metrics_refresh_ = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
+    snapshots_published_ = 1;
   }
   engine_thread_ = std::thread(&SchedulerService::EngineLoop, this);
   return Status::Ok();
@@ -219,43 +180,45 @@ void SchedulerService::Stop() {
 
 SchedulerService::Stats SchedulerService::stats() const {
   Stats stats;
-  stats.commands_applied = commands_applied_.load(std::memory_order_relaxed);
-  stats.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
-  stats.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
-  stats.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
   stats.command_errors = command_errors_.load(std::memory_order_relaxed);
+  stats.reads_served = reads_served_.load(std::memory_order_relaxed);
+  // One lock for the queue-coupled counters: a reader never observes a batch
+  // counted as applied while queue_depth still includes it, or a queue_peak
+  // below a previously returned queue_depth.
   std::lock_guard<std::mutex> lock(mu_);
+  stats.commands_applied = commands_applied_;
+  stats.jobs_submitted = jobs_submitted_;
+  stats.jobs_cancelled = jobs_cancelled_;
+  stats.rejected_overload =
+      rejected_overload_ + rejected_shed_.load(std::memory_order_relaxed);
+  stats.snapshots_published = snapshots_published_;
   stats.queue_depth = queue_.size();
   stats.queue_peak = queue_peak_;
   return stats;
 }
 
 JsonValue SchedulerService::Execute(const JsonValue& request) {
-  if (stopped()) {
-    return ErrorReply("unavailable", "service is stopped");
+  if (Classify(request.GetString("cmd")) != CmdClass::kEngine) {
+    return ReadReply(request);
   }
-  auto cmd = std::make_shared<PendingCommand>();
-  cmd->request = request;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!started_ || stop_requested_) {
-      return ErrorReply("unavailable", "service is stopped");
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    JsonValue reply;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  ExecuteAsync(request, [waiter](JsonValue reply) {
+    {
+      std::lock_guard<std::mutex> lock(waiter->mu);
+      waiter->reply = std::move(reply);
+      waiter->done = true;
     }
-    if (queue_.size() >= static_cast<std::size_t>(options_.queue_capacity)) {
-      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-      JsonValue reply = ErrorReply("overloaded", "command queue full");
-      reply.Set("retry_after_ms", JsonValue::MakeNumber(options_.retry_after_ms));
-      return reply;
-    }
-    queue_.push_back(cmd);
-    queue_peak_ = std::max(queue_peak_, queue_.size());
-  }
-  cv_.notify_all();
-  driver_->Interrupt();
-
-  std::unique_lock<std::mutex> lock(cmd->mu);
-  cmd->cv.wait(lock, [&] { return cmd->done; });
-  return cmd->reply;
+    waiter->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->done; });
+  return std::move(waiter->reply);
 }
 
 std::string SchedulerService::ExecuteText(const std::string& request_text) {
@@ -273,22 +236,169 @@ std::string SchedulerService::ExecuteText(const std::string& request_text) {
   return Execute(parsed.value()).Dump();
 }
 
-void SchedulerService::Reply(PendingCommand& cmd, JsonValue reply) {
-  {
-    std::lock_guard<std::mutex> lock(cmd.mu);
-    cmd.reply = std::move(reply);
-    cmd.done = true;
+void SchedulerService::ExecuteAsync(JsonValue request, Completion done) {
+  const CmdClass cls = Classify(request.GetString("cmd"));
+  ExecuteAsync(std::move(request), std::move(done), cls);
+}
+
+void SchedulerService::ExecuteAsync(JsonValue request, Completion done,
+                                    CmdClass cls) {
+  if (cls != CmdClass::kEngine) {
+    done(ReadReply(request));
+    return;
   }
-  cmd.cv.notify_all();
+  PendingCommand cmd;
+  cmd.request = std::move(request);
+  cmd.done = std::move(done);
+  EnqueueEngine(std::move(cmd));
+}
+
+void SchedulerService::ExecuteAsync(JsonValue request,
+                                    std::shared_ptr<CompletionSink> sink,
+                                    std::uint64_t a, std::uint64_t b,
+                                    CmdClass cls) {
+  if (cls != CmdClass::kEngine) {
+    sink->OnReply(a, b, ReadReply(request));
+    return;
+  }
+  PendingCommand cmd;
+  cmd.request = std::move(request);
+  cmd.sink = std::move(sink);
+  cmd.sink_a = a;
+  cmd.sink_b = b;
+  EnqueueEngine(std::move(cmd));
+}
+
+void SchedulerService::Deliver(PendingCommand& cmd, JsonValue reply) {
+  if (cmd.sink != nullptr) {
+    cmd.sink->OnReply(cmd.sink_a, cmd.sink_b, std::move(reply));
+  } else {
+    cmd.done(std::move(reply));
+  }
+}
+
+void SchedulerService::EnqueueEngine(PendingCommand cmd) {
+  JsonValue rejection;
+  bool rejected = false;
+  bool was_empty = false;
+  if (stopped()) {
+    rejection = ErrorReply("unavailable", "service is stopped");
+    rejected = true;
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_requested_) {
+      rejection = ErrorReply("unavailable", "service is stopped");
+      rejected = true;
+    } else if (queue_.size() >= static_cast<std::size_t>(options_.queue_capacity)) {
+      ++rejected_overload_;
+      rejection = ErrorReply("overloaded", "command queue full");
+      rejection.Set("retry_after_ms", JsonValue::MakeNumber(options_.retry_after_ms));
+      rejected = true;
+    } else {
+      was_empty = queue_.empty();
+      queue_.push_back(std::move(cmd));
+      queue_len_.store(queue_.size(), std::memory_order_relaxed);
+      queue_peak_ = std::max(queue_peak_, queue_.size());
+    }
+  }
+  if (rejected) {
+    EchoSeq(cmd.request, rejection);
+    Deliver(cmd, std::move(rejection));
+    return;
+  }
+  // Only the push that makes the queue non-empty can find the engine asleep:
+  // the engine drains the whole queue under the lock, so while it holds
+  // earlier commands it is awake and will pick ours up in its next drain.
+  // Pipelined bursts thus pay one wakeup, not one per command.
+  if (was_empty) {
+    cv_.notify_one();
+    driver_->Interrupt();
+  }
+}
+
+JsonValue SchedulerService::ReadReply(const JsonValue& request) const {
+  const std::string cmd = request.GetString("cmd");
+  JsonValue reply;
+  if (Classify(cmd) == CmdClass::kUnknown) {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    reply = ErrorReply("invalid_argument", "unknown cmd: \"" + cmd + "\"");
+    EchoSeq(request, reply);
+    return reply;
+  }
+  const std::shared_ptr<const StateSnapshot> snap = snapshot();
+  if (snap == nullptr || stopped()) {
+    reply = ErrorReply("unavailable", "service is stopped");
+    EchoSeq(request, reply);
+    return reply;
+  }
+  if (cmd == "query_job") {
+    const JsonValue* job_field = request.Find("job");
+    if (job_field == nullptr || !job_field->is_number()) {
+      command_errors_.fetch_add(1, std::memory_order_relaxed);
+      reply = ErrorReply("invalid_argument", "query_job requires a numeric \"job\"");
+    } else {
+      reply = SnapshotJobReply(*snap, job_field->AsInt());
+      if (!reply.GetBool("ok", false)) {
+        command_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } else if (cmd == "cluster_stats") {
+    reply = SnapshotClusterStatsReply(*snap);
+  } else if (cmd == "metrics") {
+    reply = OkReply();
+    reply.Set("time", JsonValue::MakeNumber(snap->time));
+    reply.Set("engine", snap->engine_metrics != nullptr ? *snap->engine_metrics
+                                                        : JsonValue::MakeNull());
+    const Stats stats = this->stats();
+    JsonValue service = JsonValue::MakeObject();
+    service.Set("commands_applied", JsonValue::MakeNumber(
+                                        static_cast<double>(stats.commands_applied)));
+    service.Set("jobs_submitted",
+                JsonValue::MakeNumber(static_cast<double>(stats.jobs_submitted)));
+    service.Set("jobs_cancelled",
+                JsonValue::MakeNumber(static_cast<double>(stats.jobs_cancelled)));
+    service.Set("rejected_overload",
+                JsonValue::MakeNumber(static_cast<double>(stats.rejected_overload)));
+    service.Set("command_errors",
+                JsonValue::MakeNumber(static_cast<double>(stats.command_errors)));
+    service.Set("reads_served",
+                JsonValue::MakeNumber(static_cast<double>(stats.reads_served)));
+    service.Set("snapshots_published",
+                JsonValue::MakeNumber(
+                    static_cast<double>(stats.snapshots_published)));
+    service.Set("queue_depth",
+                JsonValue::MakeNumber(static_cast<double>(stats.queue_depth)));
+    service.Set("queue_peak",
+                JsonValue::MakeNumber(static_cast<double>(stats.queue_peak)));
+    service.Set("command_log", JsonValue::MakeNumber(
+                                   static_cast<double>(snap->command_log_size)));
+    service.Set("driver", JsonValue::MakeString(driver_->name()));
+    reply.Set("service", std::move(service));
+    reply.Set("metrics_time", JsonValue::MakeNumber(snap->metrics_time));
+  } else {  // ping
+    reply = OkReply();
+    reply.Set("time", JsonValue::MakeNumber(snap->time));
+    reply.Set("virtual_time", JsonValue::MakeNumber(driver_->Now()));
+    reply.Set("driver", JsonValue::MakeString(driver_->name()));
+  }
+  reads_served_.fetch_add(1, std::memory_order_relaxed);
+  EchoSeq(request, reply);
+  return reply;
 }
 
 SchedulerService::NextAction SchedulerService::Next(
-    std::shared_ptr<PendingCommand>* cmd) {
+    std::vector<PendingCommand>* batch) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (!queue_.empty()) {
-      *cmd = queue_.front();
-      queue_.pop_front();
+      // Drain the whole queue in one lock hold: pipelined clients pay one
+      // mutex round and one snapshot publish per batch, not per command.
+      batch->reserve(queue_.size());
+      for (PendingCommand& cmd : queue_) {
+        batch->push_back(std::move(cmd));
+      }
+      queue_.clear();
+      queue_len_.store(0, std::memory_order_relaxed);
       return NextAction::kApply;
     }
     if (stop_requested_) {
@@ -307,13 +417,53 @@ SchedulerService::NextAction SchedulerService::Next(
   }
 }
 
+void SchedulerService::PublishSnapshot(bool force_metrics) {
+  const auto wall = std::chrono::steady_clock::now();
+  bool refresh = force_metrics;
+  if (!refresh &&
+      std::chrono::duration<double, std::milli>(wall - last_metrics_refresh_)
+              .count() >= options_.metrics_refresh_ms) {
+    refresh = true;
+  }
+  if (refresh) {
+    last_metrics_refresh_ = wall;
+  }
+  snapshot_.store(builder_.Publish(*engine_.sim, log_.size(), refresh),
+                  std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++snapshots_published_;
+}
+
 void SchedulerService::EngineLoop() {
+  std::vector<PendingCommand> batch;
+  std::vector<JsonValue> replies;
   for (;;) {
-    std::shared_ptr<PendingCommand> cmd;
-    switch (Next(&cmd)) {
-      case NextAction::kApply:
-        Reply(*cmd, Apply(cmd->request));
+    batch.clear();
+    switch (Next(&batch)) {
+      case NextAction::kApply: {
+        replies.clear();
+        replies.reserve(batch.size());
+        for (const PendingCommand& cmd : batch) {
+          replies.push_back(Apply(cmd.request));
+          EchoSeq(cmd.request, replies.back());
+        }
+        // Publish before delivering replies: a client that saw its write
+        // acknowledged reads a snapshot at or past that write.
+        PublishSnapshot(false);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          commands_applied_ += batch_applied_;
+          jobs_submitted_ += batch_submitted_;
+          jobs_cancelled_ += batch_cancelled_;
+        }
+        batch_applied_ = 0;
+        batch_submitted_ = 0;
+        batch_cancelled_ = 0;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          Deliver(batch[i], std::move(replies[i]));
+        }
         break;
+      }
       case NextAction::kStep: {
         // Free-run toward quiescence in bounded chunks so a newly queued
         // command waits at most one chunk.
@@ -322,6 +472,7 @@ void SchedulerService::EngineLoop() {
         if (!more) {
           auto_quiescent_ = true;
         }
+        PublishSnapshot(false);
         break;
       }
       case NextAction::kWaitRealTime: {
@@ -329,6 +480,7 @@ void SchedulerService::EngineLoop() {
         // event, then catch the engine up to the driver's time.
         if (driver_->WaitUntil(engine_.sim->NextEventTime())) {
           engine_.sim->StepUntil(driver_->Now());
+          PublishSnapshot(false);
         }
         break;
       }
@@ -354,7 +506,7 @@ void SchedulerService::TraceCommand(const char* name, TimeSec stamp) {
 }
 
 JsonValue SchedulerService::Apply(const JsonValue& request) {
-  commands_applied_.fetch_add(1, std::memory_order_relaxed);
+  ++batch_applied_;
   const std::string cmd = request.GetString("cmd");
   if (cmd == "submit") {
     return ApplySubmit(request);
@@ -368,20 +520,8 @@ JsonValue SchedulerService::Apply(const JsonValue& request) {
   if (cmd == "drain") {
     return ApplyDrain();
   }
-  if (cmd == "query_job") {
-    return ApplyQueryJob(request);
-  }
-  if (cmd == "cluster_stats") {
-    return ApplyClusterStats();
-  }
-  if (cmd == "metrics") {
-    return ApplyMetrics();
-  }
   if (cmd == "snapshot") {
     return ApplySnapshot(request);
-  }
-  if (cmd == "ping") {
-    return ApplyPing();
   }
   if (cmd == "shutdown") {
     {
@@ -399,18 +539,55 @@ JsonValue SchedulerService::Apply(const JsonValue& request) {
 }
 
 JsonValue SchedulerService::ApplySubmit(const JsonValue& request) {
+  // One walk over the request's members instead of a Find() scan per field:
+  // submit dominates saturation traffic and the scans were measurable there.
   JobSpec spec;
-  spec.gpus_per_worker = static_cast<int>(request.GetDouble("gpus_per_worker", 1));
-  spec.min_workers = static_cast<int>(request.GetDouble("min_workers", 1));
-  spec.max_workers = static_cast<int>(
-      request.GetDouble("max_workers", static_cast<double>(spec.min_workers)));
-  spec.requested_workers =
-      static_cast<int>(request.GetDouble("requested_workers", 0));
-  spec.fungible = request.GetBool("fungible");
-  spec.heterogeneous = request.GetBool("heterogeneous");
-  spec.checkpointing = request.GetBool("checkpointing");
-  spec.total_work = request.GetDouble("total_work", 0.0);
-  const std::string model = request.GetString("model", "other");
+  spec.gpus_per_worker = 1;
+  spec.min_workers = 1;
+  spec.max_workers = 0;  // defaults to min_workers when absent
+  bool have_max_workers = false;
+  const JsonValue* model_field = nullptr;
+  unsigned seen = 0;  // first occurrence wins, matching Find()'s semantics
+  const auto first = [&seen](int bit) {
+    if ((seen & (1u << bit)) != 0) {
+      return false;
+    }
+    seen |= 1u << bit;
+    return true;
+  };
+  const auto num = [](const JsonValue& v, double fb) {
+    return v.is_number() ? v.AsDouble() : fb;
+  };
+  for (const auto& [key, value] : request.AsObject()) {
+    if (key == "gpus_per_worker") {
+      if (first(0)) spec.gpus_per_worker = static_cast<int>(num(value, 1));
+    } else if (key == "min_workers") {
+      if (first(1)) spec.min_workers = static_cast<int>(num(value, 1));
+    } else if (key == "max_workers") {
+      if (first(2) && value.is_number()) {
+        spec.max_workers = static_cast<int>(value.AsDouble());
+        have_max_workers = true;
+      }
+    } else if (key == "requested_workers") {
+      if (first(3)) spec.requested_workers = static_cast<int>(num(value, 0));
+    } else if (key == "fungible") {
+      if (first(4)) spec.fungible = value.is_bool() && value.AsBool();
+    } else if (key == "heterogeneous") {
+      if (first(5)) spec.heterogeneous = value.is_bool() && value.AsBool();
+    } else if (key == "checkpointing") {
+      if (first(6)) spec.checkpointing = value.is_bool() && value.AsBool();
+    } else if (key == "total_work") {
+      if (first(7)) spec.total_work = num(value, 0.0);
+    } else if (key == "model") {
+      if (first(8)) model_field = &value;
+    }
+  }
+  if (!have_max_workers) {
+    spec.max_workers = spec.min_workers;
+  }
+  const std::string model =
+      model_field != nullptr && model_field->is_string() ? model_field->AsString()
+                                                         : "other";
   if (!ModelFamilyFromName(model, &spec.model)) {
     command_errors_.fetch_add(1, std::memory_order_relaxed);
     return ErrorReply("invalid_argument", "unknown model family: " + model);
@@ -430,7 +607,7 @@ JsonValue SchedulerService::ApplySubmit(const JsonValue& request) {
   logged.spec = spec;
   TraceCommand("submit", stamp);
   log_.push_back(std::move(logged));
-  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  ++batch_submitted_;
   auto_quiescent_ = false;
 
   JsonValue reply = OkReply();
@@ -459,7 +636,7 @@ JsonValue SchedulerService::ApplyCancel(const JsonValue& request) {
   logged.job = id;
   TraceCommand("cancel", stamp);
   log_.push_back(std::move(logged));
-  jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  ++batch_cancelled_;
   auto_quiescent_ = false;
 
   JsonValue reply = OkReply();
@@ -516,114 +693,6 @@ JsonValue SchedulerService::ApplyDrain() {
   return reply;
 }
 
-JsonValue SchedulerService::ApplyQueryJob(const JsonValue& request) const {
-  const JsonValue* job_field = request.Find("job");
-  if (job_field == nullptr || !job_field->is_number()) {
-    command_errors_.fetch_add(1, std::memory_order_relaxed);
-    return ErrorReply("invalid_argument", "query_job requires a numeric \"job\"");
-  }
-  const std::int64_t id = job_field->AsInt();
-  const auto& jobs = engine_.sim->jobs();
-  if (id < 0 || static_cast<std::size_t>(id) >= jobs.size()) {
-    command_errors_.fetch_add(1, std::memory_order_relaxed);
-    return ErrorReply("not_found", "no such job: " + std::to_string(id));
-  }
-  const Job& job = *jobs[static_cast<std::size_t>(id)];
-  JsonValue reply = OkReply();
-  reply.Set("job", JsonValue::MakeNumber(static_cast<double>(id)));
-  reply.Set("state", JsonValue::MakeString(JobStateName(job.state())));
-  reply.Set("submit_time", JsonValue::MakeNumber(job.spec().submit_time));
-  reply.Set("gpus_per_worker", JsonValue::MakeNumber(job.spec().gpus_per_worker));
-  reply.Set("min_workers", JsonValue::MakeNumber(job.spec().min_workers));
-  reply.Set("max_workers", JsonValue::MakeNumber(job.spec().max_workers));
-  reply.Set("workers", JsonValue::MakeNumber(job.current_workers()));
-  reply.Set("work_remaining", JsonValue::MakeNumber(job.work_remaining()));
-  reply.Set("preemptions", JsonValue::MakeNumber(job.preemptions()));
-  reply.Set("scaling_operations", JsonValue::MakeNumber(job.scaling_operations()));
-  if (job.first_start_time() >= 0.0) {
-    reply.Set("first_start_time", JsonValue::MakeNumber(job.first_start_time()));
-  }
-  if (job.finish_time() >= 0.0) {
-    reply.Set("finish_time", JsonValue::MakeNumber(job.finish_time()));
-  }
-  return reply;
-}
-
-JsonValue SchedulerService::ApplyClusterStats() const {
-  const Simulator& sim = *engine_.sim;
-  std::size_t pending = 0;
-  std::size_t running = 0;
-  std::size_t finished = 0;
-  std::size_t cancelled = 0;
-  for (const auto& job : sim.jobs()) {
-    switch (job->state()) {
-      case JobState::kPending:
-        ++pending;
-        break;
-      case JobState::kRunning:
-        ++running;
-        break;
-      case JobState::kFinished:
-        ++finished;
-        break;
-      case JobState::kCancelled:
-        ++cancelled;
-        break;
-    }
-  }
-  JsonValue jobs = JsonValue::MakeObject();
-  jobs.Set("total", JsonValue::MakeNumber(static_cast<double>(sim.jobs().size())));
-  jobs.Set("pending", JsonValue::MakeNumber(static_cast<double>(pending)));
-  jobs.Set("running", JsonValue::MakeNumber(static_cast<double>(running)));
-  jobs.Set("finished", JsonValue::MakeNumber(static_cast<double>(finished)));
-  jobs.Set("cancelled", JsonValue::MakeNumber(static_cast<double>(cancelled)));
-
-  JsonValue pools = JsonValue::MakeObject();
-  pools.Set("training", PoolStats(sim.cluster(), ServerPool::kTraining));
-  pools.Set("on_loan", PoolStats(sim.cluster(), ServerPool::kOnLoan));
-  pools.Set("inference", PoolStats(sim.cluster(), ServerPool::kInference));
-
-  JsonValue reply = OkReply();
-  reply.Set("time", JsonValue::MakeNumber(sim.now()));
-  reply.Set("events_processed",
-            JsonValue::MakeNumber(static_cast<double>(sim.events_processed())));
-  reply.Set("jobs", std::move(jobs));
-  reply.Set("cluster", std::move(pools));
-  return reply;
-}
-
-JsonValue SchedulerService::ApplyMetrics() const {
-  JsonValue reply = OkReply();
-  reply.Set("time", JsonValue::MakeNumber(engine_.sim->now()));
-  // The engine's registry already exports JSON; re-parse so the reply is one
-  // coherent document (Dump/Parse round-trips are exact).
-  const StatusOr<JsonValue> engine_metrics =
-      JsonValue::Parse(engine_.sim->metrics().ExportJson());
-  reply.Set("engine",
-            engine_metrics.ok() ? engine_metrics.value() : JsonValue::MakeNull());
-
-  const Stats stats = this->stats();
-  JsonValue service = JsonValue::MakeObject();
-  service.Set("commands_applied", JsonValue::MakeNumber(
-                                      static_cast<double>(stats.commands_applied)));
-  service.Set("jobs_submitted",
-              JsonValue::MakeNumber(static_cast<double>(stats.jobs_submitted)));
-  service.Set("jobs_cancelled",
-              JsonValue::MakeNumber(static_cast<double>(stats.jobs_cancelled)));
-  service.Set("rejected_overload",
-              JsonValue::MakeNumber(static_cast<double>(stats.rejected_overload)));
-  service.Set("command_errors",
-              JsonValue::MakeNumber(static_cast<double>(stats.command_errors)));
-  service.Set("queue_depth",
-              JsonValue::MakeNumber(static_cast<double>(stats.queue_depth)));
-  service.Set("queue_peak",
-              JsonValue::MakeNumber(static_cast<double>(stats.queue_peak)));
-  service.Set("command_log", JsonValue::MakeNumber(static_cast<double>(log_.size())));
-  service.Set("driver", JsonValue::MakeString(driver_->name()));
-  reply.Set("service", std::move(service));
-  return reply;
-}
-
 JsonValue SchedulerService::ApplySnapshot(const JsonValue& request) {
   const std::string path = request.GetString("path");
   if (path.empty()) {
@@ -644,14 +713,6 @@ JsonValue SchedulerService::ApplySnapshot(const JsonValue& request) {
   reply.Set("path", JsonValue::MakeString(path));
   reply.Set("commands", JsonValue::MakeNumber(static_cast<double>(log_.size())));
   reply.Set("time", JsonValue::MakeNumber(snapshot.horizon));
-  return reply;
-}
-
-JsonValue SchedulerService::ApplyPing() const {
-  JsonValue reply = OkReply();
-  reply.Set("time", JsonValue::MakeNumber(engine_.sim->now()));
-  reply.Set("virtual_time", JsonValue::MakeNumber(driver_->Now()));
-  reply.Set("driver", JsonValue::MakeString(driver_->name()));
   return reply;
 }
 

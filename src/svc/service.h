@@ -1,12 +1,20 @@
 // SchedulerService: the online scheduler daemon core (DESIGN.md §8).
 //
 // Wraps the Simulator/ClusterState/Lyra orchestrator stack behind a
-// single-writer command queue: one engine thread owns the simulation, every
-// command (mutating or read-only) is serialized through a bounded queue, and
-// callers block on a per-command reply. Backpressure is explicit — when the
-// queue is full, Execute returns an `overloaded` reply with a retry-after
-// hint instead of blocking, so socket workers never wedge behind a slow
-// engine.
+// single-writer command queue: one engine thread owns the simulation and
+// drains the queue in batches — one lock acquisition and one snapshot
+// publication per batch — so pipelining clients amortize mutex/condvar
+// traffic across many commands. Backpressure is explicit: when the queue is
+// full, submission completes immediately with an `overloaded` reply carrying
+// a retry-after hint, so socket workers never wedge behind a slow engine.
+//
+// Read-only commands (query_job, cluster_stats, metrics, ping) never touch
+// the queue. After every applied batch the engine publishes an immutable
+// StateSnapshot through an atomic shared_ptr swap; ReadReply answers from
+// the latest snapshot on the caller's thread, RCU-style, with no locks.
+// Because the publish happens before batch completions are delivered, a
+// client that pipelines a write and then a read on one connection always
+// reads its own write.
 //
 // Commands are JSON objects with a "cmd" field: submit, cancel, query_job,
 // cluster_stats, metrics, advance, drain, snapshot, ping, shutdown. Mutating
@@ -16,14 +24,18 @@
 // applying, which makes its event sequence a pure function of the logged
 // command sequence. That is the warm-restart invariant: a snapshot persists
 // the EngineConfig plus the command log, and Restore replays it into a
-// bit-identical engine (same decision log, same fault-log hash).
+// bit-identical engine (same decision log, same fault-log hash). Batching
+// changes when commands are applied, never their stamps, so the invariant is
+// unaffected by pipelining.
 #ifndef SRC_SVC_SERVICE_H_
 #define SRC_SVC_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +46,7 @@
 #include "src/common/status.h"
 #include "src/svc/registry.h"
 #include "src/svc/snapshot.h"
+#include "src/svc/state_snapshot.h"
 #include "src/svc/time_driver.h"
 
 namespace lyra::svc {
@@ -50,6 +63,9 @@ struct ServiceOptions {
   bool auto_advance = false;
   // Hint clients receive with an `overloaded` rejection.
   double retry_after_ms = 50.0;
+  // Minimum wall-clock interval between metrics re-exports into the read
+  // snapshot; bounds how stale a `metrics` reply's engine section can be.
+  double metrics_refresh_ms = 10.0;
   // When non-empty, the engine streams a Perfetto trace here (including the
   // service's own command instants on the svc track), written on Stop().
   std::string trace_path;
@@ -63,8 +79,33 @@ class SchedulerService {
     std::uint64_t jobs_cancelled = 0;
     std::uint64_t rejected_overload = 0;
     std::uint64_t command_errors = 0;
+    // Read-only commands answered from the snapshot (never enqueued).
+    std::uint64_t reads_served = 0;
+    std::uint64_t snapshots_published = 0;
     std::size_t queue_depth = 0;
     std::size_t queue_peak = 0;
+  };
+
+  // How a command is routed. Reads are answered from the snapshot on the
+  // caller's thread; engine commands are queued to the single writer;
+  // unknown commands fail inline without touching the queue.
+  enum class CmdClass { kRead, kEngine, kUnknown };
+  static CmdClass Classify(const std::string& cmd);
+
+  // Invoked exactly once with the reply, on the engine thread for queued
+  // commands or inline on the caller's thread for immediate rejections
+  // (overload, stopped service). Never invoked under a service lock.
+  using Completion = std::function<void(JsonValue reply)>;
+
+  // Allocation-free alternative to Completion for high-rate front ends: the
+  // queue holds {sink, two caller-chosen words} instead of a type-erased
+  // closure, so enqueuing a command costs a shared_ptr bump rather than a
+  // heap-allocated std::function whose capture outgrows the small-buffer
+  // slot. Same delivery contract as Completion.
+  class CompletionSink {
+   public:
+    virtual ~CompletionSink() = default;
+    virtual void OnReply(std::uint64_t a, std::uint64_t b, JsonValue reply) = 0;
   };
 
   SchedulerService(ServiceOptions options, std::unique_ptr<TimeDriver> driver);
@@ -89,13 +130,62 @@ class SchedulerService {
   // True once a shutdown command or Stop() landed.
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
-  // Thread-safe command entry point. Blocks until the engine thread replies,
-  // except when the queue is full (immediate `overloaded` reply) or the
-  // service is stopped (immediate `stopped` reply).
+  // Thread-safe command entry point. Read-only commands return from the
+  // snapshot without blocking; engine commands block until the engine thread
+  // replies, except when the queue is full (immediate `overloaded` reply) or
+  // the service is stopped (immediate `stopped` reply).
   JsonValue Execute(const JsonValue& request);
   // Wire entry point: parses with JsonParseLimits::Untrusted() and returns
   // the serialized reply.
   std::string ExecuteText(const std::string& request_text);
+
+  // Non-blocking engine-command entry point for the event loop: enqueues and
+  // returns; `done` fires with the reply after the batch containing the
+  // command is applied and its snapshot published. Rejections (overload,
+  // stopped) invoke `done` before returning. Routes read-only commands
+  // through ReadReply inline.
+  void ExecuteAsync(JsonValue request, Completion done);
+  // Variant for front ends that already classified the command (the event
+  // loop routes on the class before enqueuing), skipping a re-classify.
+  void ExecuteAsync(JsonValue request, Completion done, CmdClass cls);
+  // Sink variant: replies (including inline rejections) arrive as
+  // sink->OnReply(a, b, reply). No per-command allocation.
+  void ExecuteAsync(JsonValue request, std::shared_ptr<CompletionSink> sink,
+                    std::uint64_t a, std::uint64_t b, CmdClass cls);
+
+  // Answers a read-only (or unknown) command from the current snapshot.
+  // Never touches the engine queue. Callable from any thread.
+  JsonValue ReadReply(const JsonValue& request) const;
+
+  // Counts a wire-level protocol error (unparseable or malformed frame) in
+  // Stats::command_errors. For transport front ends that parse frames
+  // themselves instead of going through ExecuteText.
+  void CountProtocolError() const {
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Advisory saturation hint for front ends: true when the engine queue was
+  // at capacity at the last push/drain. Reading it races with the engine's
+  // drain by design — a front end may shed a command the queue could just
+  // have taken (or vice versa); the authoritative check in ExecuteAsync
+  // still rejects when the queue really is full. Shedding on the hint lets
+  // an overloaded front end answer with a canned rejection instead of
+  // paying the reply-build + completion round trip per rejected frame.
+  bool EngineSaturated() const {
+    return queue_len_.load(std::memory_order_relaxed) >=
+           static_cast<std::size_t>(options_.queue_capacity);
+  }
+
+  // Records a rejection the front end shed on the EngineSaturated() hint;
+  // folded into Stats::rejected_overload.
+  void CountShedOverload() const {
+    rejected_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // The latest published snapshot (null before Start/Restore).
+  std::shared_ptr<const StateSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
 
   Stats stats() const;
   const ServiceOptions& options() const { return options_; }
@@ -109,28 +199,26 @@ class SchedulerService {
  private:
   struct PendingCommand {
     JsonValue request;
-    JsonValue reply;
-    bool done = false;
-    std::mutex mu;
-    std::condition_variable cv;
+    Completion done;  // null when the sink form is used
+    std::shared_ptr<CompletionSink> sink;
+    std::uint64_t sink_a = 0;
+    std::uint64_t sink_b = 0;
   };
 
   enum class NextAction { kApply, kStep, kWaitRealTime, kStop };
 
   void EngineLoop();
-  NextAction Next(std::shared_ptr<PendingCommand>* cmd);
-  void Reply(PendingCommand& cmd, JsonValue reply);
+  NextAction Next(std::vector<PendingCommand>* batch);
+  void PublishSnapshot(bool force_metrics);
+  void EnqueueEngine(PendingCommand cmd);
+  static void Deliver(PendingCommand& cmd, JsonValue reply);
 
   JsonValue Apply(const JsonValue& request);
   JsonValue ApplySubmit(const JsonValue& request);
   JsonValue ApplyCancel(const JsonValue& request);
   JsonValue ApplyAdvance(const JsonValue& request);
   JsonValue ApplyDrain();
-  JsonValue ApplyQueryJob(const JsonValue& request) const;
-  JsonValue ApplyClusterStats() const;
-  JsonValue ApplyMetrics() const;
   JsonValue ApplySnapshot(const JsonValue& request);
-  JsonValue ApplyPing() const;
 
   // Virtual-time stamp for a mutating command: max(engine frontier, driver
   // clock, explicit "at"). Monotone by construction.
@@ -143,10 +231,18 @@ class SchedulerService {
   Engine engine_;
   std::vector<LoggedCommand> log_;
 
+  SnapshotBuilder builder_;  // engine-thread only
+  std::atomic<std::shared_ptr<const StateSnapshot>> snapshot_;
+
   std::thread engine_thread_;
   mutable std::mutex mu_;
   std::condition_variable cv_;  // engine thread waits for work here
-  std::deque<std::shared_ptr<PendingCommand>> queue_;
+  std::deque<PendingCommand> queue_;
+  // Lock-free mirror of queue_.size(), refreshed at every push and drain;
+  // backs the EngineSaturated() shed hint only (never authoritative).
+  std::atomic<std::size_t> queue_len_{0};
+  // Front-end sheds on the saturation hint; merged into rejected_overload.
+  mutable std::atomic<std::uint64_t> rejected_shed_{0};
   bool stop_requested_ = false;
   bool started_ = false;
   std::atomic<bool> stopped_{false};
@@ -155,13 +251,26 @@ class SchedulerService {
   bool auto_quiescent_ = false;
   bool finalized_ = false;
 
-  std::atomic<std::uint64_t> commands_applied_{0};
-  std::atomic<std::uint64_t> jobs_submitted_{0};
-  std::atomic<std::uint64_t> jobs_cancelled_{0};
-  std::atomic<std::uint64_t> rejected_overload_{0};
-  // mutable: read-only command handlers count their own rejections.
+  // Engine-thread-local batch accumulators, folded into the mu_-guarded
+  // counters once per batch (before completions are delivered, so a caller
+  // that saw its reply also sees its command counted).
+  std::uint64_t batch_applied_ = 0;
+  std::uint64_t batch_submitted_ = 0;
+  std::uint64_t batch_cancelled_ = 0;
+  std::chrono::steady_clock::time_point last_metrics_refresh_{};
+
+  // Guarded by mu_ so a stats() reader always sees one coherent snapshot of
+  // the queue-coupled counters (queue_depth/queue_peak vs applied counts).
+  std::uint64_t commands_applied_ = 0;
+  std::uint64_t jobs_submitted_ = 0;
+  std::uint64_t jobs_cancelled_ = 0;
+  std::uint64_t rejected_overload_ = 0;
+  std::uint64_t snapshots_published_ = 0;
+  std::size_t queue_peak_ = 0;
+
+  // Touched by reader threads on the lock-free path; relaxed atomics.
   mutable std::atomic<std::uint64_t> command_errors_{0};
-  std::size_t queue_peak_ = 0;  // guarded by mu_
+  mutable std::atomic<std::uint64_t> reads_served_{0};
 };
 
 }  // namespace lyra::svc

@@ -3,6 +3,10 @@
 #include <cerrno>
 #include <cstring>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -10,33 +14,11 @@
 namespace lyra::svc {
 namespace {
 
-void PutU32(std::string& out, std::uint32_t v) {
-  out.push_back(static_cast<char>((v >> 24) & 0xff));
-  out.push_back(static_cast<char>((v >> 16) & 0xff));
-  out.push_back(static_cast<char>((v >> 8) & 0xff));
-  out.push_back(static_cast<char>(v & 0xff));
-}
-
 std::uint32_t GetU32(const char* p) {
   const auto* u = reinterpret_cast<const unsigned char*>(p);
   return (static_cast<std::uint32_t>(u[0]) << 24) |
          (static_cast<std::uint32_t>(u[1]) << 16) |
          (static_cast<std::uint32_t>(u[2]) << 8) | static_cast<std::uint32_t>(u[3]);
-}
-
-Status WriteAll(int fd, const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::write(fd, data + sent, size - sent);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Status::Unavailable(std::string("write: ") + std::strerror(errno));
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
 }
 
 // Reads exactly `size` bytes. Returns the byte count read before EOF (so the
@@ -61,12 +43,42 @@ StatusOr<std::size_t> ReadFull(int fd, char* data, std::size_t size) {
 
 }  // namespace
 
+void EncodeFrameHeader(std::uint32_t payload_size, char out[4]) {
+  out[0] = static_cast<char>((payload_size >> 24) & 0xff);
+  out[1] = static_cast<char>((payload_size >> 16) & 0xff);
+  out[2] = static_cast<char>((payload_size >> 8) & 0xff);
+  out[3] = static_cast<char>(payload_size & 0xff);
+}
+
 std::string EncodeFrame(const std::string& payload) {
   std::string out;
   out.reserve(payload.size() + 4);
-  PutU32(out, static_cast<std::uint32_t>(payload.size()));
-  out += payload;
+  AppendFrame(payload, out);
   return out;
+}
+
+void AppendFrame(const std::string& payload, std::string& out) {
+  char header[4];
+  EncodeFrameHeader(static_cast<std::uint32_t>(payload.size()), header);
+  out.append(header, sizeof(header));
+  out += payload;
+}
+
+Status WriteAllBytes(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // send with MSG_NOSIGNAL, not write: a disconnected peer must surface as
+    // EPIPE, not kill the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
 }
 
 Status WriteFrame(int fd, const std::string& payload) {
@@ -74,7 +86,7 @@ Status WriteFrame(int fd, const std::string& payload) {
     return Status::InvalidArgument("frame payload exceeds 1 MiB");
   }
   const std::string framed = EncodeFrame(payload);
-  return WriteAll(fd, framed.data(), framed.size());
+  return WriteAllBytes(fd, framed.data(), framed.size());
 }
 
 StatusOr<std::string> ReadFrame(int fd) {
@@ -177,6 +189,80 @@ StatusOr<int> ConnectUnix(const std::string& path) {
     return status;
   }
   return fd;
+}
+
+StatusOr<int> ListenTcp(const std::string& host, int port, int backlog,
+                        int* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Unavailable(
+        "bind " + host + ":" + std::to_string(port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status status = Status::Unavailable(
+        "listen " + host + ":" + std::to_string(port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      const Status status =
+          Status::Unavailable(std::string("getsockname: ") + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    *bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return fd;
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 address: " + host);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Unavailable(
+        "connect " + host + ":" + std::to_string(port) + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Unavailable(std::string("fcntl O_NONBLOCK: ") +
+                               std::strerror(errno));
+  }
+  return Status::Ok();
 }
 
 }  // namespace lyra::svc

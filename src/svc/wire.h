@@ -5,8 +5,12 @@
 // (1 MiB): a frame the parser would reject is refused at the framing layer,
 // before any allocation proportional to the claimed length. Helpers here do
 // blocking fd I/O with EINTR retry; FrameDecoder is the incremental variant
-// for callers that manage their own buffers (the load generator's receiver
-// thread).
+// for callers that manage their own buffers (the epoll event loop and the
+// load generator's receiver thread).
+//
+// All socket writes use send(2)/sendmsg(2) with MSG_NOSIGNAL: a peer that
+// disconnects with a reply in flight produces an EPIPE error return, never a
+// process-killing SIGPIPE (svc_fastpath_test pins this).
 #ifndef SRC_SVC_WIRE_H_
 #define SRC_SVC_WIRE_H_
 
@@ -20,11 +24,22 @@ namespace lyra::svc {
 // Maximum frame payload, aligned with the untrusted JSON parse limit.
 inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
 
+// Writes the 4-byte big-endian length prefix for `payload_size` into `out`.
+void EncodeFrameHeader(std::uint32_t payload_size, char out[4]);
+
 // Length-prefixes `payload` for transmission.
 std::string EncodeFrame(const std::string& payload);
 
+// Appends the length-prefixed frame to `out` (the batched-sender variant:
+// many frames accumulate into one buffer and leave in one syscall).
+void AppendFrame(const std::string& payload, std::string& out);
+
 // Writes one frame to `fd`, retrying short writes and EINTR.
 Status WriteFrame(int fd, const std::string& payload);
+
+// Writes `size` raw bytes to `fd` (already-framed data), retrying short
+// writes and EINTR. MSG_NOSIGNAL like every other send path here.
+Status WriteAllBytes(int fd, const char* data, std::size_t size);
 
 // Reads one frame from `fd`. Unavailable("eof") on a clean close at a frame
 // boundary, DataLoss on a mid-frame close, InvalidArgument on an oversized
@@ -51,6 +66,17 @@ class FrameDecoder {
 // Unix-domain socket helpers. Paths must fit sockaddr_un (~107 chars).
 StatusOr<int> ListenUnix(const std::string& path, int backlog);
 StatusOr<int> ConnectUnix(const std::string& path);
+
+// TCP (IPv4) helpers. `port` 0 binds an ephemeral port; ListenTcp reports
+// the actual port through `bound_port` (when non-null). Listeners get
+// SO_REUSEADDR; connected sockets get TCP_NODELAY (frames are small and
+// latency-sensitive, Nagle would batch them against us).
+StatusOr<int> ListenTcp(const std::string& host, int port, int backlog,
+                        int* bound_port = nullptr);
+StatusOr<int> ConnectTcp(const std::string& host, int port);
+
+// Puts `fd` into non-blocking mode (the event loop's sockets).
+Status SetNonBlocking(int fd);
 
 }  // namespace lyra::svc
 

@@ -9,8 +9,10 @@
 #define SRC_WORKLOAD_JOB_H_
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/types.h"
@@ -147,6 +149,29 @@ class Job {
     return estimated_total_work_ * frac / workers;
   }
 
+  // --- Snapshot dirty tracking (svc read fast path) ------------------------
+  //
+  // The online service publishes immutable read snapshots of every job; to
+  // keep publication O(changes) rather than O(jobs), a job with an armed
+  // sink records its id there exactly once per publish cycle whenever a
+  // lifecycle transition mutates observable state. Batch simulation never
+  // arms a sink, so the cost there is one untaken branch per transition.
+  struct DirtySink {
+    std::vector<std::int64_t> ids;  // jobs mutated since the last drain
+  };
+
+  // Arms `sink` (which must outlive the job) and marks the job dirty so the
+  // next publish picks up its current state. Engine-thread only.
+  void ArmDirtySink(DirtySink* sink) {
+    dirty_sink_ = sink;
+    dirty_ = false;
+    MarkDirty();
+  }
+
+  // Clears the once-per-cycle latch after the publisher consumed this job's
+  // record. Engine-thread only.
+  void ClearDirty() { dirty_ = false; }
+
   // --- Lifecycle transitions, driven by the simulator ----------------------
 
   // Folds progress accrued at the current rate into work_remaining.
@@ -157,6 +182,7 @@ class Job {
       if (work_remaining_ < 0.0) {
         work_remaining_ = 0.0;
       }
+      MarkDirty();
     }
     last_update_ = now;
   }
@@ -171,6 +197,7 @@ class Job {
     state_ = JobState::kRunning;
     rate_ = rate;
     current_workers_ = workers;
+    MarkDirty();
   }
 
   // Updates the rate after a scale-out/scale-in or placement change.
@@ -182,6 +209,7 @@ class Job {
     }
     rate_ = rate;
     current_workers_ = workers;
+    MarkDirty();
   }
 
   // Preempts the job. Without checkpointing all progress is lost; with
@@ -210,6 +238,7 @@ class Job {
     } else {
       work_remaining_ = spec_.total_work;
     }
+    MarkDirty();
   }
 
   void Finish(TimeSec now) {
@@ -220,6 +249,7 @@ class Job {
     rate_ = 0.0;
     current_workers_ = 0;
     perf_factor_ = 1.0;
+    MarkDirty();
   }
 
   // Cancels the job (online service command). Legal from kPending or
@@ -232,6 +262,7 @@ class Job {
     rate_ = 0.0;
     current_workers_ = 0;
     perf_factor_ = 1.0;
+    MarkDirty();
   }
 
   // Charges a transient stall of `delay` wall-seconds at the current rate (a
@@ -242,6 +273,7 @@ class Job {
     LYRA_CHECK_GE(delay, 0.0);
     AdvanceProgress(now);
     work_remaining_ += rate_ * delay;
+    MarkDirty();
   }
 
   // Predicted wall-clock finish time at the current rate; +inf when stalled.
@@ -255,6 +287,13 @@ class Job {
   }
 
  private:
+  void MarkDirty() {
+    if (dirty_sink_ != nullptr && !dirty_) {
+      dirty_ = true;
+      dirty_sink_->ids.push_back(spec_.id.value);
+    }
+  }
+
   JobSpec spec_;
   JobState state_ = JobState::kPending;
   double work_remaining_;
@@ -269,6 +308,8 @@ class Job {
   bool ever_on_loaned_server_ = false;
   bool tuned_ = false;
   double perf_factor_ = 1.0;
+  DirtySink* dirty_sink_ = nullptr;  // not owned; null in batch simulation
+  bool dirty_ = false;               // once-per-publish-cycle latch
 };
 
 }  // namespace lyra

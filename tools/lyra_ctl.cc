@@ -1,17 +1,20 @@
 // lyra_ctl: command-line client for lyra_schedd.
 //
 // Builds one JSON command from the subcommand + flags, sends it over the
-// daemon's Unix socket as a length-prefixed frame, and prints the reply.
+// daemon's Unix socket — or TCP with --tcp=<host:port> — as a
+// length-prefixed frame, and prints the reply.
 // Exit status is 0 when the reply carries "ok": true, 2 on an error reply,
 // and 1 on transport/usage failure.
 //
 //   lyra_ctl --socket=/tmp/lyra.sock submit --gpus-per-worker=1 --max-workers=4
+//   lyra_ctl --tcp=127.0.0.1:7070 cluster_stats
 //   lyra_ctl --socket=/tmp/lyra.sock query_job --job=0
 //   lyra_ctl --socket=/tmp/lyra.sock advance --to=3600
 //   lyra_ctl --socket=/tmp/lyra.sock drain
 //   lyra_ctl --socket=/tmp/lyra.sock snapshot --path=/tmp/lyra.snap
 //   lyra_ctl --socket=/tmp/lyra.sock shutdown
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <unistd.h>
 
@@ -29,6 +32,7 @@ const char kSubcommands[] =
 
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/lyra_schedd.sock";
+  std::string tcp;
   std::string path;
   std::string model;
   double at = -1.0;
@@ -46,6 +50,7 @@ int main(int argc, char** argv) {
   lyra::FlagSet flags(std::string("lyra_ctl <subcommand>: drive lyra_schedd. "
                                   "Subcommands: ") + kSubcommands);
   flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddString("tcp", &tcp, "daemon TCP endpoint host:port (overrides --socket)");
   flags.AddDouble("at", &at, "virtual-time stamp for mutating commands (<0 = now)");
   flags.AddDouble("to", &to, "advance: target virtual time");
   flags.AddInt("job", &job, "cancel/query_job: job id");
@@ -117,9 +122,23 @@ int main(int argc, char** argv) {
     request.Set("path", lyra::JsonValue::MakeString(path));
   }
 
-  lyra::StatusOr<int> fd = lyra::svc::ConnectUnix(socket_path);
+  lyra::StatusOr<int> fd = lyra::Status::Internal("unconnected");
+  std::string endpoint = socket_path;
+  if (!tcp.empty()) {
+    endpoint = tcp;
+    const std::size_t colon = tcp.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "lyra_ctl: --tcp wants host:port, got %s\n",
+                   tcp.c_str());
+      return 1;
+    }
+    fd = lyra::svc::ConnectTcp(tcp.substr(0, colon),
+                               std::atoi(tcp.c_str() + colon + 1));
+  } else {
+    fd = lyra::svc::ConnectUnix(socket_path);
+  }
   if (!fd.ok()) {
-    std::fprintf(stderr, "lyra_ctl: connect %s: %s\n", socket_path.c_str(),
+    std::fprintf(stderr, "lyra_ctl: connect %s: %s\n", endpoint.c_str(),
                  fd.status().message().c_str());
     return 1;
   }

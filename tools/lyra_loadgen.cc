@@ -1,123 +1,33 @@
 // lyra_loadgen: open-loop load generator for lyra_schedd.
 //
-// Each connection runs a paced sender thread (open-loop: sends are scheduled
-// by the clock, never gated on replies) and a receiver thread that matches
-// replies to sends FIFO — the daemon serves each connection with a strict
-// in-order request/reply loop, so FIFO matching is exact. Reports submit
-// throughput and latency percentiles, counts `overloaded` backpressure
-// rejections separately from errors, and can merge the summary into the
-// repo's BENCH_perf.json under a "lyra_loadgen" key.
+// Drives the daemon over its Unix socket (or TCP with --tcp=<host:port>)
+// with paced, batched, pipelined submit frames — the open-loop client in
+// src/svc/loadclient.h. Reports submit throughput and latency percentiles
+// (p50/p90/p99/p999), counts `overloaded` backpressure rejections separately
+// from errors, and can merge the summary into the repo's BENCH_perf.json
+// under a "lyra_loadgen" key.
+//
+// --sweep runs a saturation sweep across a list of offered rates and records
+// the full offered-load vs accepted-throughput + latency curve under
+// "sweep" in the report section; the section's top-level numbers are the
+// point with the highest accepted throughput.
 //
 //   lyra_loadgen --socket=/tmp/lyra.sock --rate=20000 --duration=5
 //       --connections=4 --report=BENCH_perf.json
-#include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <cmath>
+//   lyra_loadgen --socket=/tmp/lyra.sock --duration=2
+//       --sweep=10000,20000,50000,100000,200000,400000 --report=BENCH_perf.json
 #include <cstdio>
-#include <deque>
+#include <cstdlib>
 #include <fstream>
-#include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
-
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "src/common/flags.h"
 #include "src/common/json.h"
-#include "src/svc/wire.h"
+#include "src/svc/loadclient.h"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-struct Connection {
-  int fd = -1;
-  std::mutex mu;
-  std::deque<Clock::time_point> in_flight;  // send stamps, FIFO per connection
-  std::vector<double> latencies_ms;
-  std::uint64_t sent = 0;
-  std::uint64_t ok = 0;
-  std::uint64_t overloaded = 0;
-  std::uint64_t errors = 0;
-  bool sender_done = false;
-};
-
-double Percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) {
-    return 0.0;
-  }
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
-
-void SenderLoop(Connection* conn, const std::string& frame_payload,
-                double interval_sec, Clock::time_point deadline) {
-  Clock::time_point next = Clock::now();
-  const auto interval = std::chrono::duration_cast<Clock::duration>(
-      std::chrono::duration<double>(interval_sec));
-  while (Clock::now() < deadline) {
-    {
-      std::lock_guard<std::mutex> lock(conn->mu);
-      conn->in_flight.push_back(Clock::now());
-    }
-    if (!lyra::svc::WriteFrame(conn->fd, frame_payload).ok()) {
-      std::lock_guard<std::mutex> lock(conn->mu);
-      conn->in_flight.pop_back();
-      break;
-    }
-    ++conn->sent;
-    next += interval;
-    std::this_thread::sleep_until(next);
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn->mu);
-    conn->sender_done = true;
-  }
-  // Half-close: the daemon finishes replying to everything buffered, then
-  // sees EOF and closes, which cleanly terminates the receiver.
-  ::shutdown(conn->fd, SHUT_WR);
-}
-
-void ReceiverLoop(Connection* conn) {
-  for (;;) {
-    lyra::StatusOr<std::string> reply = lyra::svc::ReadFrame(conn->fd);
-    const Clock::time_point now = Clock::now();
-    if (!reply.ok()) {
-      return;  // clean EOF after half-close, or transport failure
-    }
-    Clock::time_point sent_at;
-    {
-      std::lock_guard<std::mutex> lock(conn->mu);
-      if (conn->in_flight.empty()) {
-        ++conn->errors;  // reply without a matching send: protocol bug
-        continue;
-      }
-      sent_at = conn->in_flight.front();
-      conn->in_flight.pop_front();
-    }
-    conn->latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(now - sent_at).count());
-    lyra::StatusOr<lyra::JsonValue> parsed = lyra::JsonValue::Parse(
-        reply.value(), lyra::JsonParseLimits::Untrusted());
-    if (!parsed.ok()) {
-      ++conn->errors;
-    } else if (parsed.value().GetBool("ok", false)) {
-      ++conn->ok;
-    } else if (parsed.value().GetString("code") == "overloaded") {
-      ++conn->overloaded;
-    } else {
-      ++conn->errors;
-    }
-  }
-}
 
 // Merges `section` into the JSON report at `path` under the "lyra_loadgen"
 // key, preserving every other key (and replacing a previous loadgen section).
@@ -145,12 +55,28 @@ void MergeReport(const std::string& path, const lyra::JsonValue& section) {
   out << report.Dump() << "\n";
 }
 
+void PrintPoint(const lyra::svc::LoadPoint& point) {
+  std::printf("  rate %8.0f/s -> accepted %8.0f/s  "
+              "(sent=%llu ok=%llu overloaded=%llu errors=%llu)\n",
+              point.offered_rate, point.accepted_per_s,
+              static_cast<unsigned long long>(point.sent),
+              static_cast<unsigned long long>(point.ok),
+              static_cast<unsigned long long>(point.overloaded),
+              static_cast<unsigned long long>(point.errors));
+  std::printf("    latency ms: p50=%.3f p90=%.3f p99=%.3f p999=%.3f max=%.3f "
+              "(n=%llu)\n",
+              point.p50_ms, point.p90_ms, point.p99_ms, point.p999_ms,
+              point.max_ms, static_cast<unsigned long long>(point.samples));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/lyra_schedd.sock";
+  std::string tcp;
   std::string report_path;
-  double rate = 10000.0;
+  std::string sweep;
+  double rate = 20000.0;
   double duration = 5.0;
   int connections = 4;
   int gpus_per_worker = 1;
@@ -158,11 +84,14 @@ int main(int argc, char** argv) {
   lyra::FlagSet flags(
       "lyra_loadgen: open-loop submit load against lyra_schedd");
   flags.AddString("socket", &socket_path, "daemon Unix socket path");
+  flags.AddString("tcp", &tcp, "daemon TCP endpoint host:port (overrides --socket)");
   flags.AddDouble("rate", &rate, "aggregate submit rate (submits/sec)");
   flags.AddDouble("duration", &duration, "send window in wall seconds");
-  flags.AddInt("connections", &connections,
-               "parallel connections (keep <= daemon --workers)");
+  flags.AddInt("connections", &connections, "parallel connections");
   flags.AddInt("gpus-per-worker", &gpus_per_worker, "GPUs per submitted worker");
+  flags.AddString("sweep", &sweep,
+                  "comma-separated offered rates for a saturation sweep "
+                  "(overrides --rate)");
   flags.AddString("report", &report_path,
                   "merge a lyra_loadgen section into this BENCH_perf.json");
 
@@ -175,9 +104,20 @@ int main(int argc, char** argv) {
     std::fputs(flags.Usage().c_str(), stdout);
     return 0;
   }
-  if (rate <= 0.0 || duration <= 0.0 || connections <= 0) {
-    std::fprintf(stderr, "lyra_loadgen: rate, duration, connections must be > 0\n");
-    return 1;
+
+  std::vector<double> rates;
+  if (!sweep.empty()) {
+    std::stringstream parts(sweep);
+    std::string part;
+    while (std::getline(parts, part, ',')) {
+      const double value = std::atof(part.c_str());
+      if (value > 0.0) {
+        rates.push_back(value);
+      }
+    }
+  }
+  if (rates.empty()) {
+    rates.push_back(rate);
   }
 
   lyra::JsonValue request = lyra::JsonValue::MakeObject();
@@ -187,82 +127,60 @@ int main(int argc, char** argv) {
   request.Set("max_workers", lyra::JsonValue::MakeNumber(1));
   request.Set("total_work", lyra::JsonValue::MakeNumber(3600.0));
   request.Set("fungible", lyra::JsonValue::MakeBool(true));
-  const std::string payload = request.Dump();
 
-  std::vector<std::unique_ptr<Connection>> conns;
-  for (int i = 0; i < connections; ++i) {
-    lyra::StatusOr<int> fd = lyra::svc::ConnectUnix(socket_path);
-    if (!fd.ok()) {
-      std::fprintf(stderr, "lyra_loadgen: connect %s: %s\n", socket_path.c_str(),
-                   fd.status().message().c_str());
+  lyra::svc::LoadClientOptions options;
+  if (!tcp.empty()) {
+    const std::size_t colon = tcp.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "lyra_loadgen: --tcp wants host:port, got %s\n",
+                   tcp.c_str());
       return 1;
     }
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd.value();
-    conns.push_back(std::move(conn));
+    options.tcp_host = tcp.substr(0, colon);
+    options.tcp_port = std::atoi(tcp.c_str() + colon + 1);
+  } else {
+    options.unix_path = socket_path;
+  }
+  options.connections = connections;
+  options.duration_s = duration;
+  options.payload = request.Dump();
+
+  std::vector<lyra::svc::LoadPoint> points;
+  for (const double offered : rates) {
+    options.rate = offered;
+    lyra::StatusOr<lyra::svc::LoadPoint> run = lyra::svc::RunOpenLoop(options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "lyra_loadgen: %s\n", run.status().message().c_str());
+      return 1;
+    }
+    PrintPoint(run.value());
+    points.push_back(run.value());
   }
 
-  const double interval_sec = static_cast<double>(connections) / rate;
-  const Clock::time_point start = Clock::now();
-  const Clock::time_point deadline =
-      start + std::chrono::duration_cast<Clock::duration>(
-                  std::chrono::duration<double>(duration));
-
-  std::vector<std::thread> threads;
-  for (auto& conn : conns) {
-    threads.emplace_back(SenderLoop, conn.get(), payload, interval_sec, deadline);
-    threads.emplace_back(ReceiverLoop, conn.get());
+  // Best point = highest accepted throughput; the single-rate case is its
+  // own best point, so the report shape is identical either way.
+  std::size_t best = 0;
+  std::uint64_t errors = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    errors += points[i].errors;
+    if (points[i].accepted_per_s > points[best].accepted_per_s) {
+      best = i;
+    }
   }
-  for (std::thread& thread : threads) {
-    thread.join();
+  if (points.size() > 1) {
+    std::printf("peak: %.0f submits/s accepted at offered %.0f/s\n",
+                points[best].accepted_per_s, points[best].offered_rate);
   }
-  const double wall =
-      std::chrono::duration<double>(Clock::now() - start).count();
-
-  std::uint64_t sent = 0, ok = 0, overloaded = 0, errors = 0;
-  std::vector<double> latencies;
-  for (auto& conn : conns) {
-    ::close(conn->fd);
-    sent += conn->sent;
-    ok += conn->ok;
-    overloaded += conn->overloaded;
-    errors += conn->errors;
-    latencies.insert(latencies.end(), conn->latencies_ms.begin(),
-                     conn->latencies_ms.end());
-  }
-  std::sort(latencies.begin(), latencies.end());
-  const double achieved = wall > 0.0 ? static_cast<double>(ok) / wall : 0.0;
-  const double p50 = Percentile(latencies, 0.50);
-  const double p90 = Percentile(latencies, 0.90);
-  const double p99 = Percentile(latencies, 0.99);
-  const double max = latencies.empty() ? 0.0 : latencies.back();
-
-  std::printf("lyra_loadgen: %llu sent, %llu ok, %llu overloaded, %llu error(s) "
-              "in %.2fs (%d connection(s))\n",
-              static_cast<unsigned long long>(sent),
-              static_cast<unsigned long long>(ok),
-              static_cast<unsigned long long>(overloaded),
-              static_cast<unsigned long long>(errors), wall, connections);
-  std::printf("  target %.0f/s -> achieved %.0f submits/s accepted\n", rate,
-              achieved);
-  std::printf("  latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f (n=%zu)\n", p50,
-              p90, p99, max, latencies.size());
 
   if (!report_path.empty()) {
-    lyra::JsonValue section = lyra::JsonValue::MakeObject();
-    section.Set("rate_target", lyra::JsonValue::MakeNumber(rate));
-    section.Set("duration_sec", lyra::JsonValue::MakeNumber(wall));
-    section.Set("connections", lyra::JsonValue::MakeNumber(connections));
-    section.Set("sent", lyra::JsonValue::MakeNumber(static_cast<double>(sent)));
-    section.Set("ok", lyra::JsonValue::MakeNumber(static_cast<double>(ok)));
-    section.Set("overloaded",
-                lyra::JsonValue::MakeNumber(static_cast<double>(overloaded)));
-    section.Set("errors", lyra::JsonValue::MakeNumber(static_cast<double>(errors)));
-    section.Set("submits_per_sec", lyra::JsonValue::MakeNumber(achieved));
-    section.Set("latency_ms_p50", lyra::JsonValue::MakeNumber(p50));
-    section.Set("latency_ms_p90", lyra::JsonValue::MakeNumber(p90));
-    section.Set("latency_ms_p99", lyra::JsonValue::MakeNumber(p99));
-    section.Set("latency_ms_max", lyra::JsonValue::MakeNumber(max));
+    lyra::JsonValue section = lyra::svc::LoadPointJson(points[best]);
+    if (points.size() > 1) {
+      lyra::JsonValue curve = lyra::JsonValue::MakeArray();
+      for (const lyra::svc::LoadPoint& point : points) {
+        curve.Append(lyra::svc::LoadPointJson(point));
+      }
+      section.Set("sweep", std::move(curve));
+    }
     MergeReport(report_path, section);
     std::printf("  merged lyra_loadgen section into %s\n", report_path.c_str());
   }

@@ -1,13 +1,16 @@
 // lyra_schedd: the online scheduler daemon.
 //
-// Serves the Lyra scheduling engine over a Unix-domain socket speaking
-// length-prefixed JSON (see DESIGN.md §8 for the protocol). Virtual-time by
-// default (as fast as the engine can run); --time-scale switches to scaled
-// wall-clock pacing. --restore warm-restarts from a snapshot taken with
-// `lyra_ctl snapshot` (or the snapshot command), replaying the persisted
-// command log into a bit-identical engine.
+// Serves the Lyra scheduling engine over a Unix-domain socket — and
+// optionally a TCP socket (--tcp-port) — speaking length-prefixed JSON (see
+// DESIGN.md §8 for the protocol). Connections are multiplexed by an epoll
+// event loop over a small fixed I/O thread pool; clients may pipeline
+// commands freely. Virtual-time by default (as fast as the engine can run);
+// --time-scale switches to scaled wall-clock pacing. --restore warm-restarts
+// from a snapshot taken with `lyra_ctl snapshot` (or the snapshot command),
+// replaying the persisted command log into a bit-identical engine.
 //
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock
+//   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --tcp-port=7070
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --restore=/tmp/lyra.snap
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --time-scale=3600
 #include <chrono>
@@ -18,8 +21,8 @@
 #include <thread>
 
 #include "src/common/flags.h"
+#include "src/svc/event_loop.h"
 #include "src/svc/service.h"
-#include "src/svc/socket_server.h"
 #include "src/svc/time_driver.h"
 
 namespace {
@@ -33,8 +36,8 @@ void HandleSignal(int sig) { g_signal = sig; }
 int main(int argc, char** argv) {
   lyra::svc::ServiceOptions options;
   options.auto_advance = true;  // a daemon's jobs progress without traffic
-  lyra::svc::SocketServerOptions server_options;
-  server_options.path = "/tmp/lyra_schedd.sock";
+  lyra::svc::EventLoopOptions loop_options;
+  loop_options.unix_path = "/tmp/lyra_schedd.sock";
   std::string restore_path;
   std::string snapshot_on_exit;
   double time_scale = 0.0;
@@ -44,7 +47,11 @@ int main(int argc, char** argv) {
   bool faults = false;
 
   lyra::FlagSet flags("lyra_schedd: serve the Lyra scheduler over a Unix socket");
-  flags.AddString("socket", &server_options.path, "Unix socket path to listen on");
+  flags.AddString("socket", &loop_options.unix_path,
+                  "Unix socket path to listen on (empty disables)");
+  flags.AddString("tcp-host", &loop_options.tcp_host, "TCP listen address");
+  flags.AddInt("tcp-port", &loop_options.tcp_port,
+               "TCP port to listen on (-1 disables, 0 = ephemeral)");
   flags.AddString("scheduler", &options.engine.scheduler,
                   "fifo | sjf | gandiva | afs | pollux | opportunistic | lyra");
   flags.AddString("reclaim", &options.engine.reclaim, "lyra | random | scf | optimal");
@@ -64,7 +71,7 @@ int main(int argc, char** argv) {
                 "virtual mode: free-run the engine between commands");
   flags.AddInt("queue-capacity", &options.queue_capacity,
                "command queue bound (backpressure beyond it)");
-  flags.AddInt("workers", &server_options.workers, "connection worker threads");
+  flags.AddInt("io-threads", &loop_options.io_threads, "epoll I/O threads");
 
   const lyra::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -79,6 +86,10 @@ int main(int argc, char** argv) {
   options.engine.scale = scale;
   options.engine.horizon_days = horizon_days;
   options.engine.faults = faults;
+
+  // The event loop already writes with MSG_NOSIGNAL, but belt-and-braces:
+  // nothing in this process ever wants a SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
 
   std::unique_ptr<lyra::svc::TimeDriver> driver;
   if (time_scale > 0.0) {
@@ -100,16 +111,24 @@ int main(int argc, char** argv) {
                 service.simulator().now());
   }
 
-  lyra::svc::SocketServer server(server_options, &service);
-  const lyra::Status listening = server.Start();
+  lyra::svc::EventLoop loop(&service, loop_options);
+  const lyra::Status listening = loop.Start();
   if (!listening.ok()) {
     std::fprintf(stderr, "lyra_schedd: %s\n", listening.message().c_str());
+    service.Stop();
     return 1;
   }
-  std::printf("lyra_schedd listening on %s (scheduler=%s reclaim=%s driver=%s)\n",
-              server.path().c_str(), options.engine.scheduler.c_str(),
-              options.engine.reclaim.c_str(),
-              time_scale > 0.0 ? "scaled-realtime" : "virtual");
+  std::printf("lyra_schedd listening on %s", loop.unix_path().empty()
+                                                 ? "(no unix socket)"
+                                                 : loop.unix_path().c_str());
+  if (loop.tcp_port() >= 0) {
+    std::printf(" and tcp %s:%d", loop_options.tcp_host.c_str(),
+                loop.tcp_port());
+  }
+  std::printf(" (scheduler=%s reclaim=%s driver=%s io-threads=%d)\n",
+              options.engine.scheduler.c_str(), options.engine.reclaim.c_str(),
+              time_scale > 0.0 ? "scaled-realtime" : "virtual",
+              loop_options.io_threads);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -126,13 +145,16 @@ int main(int argc, char** argv) {
     std::printf("snapshot-on-exit: %s\n", reply.Dump().c_str());
   }
 
-  server.Stop();
+  // Stop the service first so every queued command completes and its reply
+  // reaches the event loop; the loop then flushes and closes connections.
   service.Stop();
+  loop.Stop();
   const lyra::svc::SchedulerService::Stats stats = service.stats();
   std::printf("lyra_schedd exiting: %llu command(s), %llu submit(s), "
-              "%llu rejection(s)\n",
+              "%llu read(s), %llu rejection(s)\n",
               static_cast<unsigned long long>(stats.commands_applied),
               static_cast<unsigned long long>(stats.jobs_submitted),
+              static_cast<unsigned long long>(stats.reads_served),
               static_cast<unsigned long long>(stats.rejected_overload));
   return 0;
 }
