@@ -92,6 +92,9 @@ lyra::StatusOr<lyra::svc::LoadPoint> RunPoint(double rate, double duration,
   client.rate = rate;
   client.duration_s = duration;
   client.payload = payload;
+  // Server-side histogram scrape per point: the client-vs-server p99
+  // cross-check lands in the sweep artifact next to the client percentiles.
+  client.scrape_server = true;
   lyra::StatusOr<lyra::svc::LoadPoint> point = lyra::svc::RunOpenLoop(client);
 
   service.Stop();
@@ -169,6 +172,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(point.ok),
                 static_cast<unsigned long long>(point.overloaded),
                 static_cast<unsigned long long>(point.errors));
+    if (point.server_samples > 0) {
+      std::printf("    server-side: p50=%.3fms p99=%.3fms p999=%.3fms "
+                  "(n=%llu, decode->reply-queued)\n",
+                  point.server_p50_ms, point.server_p99_ms,
+                  point.server_p999_ms,
+                  static_cast<unsigned long long>(point.server_samples));
+    }
     points.push_back(point);
   }
 

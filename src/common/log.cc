@@ -35,6 +35,23 @@ void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxe
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else if (name == "off" || name == "none") {
+    *level = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void Logf(LogLevel level, const char* fmt, ...) {
   if (static_cast<int>(level) <
       static_cast<int>(g_level.load(std::memory_order_relaxed))) {

@@ -7,6 +7,7 @@
 #define SRC_COMMON_LOG_H_
 
 #include <cstdarg>
+#include <string>
 
 namespace lyra {
 
@@ -15,6 +16,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 // Sets the minimum level that is emitted. Defaults to kWarning.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a level name ("debug", "info", "warning"/"warn", "error", "off")
+// into *level; false on an unknown name. Backs --log-level flags and the
+// LYRA_LOG_LEVEL environment variable.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
 
 // printf-style logging at the given level.
 void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

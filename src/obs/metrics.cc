@@ -30,6 +30,113 @@ Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper
   counts_.assign(bounds_.size() + 1, 0);
 }
 
+Histogram::Histogram(std::vector<double> upper_bounds,
+                     std::vector<std::uint64_t> bucket_counts, double sum)
+    : bounds_(std::move(upper_bounds)), counts_(std::move(bucket_counts)), sum_(sum) {
+  LYRA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  LYRA_CHECK_EQ(counts_.size(), bounds_.size() + 1);
+  for (const std::uint64_t c : counts_) {
+    count_ += c;
+  }
+  if (count_ > 0) {
+    // Bracket min/max by the occupied buckets: tight enough for Quantile's
+    // edge cases, and the best a pre-counted histogram can know.
+    std::size_t first = 0;
+    while (counts_[first] == 0) {
+      ++first;
+    }
+    std::size_t last = counts_.size() - 1;
+    while (counts_[last] == 0) {
+      --last;
+    }
+    min_ = first == 0 ? 0.0 : bounds_[first - 1];
+    max_ = last < bounds_.size() ? bounds_[last] : bounds_.back();
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  LYRA_CHECK(bounds_ == other.bounds_);
+  if (other.count_ == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Subtract(const Histogram& earlier) {
+  LYRA_CHECK(bounds_ == earlier.bounds_);
+  count_ = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] -= std::min(counts_[i], earlier.counts_[i]);
+    count_ += counts_[i];
+  }
+  sum_ = std::max(0.0, sum_ - earlier.sum_);
+  if (count_ > 0) {
+    std::size_t first = 0;
+    while (counts_[first] == 0) {
+      ++first;
+    }
+    std::size_t last = counts_.size() - 1;
+    while (counts_[last] == 0) {
+      --last;
+    }
+    min_ = first == 0 ? std::min(min_, bounds_.empty() ? min_ : bounds_[0])
+                      : bounds_[first - 1];
+    max_ = last < bounds_.size() ? std::min(max_, bounds_[last])
+                                 : max_;
+  } else {
+    min_ = 0.0;
+    max_ = 0.0;
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < rank) {
+      continue;
+    }
+    if (i == counts_.size() - 1) {
+      // Overflow bucket: no finite upper edge; the tracked max is the best
+      // honest answer (>= the highest finite bound by construction).
+      return max_;
+    }
+    double lower = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
+    double upper = bounds_[i];
+    // Clamp interpolation to the observed range so a single-bucket
+    // histogram answers inside [min, max], not at an unoccupied edge.
+    lower = std::max(lower, std::min(min_, upper));
+    upper = std::min(upper, max_);
+    if (upper <= lower) {
+      return upper;
+    }
+    const double within =
+        (rank - before) / static_cast<double>(counts_[i]);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, within));
+  }
+  return max_;
+}
+
 void Histogram::Record(double x) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];

@@ -43,7 +43,32 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
 
+  // Builds a histogram from pre-counted buckets (the service telemetry
+  // shards count into single-writer atomic buckets and materialize an
+  // obs::Histogram only at scrape time). `bucket_counts` must have
+  // upper_bounds.size() + 1 entries (last = overflow). Exact min/max are not
+  // known from counts alone; they are estimated as the bounds bracketing the
+  // first/last occupied bucket, which is all Quantile needs.
+  Histogram(std::vector<double> upper_bounds,
+            std::vector<std::uint64_t> bucket_counts, double sum);
+
   void Record(double x);
+
+  // Adds `other`'s samples into this histogram. Bounds must match exactly
+  // (shards of one metric share one bucket layout by construction).
+  void Merge(const Histogram& other);
+
+  // Subtracts `earlier`'s counts (an older scrape of the same cumulative
+  // histogram), leaving the samples recorded in between — the windowed view
+  // lyra_top and the loadgen cross-check use. Bounds must match; counts
+  // clamp at zero so a racy scrape never underflows.
+  void Subtract(const Histogram& earlier);
+
+  // Quantile estimate (q in [0,1]) by linear interpolation inside the
+  // bucket containing the q-th sample, Prometheus histogram_quantile-style:
+  // the error is bounded by that bucket's width. Falls back to min/max at
+  // the extremes and to the highest finite bound inside the overflow bucket.
+  double Quantile(double q) const;
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }

@@ -19,6 +19,8 @@
 
 #include "src/common/check.h"
 #include "src/common/json.h"
+#include "src/common/log.h"
+#include "src/svc/prom.h"
 #include "src/svc/replies.h"
 #include "src/svc/service.h"
 #include "src/svc/wire.h"
@@ -37,6 +39,9 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 // sendmsg iovec cap per call: 128 frames (header + payload each); IOV_MAX
 // is 1024 everywhere we run.
 constexpr std::size_t kMaxFlushIovecs = 256;
+// HTTP request-header cap for the sniffed GET /metrics path; anything a
+// scraper sends fits in a fraction of this.
+constexpr std::size_t kMaxHttpHeader = 8192;
 
 }  // namespace
 
@@ -120,10 +125,13 @@ class EventLoop::IoThread {
     }
   };
 
-  IoThread(EventLoop* loop, SchedulerService* service, std::size_t max_outbuf)
+  IoThread(EventLoop* loop, SchedulerService* service, std::size_t max_outbuf,
+           int index, std::uint64_t slow_ns)
       : loop_(loop),
         service_(service),
         max_outbuf_(max_outbuf),
+        index_(index),
+        slow_ns_(slow_ns),
         mailbox_(std::make_shared<Mailbox>()) {}
 
   ~IoThread() {
@@ -188,11 +196,24 @@ class EventLoop::IoThread {
     JsonValue request;    // deferred reads only
     std::string payload;  // serialized reply once kReady
     char header[4] = {};  // its length prefix
+    // Telemetry: stamped at frame decode; latency records when the reply is
+    // queued (MakeReady). start_ns == 0 means "don't record" (shed/error
+    // replies with no decoded command).
+    std::uint64_t start_ns = 0;
+    std::uint64_t seq = 0;
+    TelemetryCmd cmd = TelemetryCmd::kOther;
   };
 
   struct Conn {
+    // Decided by the first byte the connection sends: a valid length frame
+    // starts with 0x00 (the 1 MiB payload cap keeps the top byte zero), so
+    // 'G' can only be an HTTP "GET " — the /metrics scrape path.
+    enum class Proto { kUnknown, kFrames, kHttp };
+
     int fd = -1;
     std::uint64_t id = 0;
+    Proto proto = Proto::kUnknown;
+    std::string http_buf;  // accumulated HTTP request bytes (kHttp only)
     FrameDecoder decoder;
     // Replies leave strictly in request order: only the kReady prefix of
     // this queue is ever written to the socket.
@@ -218,6 +239,8 @@ class EventLoop::IoThread {
   void Run() {
     mailbox_->owner_tid = std::this_thread::get_id();
     mailbox_->inline_owner.store(this, std::memory_order_release);
+    shard_ =
+        service_->telemetry().AcquireShard("io" + std::to_string(index_));
     epoll_event events[kMaxEpollEvents];
     while (!stop_.load(std::memory_order_acquire)) {
       // With gated connections, poll at 1ms so reads resume promptly after
@@ -230,7 +253,14 @@ class EventLoop::IoThread {
         }
         break;
       }
+      const std::uint64_t wake_ns = shard_ != nullptr ? TelemetryNowNs() : 0;
+      if (shard_ != nullptr && n > 0) {
+        shard_->wake_events.Record(static_cast<std::uint64_t>(n));
+      }
       for (int i = 0; i < n; ++i) {
+        if (shard_ != nullptr) {
+          shard_->dispatch_lag.Record(TelemetryNowNs() - wake_ns);
+        }
         const std::uint64_t tag = events[i].data.u64;
         if (tag == kWakeTag) {
           std::uint64_t drained;
@@ -300,6 +330,9 @@ class EventLoop::IoThread {
       std::lock_guard<std::mutex> lock(mailbox_->mu);
       tasks.swap(mailbox_->tasks);
       completions.swap(mailbox_->completions);
+    }
+    if (shard_ != nullptr && !completions.empty()) {
+      shard_->completion_batch.Record(completions.size());
     }
     for (auto& task : tasks) {
       task();
@@ -394,6 +427,19 @@ class EventLoop::IoThread {
         conn->read_closed = true;
         break;
       }
+      if (shard_ != nullptr) {
+        shard_->bytes_in.Add(static_cast<std::uint64_t>(n));
+      }
+      if (conn->proto == Conn::Proto::kUnknown) {
+        conn->proto =
+            buf[0] == 'G' ? Conn::Proto::kHttp : Conn::Proto::kFrames;
+      }
+      if (conn->proto == Conn::Proto::kHttp) {
+        if (!HandleHttp(conn, buf, static_cast<std::size_t>(n))) {
+          return false;  // connection closed
+        }
+        continue;  // read until the request is complete or EAGAIN
+      }
       conn->decoder.Append(buf, static_cast<std::size_t>(n));
       std::string payload;
       for (;;) {
@@ -415,7 +461,67 @@ class EventLoop::IoThread {
     return Flush(conn);
   }
 
+  // Minimal one-shot HTTP server for Prometheus scrapers: GET /metrics gets
+  // the exposition document, anything else a 404; the connection closes
+  // after the response (lyra_top reconnects per poll). Returns false when
+  // the connection was torn down.
+  bool HandleHttp(Conn* conn, const char* data, std::size_t n) {
+    conn->http_buf.append(data, n);
+    if (conn->http_buf.size() > kMaxHttpHeader) {
+      Close(conn);
+      return false;
+    }
+    if (conn->http_buf.find("\r\n\r\n") == std::string::npos) {
+      return true;  // headers still incomplete
+    }
+    const std::uint64_t start_ns = shard_ != nullptr ? TelemetryNowNs() : 0;
+    const std::size_t line_end = conn->http_buf.find("\r\n");
+    const std::string line = conn->http_buf.substr(0, line_end);
+    // Accept "GET /metrics", with or without a query string or version.
+    const bool is_metrics = line.rfind("GET /metrics", 0) == 0 &&
+                            (line.size() == 12 || line[12] == ' ' ||
+                             line[12] == '?');
+    std::string body;
+    const char* status_line;
+    const char* content_type;
+    if (is_metrics) {
+      body = RenderPrometheus(*service_);
+      status_line = "HTTP/1.1 200 OK";
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else {
+      body = "not found\n";
+      status_line = "HTTP/1.1 404 Not Found";
+      content_type = "text/plain; charset=utf-8";
+    }
+    std::string response = status_line;
+    response += "\r\nContent-Type: ";
+    response += content_type;
+    response += "\r\nContent-Length: ";
+    response += std::to_string(body.size());
+    response += "\r\nConnection: close\r\n\r\n";
+    response += body;
+    conn->queued_bytes += response.size();
+    conn->out += response;
+    conn->read_closed = true;
+    conn->http_buf.clear();
+    conn->http_buf.shrink_to_fit();
+    if (shard_ != nullptr && is_metrics) {
+      const std::uint64_t dur = TelemetryNowNs() - start_ns;
+      shard_->RecordCmd(TelemetryCmd::kStatsProm, dur);
+      shard_->spans.Record(
+          start_ns, dur, conn->id, 0,
+          static_cast<std::uint32_t>(service_->QueueDepthHint()),
+          TelemetryCmd::kStatsProm);
+      shard_->write_queue_peak.NoteMax(conn->queued_bytes);
+    }
+    return true;
+  }
+
   void HandleFrame(Conn* conn, const std::string& payload) {
+    const std::uint64_t start_ns = shard_ != nullptr ? TelemetryNowNs() : 0;
+    if (shard_ != nullptr) {
+      shard_->frames_in.Add(1);
+    }
     StatusOr<JsonValue> parsed =
         JsonValue::Parse(payload, JsonParseLimits::Untrusted());
     if (!parsed.ok()) {
@@ -431,8 +537,11 @@ class EventLoop::IoThread {
       return;
     }
     JsonValue request = std::move(parsed.value());
-    const SchedulerService::CmdClass cls =
-        SchedulerService::Classify(request.GetString("cmd"));
+    // One scan over the command name resolves both the telemetry bucket and
+    // the routing class (unknown names land on kOther -> kUnknown, which
+    // ReadReply answers with the usual error reply).
+    const TelemetryCmd tcmd = TelemetryCmdFromName(request.GetString("cmd"));
+    const SchedulerService::CmdClass cls = SchedulerService::Classify(tcmd);
     if (cls == SchedulerService::CmdClass::kEngine) {
       if (service_->EngineSaturated()) {
         // Shed on the saturation hint: at heavy overload most engine frames
@@ -457,6 +566,10 @@ class EventLoop::IoThread {
       }
       const std::uint64_t seq = conn->base_seq + conn->slots.size();
       conn->slots.emplace_back();
+      Slot& slot = conn->slots.back();
+      slot.start_ns = start_ns;
+      slot.seq = seq;
+      slot.cmd = tcmd;
       ++conn->engine_inflight;
       // Engine thread (or inline on overload) bounces the reply onto the
       // owning I/O thread via the mailbox sink as a typed record;
@@ -467,11 +580,20 @@ class EventLoop::IoThread {
       // the reply order matches the request order and the read observes the
       // earlier write (its completion follows that batch's snapshot).
       conn->slots.emplace_back();
-      conn->slots.back().state = Slot::State::kDeferredRead;
-      conn->slots.back().request = std::move(request);
+      Slot& slot = conn->slots.back();
+      slot.state = Slot::State::kDeferredRead;
+      slot.request = std::move(request);
+      slot.start_ns = start_ns;
+      slot.seq = conn->base_seq + conn->slots.size() - 1;
+      slot.cmd = tcmd;
     } else {
       // Snapshot fast path: answered on this thread, engine never involved.
-      PushReady(conn, service_->ReadReply(request));
+      conn->slots.emplace_back();
+      Slot& slot = conn->slots.back();
+      slot.start_ns = start_ns;
+      slot.seq = conn->base_seq + conn->slots.size() - 1;
+      slot.cmd = tcmd;
+      MakeReady(slot, service_->ReadReply(request), conn);
     }
   }
 
@@ -483,6 +605,27 @@ class EventLoop::IoThread {
     slot.state = Slot::State::kReady;
     slot.request = JsonValue();
     conn->queued_bytes += 4 + slot.payload.size();
+    if (shard_ != nullptr) {
+      shard_->frames_out.Add(1);
+      shard_->write_queue_peak.NoteMax(conn->queued_bytes);
+      if (slot.start_ns != 0) {
+        // decode -> reply-queued: for engine commands this spans the queue
+        // wait and batch apply; for reads it is the snapshot answer time.
+        const std::uint64_t dur = TelemetryNowNs() - slot.start_ns;
+        shard_->RecordCmd(slot.cmd, dur);
+        shard_->spans.Record(
+            slot.start_ns, dur, conn->id, slot.seq,
+            static_cast<std::uint32_t>(service_->QueueDepthHint()), slot.cmd);
+        if (slow_ns_ != 0 && dur >= slow_ns_) {
+          LYRA_LOG_WARNING(
+              "slow request: cmd=%s conn=%llu seq=%llu took %.3f ms",
+              TelemetryCmdName(slot.cmd),
+              static_cast<unsigned long long>(conn->id),
+              static_cast<unsigned long long>(slot.seq),
+              static_cast<double>(dur) / 1e6);
+        }
+      }
+    }
   }
 
   void PushReady(Conn* conn, const JsonValue& reply) {
@@ -491,7 +634,9 @@ class EventLoop::IoThread {
   }
 
   // Ready slot from pre-serialized bytes; the shed path answers thousands
-  // of doomed frames per second and must not re-serialize each one.
+  // of doomed frames per second and must not re-serialize each one. Counts
+  // the frame out but records no latency — rejections would poison the
+  // request-duration histograms.
   void PushReadyRaw(Conn* conn, const std::string& payload) {
     conn->slots.emplace_back();
     Slot& slot = conn->slots.back();
@@ -500,6 +645,10 @@ class EventLoop::IoThread {
                       slot.header);
     slot.state = Slot::State::kReady;
     conn->queued_bytes += 4 + slot.payload.size();
+    if (shard_ != nullptr) {
+      shard_->frames_out.Add(1);
+      shard_->write_queue_peak.NoteMax(conn->queued_bytes);
+    }
   }
 
   const std::string& ShedPayload() {
@@ -605,6 +754,9 @@ class EventLoop::IoThread {
         return false;
       }
       std::size_t n = static_cast<std::size_t>(sent);
+      if (shard_ != nullptr) {
+        shard_->bytes_out.Add(n);
+      }
       conn->queued_bytes -= std::min(conn->queued_bytes, n);
       if (out_pending > 0) {
         const std::size_t take = std::min(n, out_pending);
@@ -716,6 +868,11 @@ class EventLoop::IoThread {
   EventLoop* loop_;
   SchedulerService* service_;
   std::size_t max_outbuf_;
+  int index_;
+  std::uint64_t slow_ns_;  // 0 disables the slow-request log
+  // This thread's telemetry block; acquired at Run() start, written only by
+  // this thread. Nullptr (recording skipped) if the registry is full.
+  TelemetryShard* shard_ = nullptr;
   std::shared_ptr<Mailbox> mailbox_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
@@ -772,10 +929,14 @@ Status EventLoop::Start() {
     SetNonBlocking(tcp_listen_fd_);
   }
 
+  const std::uint64_t slow_ns =
+      options_.slow_ms > 0.0
+          ? static_cast<std::uint64_t>(options_.slow_ms * 1e6)
+          : 0;
   threads_.reserve(static_cast<std::size_t>(options_.io_threads));
   for (int i = 0; i < options_.io_threads; ++i) {
-    threads_.push_back(std::make_unique<IoThread>(this, service_,
-                                                  options_.max_outbuf_bytes));
+    threads_.push_back(std::make_unique<IoThread>(
+        this, service_, options_.max_outbuf_bytes, i, slow_ns));
     const Status init = threads_.back()->Init();
     if (!init.ok()) {
       threads_.clear();

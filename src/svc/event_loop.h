@@ -50,6 +50,9 @@ struct EventLoopOptions {
   // A connection whose peer stops reading accumulates at most this many
   // unsent bytes before it is dropped.
   std::size_t max_outbuf_bytes = 64u << 20;
+  // Requests slower than this (decode -> reply queued) are logged at WARNING
+  // through the leveled logger; 0 disables the slow-request log.
+  double slow_ms = 0.0;
 };
 
 class EventLoop {

@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "src/svc/prom.h"
 #include "src/svc/wire.h"
 
 namespace lyra::svc {
@@ -194,11 +195,51 @@ void ReceiverLoop(Connection* conn) {
 
 }  // namespace
 
+StatusOr<obs::Histogram> ScrapeServerHistogram(const LoadClientOptions& options,
+                                               const std::string& cmd) {
+  StatusOr<int> fd = !options.unix_path.empty()
+                         ? ConnectUnix(options.unix_path)
+                         : ConnectTcp(options.tcp_host, options.tcp_port);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  const Status sent = WriteFrame(fd.value(), "{\"cmd\":\"stats_prom\"}");
+  if (!sent.ok()) {
+    ::close(fd.value());
+    return sent;
+  }
+  StatusOr<std::string> reply = ReadFrame(fd.value());
+  ::close(fd.value());
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  StatusOr<JsonValue> parsed = JsonValue::Parse(reply.value());
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  if (!parsed.value().GetBool("ok", false)) {
+    return Status::Internal("stats_prom refused: " + reply.value());
+  }
+  StatusOr<PromScrape> scrape =
+      ParsePrometheus(parsed.value().GetString("text", ""));
+  if (!scrape.ok()) {
+    return scrape.status();
+  }
+  return ExtractHistogram(scrape.value(), "lyra_svc_request_duration_seconds",
+                          {{"cmd", cmd}});
+}
+
 StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options) {
   if (options.rate <= 0.0 || options.duration_s <= 0.0 ||
       options.connections <= 0 || options.payload.empty()) {
     return Status::InvalidArgument(
         "load client needs rate, duration, connections > 0 and a payload");
+  }
+  // Pre-run scrape; NotFound is the normal fresh-daemon case (zero-count
+  // families are not exported) and leaves the window un-differenced.
+  StatusOr<obs::Histogram> before = Status::NotFound("scrape disabled");
+  if (options.scrape_server) {
+    before = ScrapeServerHistogram(options, "submit");
   }
   std::vector<std::unique_ptr<Connection>> conns;
   for (int i = 0; i < options.connections; ++i) {
@@ -264,6 +305,25 @@ StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options) {
   point.p999_ms = Percentile(latencies, 0.999);
   point.max_ms = latencies.empty() ? 0.0 : latencies.back();
   point.samples = latencies.size();
+
+  if (options.scrape_server) {
+    // Every reply has been received, so the daemon has already recorded each
+    // request into its histograms — no settle delay needed.
+    StatusOr<obs::Histogram> after = ScrapeServerHistogram(options, "submit");
+    if (after.ok()) {
+      obs::Histogram window = after.value();
+      if (before.ok()) {
+        window.Subtract(before.value());
+      }
+      point.server_samples = window.count();
+      if (point.server_samples > 0) {
+        point.server_p50_ms = window.Quantile(0.50) * 1e3;
+        point.server_p90_ms = window.Quantile(0.90) * 1e3;
+        point.server_p99_ms = window.Quantile(0.99) * 1e3;
+        point.server_p999_ms = window.Quantile(0.999) * 1e3;
+      }
+    }
+  }
   return point;
 }
 
@@ -283,6 +343,15 @@ JsonValue LoadPointJson(const LoadPoint& point) {
   out.Set("latency_ms_p99", JsonValue::MakeNumber(point.p99_ms));
   out.Set("latency_ms_p999", JsonValue::MakeNumber(point.p999_ms));
   out.Set("latency_ms_max", JsonValue::MakeNumber(point.max_ms));
+  if (point.server_samples > 0) {
+    out.Set("server_latency_ms_p50", JsonValue::MakeNumber(point.server_p50_ms));
+    out.Set("server_latency_ms_p90", JsonValue::MakeNumber(point.server_p90_ms));
+    out.Set("server_latency_ms_p99", JsonValue::MakeNumber(point.server_p99_ms));
+    out.Set("server_latency_ms_p999",
+            JsonValue::MakeNumber(point.server_p999_ms));
+    out.Set("server_samples",
+            JsonValue::MakeNumber(static_cast<double>(point.server_samples)));
+  }
   return out;
 }
 

@@ -18,6 +18,7 @@
 
 #include "src/common/json.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace lyra::svc {
 
@@ -35,6 +36,11 @@ struct LoadClientOptions {
   double duration_s = 2.0;
   // Pre-serialized request JSON (framing is added per send).
   std::string payload;
+  // Scrape the daemon's `stats_prom` exposition before and after the run and
+  // difference the submit-duration histogram, attaching server-side
+  // percentiles to the LoadPoint (the client-vs-server p99 cross-check).
+  // Scrape failures degrade to server_samples == 0, never fail the run.
+  bool scrape_server = false;
 };
 
 struct LoadPoint {
@@ -54,11 +60,28 @@ struct LoadPoint {
   double p999_ms = 0.0;
   double max_ms = 0.0;
   std::uint64_t samples = 0;
+  // Server-side submit latency (decode -> reply queued) over this run's
+  // window, from differencing the daemon's cumulative histogram across the
+  // before/after scrapes. Zero server_samples means scraping was off or
+  // failed. Bucket-quantile estimates: agreement with the client-side
+  // percentiles is within one log2 bucket, not exact.
+  double server_p50_ms = 0.0;
+  double server_p90_ms = 0.0;
+  double server_p99_ms = 0.0;
+  double server_p999_ms = 0.0;
+  std::uint64_t server_samples = 0;
 };
 
 // Runs one open-loop measurement. Unavailable when no connection can be
 // established.
 StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options);
+
+// One-shot scrape of the daemon's `stats_prom` exposition, reassembling the
+// request-duration histogram (seconds) for wire command `cmd`. NotFound when
+// the daemon has not yet served that command (zero-count families are not
+// exported).
+StatusOr<obs::Histogram> ScrapeServerHistogram(const LoadClientOptions& options,
+                                               const std::string& cmd);
 
 // Serializes a LoadPoint into the BENCH_perf.json vocabulary.
 JsonValue LoadPointJson(const LoadPoint& point);

@@ -1,6 +1,7 @@
 #include "src/svc/service.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -8,6 +9,7 @@
 
 #include "src/common/check.h"
 #include "src/obs/trace_exporter.h"
+#include "src/svc/prom.h"
 #include "src/svc/replies.h"
 
 namespace lyra::svc {
@@ -49,12 +51,36 @@ bool ModelFamilyFromName(const std::string& name, ModelFamily* family) {
 
 SchedulerService::CmdClass SchedulerService::Classify(const std::string& cmd) {
   if (cmd == "query_job" || cmd == "cluster_stats" || cmd == "metrics" ||
-      cmd == "ping") {
+      cmd == "ping" || cmd == "stats_prom" || cmd == "trace_dump") {
     return CmdClass::kRead;
   }
   if (cmd == "submit" || cmd == "cancel" || cmd == "advance" || cmd == "drain" ||
       cmd == "snapshot" || cmd == "shutdown") {
     return CmdClass::kEngine;
+  }
+  return CmdClass::kUnknown;
+}
+
+SchedulerService::CmdClass SchedulerService::Classify(TelemetryCmd cmd) {
+  switch (cmd) {
+    case TelemetryCmd::kSubmit:
+    case TelemetryCmd::kCancel:
+    case TelemetryCmd::kAdvance:
+    case TelemetryCmd::kDrain:
+    case TelemetryCmd::kSnapshot:
+    case TelemetryCmd::kShutdown:
+      return CmdClass::kEngine;
+    case TelemetryCmd::kQueryJob:
+    case TelemetryCmd::kClusterStats:
+    case TelemetryCmd::kMetrics:
+    case TelemetryCmd::kPing:
+    case TelemetryCmd::kStatsProm:
+    case TelemetryCmd::kTraceDump:
+      return CmdClass::kRead;
+    case TelemetryCmd::kOther:
+    case TelemetryCmd::kBatchApply:
+    case TelemetryCmd::kSnapshotPublish:
+      break;
   }
   return CmdClass::kUnknown;
 }
@@ -79,6 +105,7 @@ Status SchedulerService::Start() {
   snapshot_.store(builder_.Publish(*engine_.sim, log_.size(), true),
                   std::memory_order_release);
   last_metrics_refresh_ = std::chrono::steady_clock::now();
+  engine_shard_ = telemetry_.AcquireShard("engine");
   {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
@@ -117,6 +144,7 @@ Status SchedulerService::Restore(const std::string& snapshot_path) {
   snapshot_.store(builder_.Publish(*engine_.sim, log_.size(), true),
                   std::memory_order_release);
   last_metrics_refresh_ = std::chrono::steady_clock::now();
+  engine_shard_ = telemetry_.AcquireShard("engine");
   {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
@@ -375,11 +403,47 @@ JsonValue SchedulerService::ReadReply(const JsonValue& request) const {
     service.Set("driver", JsonValue::MakeString(driver_->name()));
     reply.Set("service", std::move(service));
     reply.Set("metrics_time", JsonValue::MakeNumber(snap->metrics_time));
+  } else if (cmd == "stats_prom") {
+    // Unix-socket counterpart of `GET /metrics`: the full exposition
+    // document as a reply field, for clients without an HTTP path.
+    reply = OkReply();
+    reply.Set("text", JsonValue::MakeString(RenderPrometheus(*this)));
+  } else if (cmd == "trace_dump") {
+    const std::string path = request.GetString("path");
+    if (path.empty()) {
+      command_errors_.fetch_add(1, std::memory_order_relaxed);
+      reply = ErrorReply("invalid_argument", "trace_dump requires a \"path\"");
+    } else {
+      const StatusOr<std::size_t> dumped = DumpFlightRecorder(path);
+      if (!dumped.ok()) {
+        command_errors_.fetch_add(1, std::memory_order_relaxed);
+        reply = StatusReply(dumped.status());
+      } else {
+        reply = OkReply();
+        reply.Set("path", JsonValue::MakeString(path));
+        reply.Set("spans", JsonValue::MakeNumber(
+                               static_cast<double>(dumped.value())));
+      }
+    }
   } else {  // ping
+    // Liveness + identity probe: enough to tell which engine answered and
+    // how far it has gotten, without the cost of a metrics export.
     reply = OkReply();
     reply.Set("time", JsonValue::MakeNumber(snap->time));
     reply.Set("virtual_time", JsonValue::MakeNumber(driver_->Now()));
     reply.Set("driver", JsonValue::MakeString(driver_->name()));
+    reply.Set("uptime_s", JsonValue::MakeNumber(UptimeSeconds()));
+    std::uint64_t applied = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      applied = commands_applied_;
+    }
+    reply.Set("commands_applied",
+              JsonValue::MakeNumber(static_cast<double>(applied)));
+    reply.Set("snapshot_seq",
+              JsonValue::MakeNumber(static_cast<double>(snap->version)));
+    reply.Set("scheduler", JsonValue::MakeString(options_.engine.scheduler));
+    reply.Set("reclaim", JsonValue::MakeString(options_.engine.reclaim));
   }
   reads_served_.fetch_add(1, std::memory_order_relaxed);
   EchoSeq(request, reply);
@@ -428,8 +492,14 @@ void SchedulerService::PublishSnapshot(bool force_metrics) {
   if (refresh) {
     last_metrics_refresh_ = wall;
   }
+  const std::uint64_t publish_start =
+      engine_shard_ != nullptr ? TelemetryNowNs() : 0;
   snapshot_.store(builder_.Publish(*engine_.sim, log_.size(), refresh),
                   std::memory_order_release);
+  if (engine_shard_ != nullptr) {
+    engine_shard_->engine_snapshot_publish.Record(TelemetryNowNs() -
+                                                  publish_start);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ++snapshots_published_;
 }
@@ -441,11 +511,22 @@ void SchedulerService::EngineLoop() {
     batch.clear();
     switch (Next(&batch)) {
       case NextAction::kApply: {
+        const std::uint64_t apply_start = TelemetryNowNs();
         replies.clear();
         replies.reserve(batch.size());
         for (const PendingCommand& cmd : batch) {
           replies.push_back(Apply(cmd.request));
           EchoSeq(cmd.request, replies.back());
+        }
+        if (engine_shard_ != nullptr) {
+          const std::uint64_t apply_end = TelemetryNowNs();
+          engine_shard_->engine_batch_apply.Record(apply_end - apply_start);
+          engine_shard_->engine_batch_commands.Record(batch.size());
+          engine_shard_->spans.Record(
+              apply_start, apply_end - apply_start, log_.size(), batch.size(),
+              static_cast<std::uint32_t>(
+                  queue_len_.load(std::memory_order_relaxed)),
+              TelemetryCmd::kBatchApply);
         }
         // Publish before delivering replies: a client that saw its write
         // acknowledged reads a snapshot at or past that write.
@@ -691,6 +772,35 @@ JsonValue SchedulerService::ApplyDrain() {
                         static_cast<double>(engine_.sim->jobs().size())));
   reply.Set("terminal", JsonValue::MakeNumber(static_cast<double>(finished)));
   return reply;
+}
+
+StatusOr<std::size_t> SchedulerService::DumpFlightRecorder(
+    const std::string& path) const {
+  const std::vector<RequestSpan> spans = telemetry_.CollectSpans();
+  obs::TraceExporter exporter(std::max<std::size_t>(spans.size() + 16, 1024));
+  const std::uint64_t epoch = telemetry_.epoch_ns();
+  for (const RequestSpan& span : spans) {
+    // Stamps are wall time since the telemetry epoch; a clamped start keeps
+    // a torn ring slot from producing a negative timestamp.
+    const double start_s =
+        span.start_ns >= epoch
+            ? static_cast<double>(span.start_ns - epoch) * 1e-9
+            : 0.0;
+    const double dur_s = static_cast<double>(span.dur_ns) * 1e-9;
+    char args[128];
+    std::snprintf(args, sizeof(args),
+                  "\"conn\": %" PRIu64 ", \"seq\": %" PRIu64
+                  ", \"queue_depth\": %u, \"shard\": %u",
+                  span.conn, span.seq, span.queue_depth,
+                  static_cast<unsigned>(span.shard));
+    exporter.Complete(obs::TraceTrack::kService, TelemetryCmdName(span.cmd),
+                      start_s, start_s + dur_s, args);
+  }
+  const Status written = exporter.WriteJson(path);
+  if (!written.ok()) {
+    return written;
+  }
+  return spans.size();
 }
 
 JsonValue SchedulerService::ApplySnapshot(const JsonValue& request) {

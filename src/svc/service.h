@@ -47,6 +47,7 @@
 #include "src/svc/registry.h"
 #include "src/svc/snapshot.h"
 #include "src/svc/state_snapshot.h"
+#include "src/svc/telemetry.h"
 #include "src/svc/time_driver.h"
 
 namespace lyra::svc {
@@ -91,6 +92,9 @@ class SchedulerService {
   // unknown commands fail inline without touching the queue.
   enum class CmdClass { kRead, kEngine, kUnknown };
   static CmdClass Classify(const std::string& cmd);
+  // Table-mapped overload for front ends that already resolved the command
+  // name to a TelemetryCmd (one string scan instead of two).
+  static CmdClass Classify(TelemetryCmd cmd);
 
   // Invoked exactly once with the reply, on the engine thread for queued
   // commands or inline on the caller's thread for immediate rejections
@@ -182,10 +186,35 @@ class SchedulerService {
     rejected_shed_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Racy engine-queue length, for telemetry annotations only (same mirror
+  // that backs EngineSaturated()).
+  std::size_t QueueDepthHint() const {
+    return queue_len_.load(std::memory_order_relaxed);
+  }
+
   // The latest published snapshot (null before Start/Restore).
   std::shared_ptr<const StateSnapshot> snapshot() const {
     return snapshot_.load(std::memory_order_acquire);
   }
+
+  // The telemetry registry. Front ends acquire their per-thread shards here;
+  // scrapers (RenderPrometheus, trace_dump) merge through it. The registry is
+  // logically part of the service's observable state, hence usable through a
+  // const service.
+  Telemetry& telemetry() const { return telemetry_; }
+
+  // Wall-clock seconds since construction (the telemetry epoch).
+  double UptimeSeconds() const {
+    return static_cast<double>(TelemetryNowNs() - telemetry_.epoch_ns()) * 1e-9;
+  }
+
+  const char* driver_name() const { return driver_->name(); }
+
+  // Writes the flight recorder (every shard's recent request spans, merged
+  // and time-sorted) as a Perfetto-loadable Chrome trace at `path`. Returns
+  // the number of spans written. Any thread; also wired to SIGUSR1 in
+  // lyra_schedd and the `trace_dump` wire command.
+  StatusOr<std::size_t> DumpFlightRecorder(const std::string& path) const;
 
   Stats stats() const;
   const ServiceOptions& options() const { return options_; }
@@ -230,6 +259,12 @@ class SchedulerService {
   std::unique_ptr<TimeDriver> driver_;
   Engine engine_;
   std::vector<LoggedCommand> log_;
+
+  // Sharded telemetry plane (DESIGN.md §9). Mutable: shard acquisition and
+  // recording are observability, not service state.
+  mutable Telemetry telemetry_;
+  // Engine thread's shard; acquired in Start/Restore before the thread runs.
+  TelemetryShard* engine_shard_ = nullptr;
 
   SnapshotBuilder builder_;  // engine-thread only
   std::atomic<std::shared_ptr<const StateSnapshot>> snapshot_;

@@ -3,6 +3,8 @@
 // profiler span nesting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -65,6 +67,113 @@ TEST(Metrics, ExportJsonParsesBackAndIsDeterministic) {
   const std::string csv = registry.ExportCsv();
   EXPECT_NE(csv.find("counter,a.count"), std::string::npos);
   EXPECT_NE(csv.find("histogram,h"), std::string::npos);
+}
+
+// Merging per-shard histograms must reproduce the single-histogram counts
+// exactly: the service telemetry plane records into per-io-thread shards and
+// only merges at scrape time, so any drift here would make /metrics lie.
+TEST(Metrics, MergeOfShardsEqualsSingleHistogram) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0, 8.0, 16.0};
+  Histogram shard_a(bounds);
+  Histogram shard_b(bounds);
+  Histogram shard_c(bounds);
+  Histogram reference(bounds);
+  // Deterministic pseudo-random spread across all buckets incl. overflow.
+  std::uint64_t state = 42;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double x = static_cast<double>(state % 320) / 10.0;  // [0, 32)
+    reference.Record(x);
+    (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c).Record(x);
+  }
+  Histogram merged(bounds);
+  merged.Merge(shard_a);
+  merged.Merge(shard_b);
+  merged.Merge(shard_c);
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), reference.sum());
+  EXPECT_DOUBLE_EQ(merged.min(), reference.min());
+  EXPECT_DOUBLE_EQ(merged.max(), reference.max());
+  ASSERT_EQ(merged.bucket_counts().size(), reference.bucket_counts().size());
+  for (std::size_t i = 0; i < merged.bucket_counts().size(); ++i) {
+    EXPECT_EQ(merged.bucket_counts()[i], reference.bucket_counts()[i])
+        << "bucket " << i;
+  }
+}
+
+// Quantile estimates interpolate inside the containing bucket, so the error
+// against the exact order statistic is bounded by that bucket's width.
+TEST(Metrics, QuantileErrorBoundedByBucketWidth) {
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 4096.0; b *= 2.0) {
+    bounds.push_back(b);  // log2 buckets, like the telemetry shards
+  }
+  Histogram hist(bounds);
+  std::vector<double> samples;
+  std::uint64_t state = 7;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double x = 0.5 + static_cast<double>(state % 30000) / 10.0;
+    hist.Record(x);
+    samples.push_back(x);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const double estimate = hist.Quantile(q);
+    // Width of the bucket containing the exact value.
+    double lo = 0.0;
+    double width = 0.0;
+    for (const double b : bounds) {
+      if (exact <= b) {
+        width = b - lo;
+        break;
+      }
+      lo = b;
+    }
+    ASSERT_GT(width, 0.0);
+    EXPECT_NEAR(estimate, exact, width) << "q=" << q;
+  }
+}
+
+// Subtracting an earlier scrape of the same cumulative histogram leaves
+// exactly the in-between samples — the windowed view lyra_top renders.
+TEST(Metrics, SubtractYieldsTheWindowBetweenScrapes) {
+  const std::vector<double> bounds = {1.0, 10.0, 100.0};
+  Histogram cumulative(bounds);
+  cumulative.Record(0.5);
+  cumulative.Record(5.0);
+  const Histogram earlier = cumulative;  // scrape #1
+  cumulative.Record(50.0);
+  cumulative.Record(50.0);
+  cumulative.Record(500.0);
+  Histogram window = cumulative;  // scrape #2
+  window.Subtract(earlier);
+  EXPECT_EQ(window.count(), 3u);
+  EXPECT_DOUBLE_EQ(window.sum(), 600.0);
+  ASSERT_EQ(window.bucket_counts().size(), 4u);
+  EXPECT_EQ(window.bucket_counts()[0], 0u);
+  EXPECT_EQ(window.bucket_counts()[1], 0u);
+  EXPECT_EQ(window.bucket_counts()[2], 2u);
+  EXPECT_EQ(window.bucket_counts()[3], 1u);
+  // min/max re-bracket to the occupied buckets of the window.
+  EXPECT_GE(window.min(), 10.0);
+  EXPECT_LE(window.Quantile(0.5), 100.0);
+}
+
+// The from-parts constructor (used when reassembling a histogram from a
+// Prometheus scrape) estimates min/max from the occupied buckets.
+TEST(Metrics, FromPartsBracketsMinMaxByOccupiedBuckets) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const Histogram hist(bounds, {0, 3, 0, 2}, 14.0);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 14.0);
+  // First occupied bucket is (1, 2]; last is the overflow (> 4).
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 4.0);
+  EXPECT_GE(hist.Quantile(0.5), 1.0);
+  EXPECT_LE(hist.Quantile(0.5), 2.0);
 }
 
 TEST(ObsContext, FreeFunctionsNoOpWithoutContext) {

@@ -26,7 +26,7 @@ namespace {
 
 const char kSubcommands[] =
     "submit | cancel | advance | drain | query_job | cluster_stats | metrics "
-    "| snapshot | ping | shutdown";
+    "| stats_prom | trace_dump | snapshot | ping | shutdown";
 
 }  // namespace
 
@@ -114,9 +114,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     request.Set("to", lyra::JsonValue::MakeNumber(to));
-  } else if (cmd == "snapshot") {
+  } else if (cmd == "snapshot" || cmd == "trace_dump") {
     if (path.empty()) {
-      std::fprintf(stderr, "lyra_ctl: snapshot requires --path\n");
+      std::fprintf(stderr, "lyra_ctl: %s requires --path\n", cmd.c_str());
       return 1;
     }
     request.Set("path", lyra::JsonValue::MakeString(path));
@@ -154,12 +154,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lyra_ctl: recv: %s\n", reply.status().message().c_str());
     return 1;
   }
-  std::printf("%s\n", reply.value().c_str());
-
   lyra::StatusOr<lyra::JsonValue> parsed_reply =
       lyra::JsonValue::Parse(reply.value());
-  if (parsed_reply.ok() && parsed_reply.value().GetBool("ok", false)) {
-    return 0;
+  const bool ok =
+      parsed_reply.ok() && parsed_reply.value().GetBool("ok", false);
+  // A successful stats_prom reply wraps a Prometheus text page in its "text"
+  // field; print that raw so the output pipes straight into promtool/grep.
+  if (cmd == "stats_prom" && ok) {
+    std::fputs(parsed_reply.value().GetString("text", "").c_str(), stdout);
+  } else {
+    std::printf("%s\n", reply.value().c_str());
   }
-  return 2;
+  return ok ? 0 : 2;
 }

@@ -67,6 +67,13 @@ void PrintPoint(const lyra::svc::LoadPoint& point) {
               "(n=%llu)\n",
               point.p50_ms, point.p90_ms, point.p99_ms, point.p999_ms,
               point.max_ms, static_cast<unsigned long long>(point.samples));
+  if (point.server_samples > 0) {
+    std::printf("    server  ms: p50=%.3f p90=%.3f p99=%.3f p999=%.3f (n=%llu, "
+                "decode->reply-queued)\n",
+                point.server_p50_ms, point.server_p90_ms, point.server_p99_ms,
+                point.server_p999_ms,
+                static_cast<unsigned long long>(point.server_samples));
+  }
 }
 
 }  // namespace
@@ -80,6 +87,7 @@ int main(int argc, char** argv) {
   double duration = 5.0;
   int connections = 4;
   int gpus_per_worker = 1;
+  bool server_stats = true;
 
   lyra::FlagSet flags(
       "lyra_loadgen: open-loop submit load against lyra_schedd");
@@ -94,6 +102,9 @@ int main(int argc, char** argv) {
                   "(overrides --rate)");
   flags.AddString("report", &report_path,
                   "merge a lyra_loadgen section into this BENCH_perf.json");
+  flags.AddBool("server-stats", &server_stats,
+                "scrape the daemon's stats_prom histograms before/after each "
+                "run (server-side percentiles next to the client's)");
 
   const lyra::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -144,6 +155,7 @@ int main(int argc, char** argv) {
   options.connections = connections;
   options.duration_s = duration;
   options.payload = request.Dump();
+  options.scrape_server = server_stats;
 
   std::vector<lyra::svc::LoadPoint> points;
   for (const double offered : rates) {

@@ -16,11 +16,13 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
 
 #include "src/common/flags.h"
+#include "src/common/log.h"
 #include "src/svc/event_loop.h"
 #include "src/svc/service.h"
 #include "src/svc/time_driver.h"
@@ -28,8 +30,11 @@
 namespace {
 
 volatile std::sig_atomic_t g_signal = 0;
+volatile std::sig_atomic_t g_dump_flight = 0;
 
 void HandleSignal(int sig) { g_signal = sig; }
+
+void HandleUsr1(int) { g_dump_flight = 1; }
 
 }  // namespace
 
@@ -40,6 +45,11 @@ int main(int argc, char** argv) {
   loop_options.unix_path = "/tmp/lyra_schedd.sock";
   std::string restore_path;
   std::string snapshot_on_exit;
+  // LYRA_LOG_LEVEL seeds the default so wrappers (CI, systemd units) can set
+  // verbosity without editing the command line; --log-level still wins.
+  const char* env_level = std::getenv("LYRA_LOG_LEVEL");
+  std::string log_level = env_level != nullptr ? env_level : "warning";
+  std::string flight_path = "/tmp/lyra_schedd.trace.json";
   double time_scale = 0.0;
   int seed = 42;
   double scale = 0.25;
@@ -72,6 +82,13 @@ int main(int argc, char** argv) {
   flags.AddInt("queue-capacity", &options.queue_capacity,
                "command queue bound (backpressure beyond it)");
   flags.AddInt("io-threads", &loop_options.io_threads, "epoll I/O threads");
+  flags.AddString("log-level", &log_level,
+                  "debug | info | warning | error | off "
+                  "(default from LYRA_LOG_LEVEL)");
+  flags.AddDouble("slow-ms", &loop_options.slow_ms,
+                  "log requests slower than this at WARNING (0 disables)");
+  flags.AddString("flight-path", &flight_path,
+                  "SIGUSR1 dumps the flight recorder to this trace file");
 
   const lyra::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
@@ -82,6 +99,13 @@ int main(int argc, char** argv) {
     std::fputs(flags.Usage().c_str(), stdout);
     return 0;
   }
+  lyra::LogLevel level;
+  if (!lyra::ParseLogLevel(log_level, &level)) {
+    std::fprintf(stderr, "lyra_schedd: unknown --log-level %s\n",
+                 log_level.c_str());
+    return 1;
+  }
+  lyra::SetLogLevel(level);
   options.engine.seed = static_cast<std::uint64_t>(seed);
   options.engine.scale = scale;
   options.engine.horizon_days = horizon_days;
@@ -133,7 +157,21 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleUsr1);
   while (g_signal == 0 && !service.stopped()) {
+    if (g_dump_flight != 0) {
+      g_dump_flight = 0;
+      const lyra::StatusOr<std::size_t> dumped =
+          service.DumpFlightRecorder(flight_path);
+      if (dumped.ok()) {
+        std::printf("flight recorder: %zu span(s) -> %s\n", dumped.value(),
+                    flight_path.c_str());
+      } else {
+        std::fprintf(stderr, "flight recorder: %s\n",
+                     dumped.status().message().c_str());
+      }
+      std::fflush(stdout);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
