@@ -14,7 +14,14 @@
 // every other section in the file.
 //
 //   bench_svc_saturation [--rates=20000,100000,400000] [--duration=2]
-//                        [--connections=1] [--io-threads=2]
+//                        [--connections=1] [--io-threads=2] [--shards=1]
+//                        [--shard-sweep=1,2,4,8] [--shard-rate=400000]
+//
+// --shard-sweep additionally runs one saturating point per engine-shard
+// count (--shard-rate offered) and records the scaling curve under
+// "shard_sweep" in the same section; each entry carries its "shards" count.
+// Engine sharding only buys throughput when shards run on distinct cores —
+// on a single-core host the sweep documents the overhead floor instead.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,6 +37,7 @@
 #include "src/svc/event_loop.h"
 #include "src/svc/loadclient.h"
 #include "src/svc/service.h"
+#include "src/svc/shard_router.h"
 #include "src/svc/time_driver.h"
 
 namespace {
@@ -59,30 +67,36 @@ void MergeReport(const std::string& path, const lyra::JsonValue& section) {
   out << report.Dump() << "\n";
 }
 
-// One offered-rate point against a brand-new daemon.
+// One offered-rate point against a brand-new daemon (a fresh shard fleet
+// behind a fresh event loop; shards == 1 is the classic single-engine path).
 lyra::StatusOr<lyra::svc::LoadPoint> RunPoint(double rate, double duration,
                                               int connections, int io_threads,
+                                              int shards,
                                               const std::string& payload) {
   lyra::svc::ServiceOptions service_options;
   service_options.engine.scale = 0.05;
   service_options.auto_advance = false;
   service_options.queue_capacity = 8192;
 
-  lyra::svc::SchedulerService service(
-      service_options, std::make_unique<lyra::svc::VirtualTimeDriver>());
-  lyra::Status started = service.Start();
-  if (!started.ok()) {
-    return started;
+  lyra::StatusOr<lyra::svc::ShardSet> built = lyra::svc::BuildShardSet(
+      service_options, shards, [](int) {
+        return std::make_unique<lyra::svc::VirtualTimeDriver>();
+      });
+  if (!built.ok()) {
+    return built.status();
   }
+  lyra::svc::ShardSet fleet = std::move(built.value());
 
   lyra::svc::EventLoopOptions loop_options;
   loop_options.unix_path =
       "/tmp/lyra_bench_sat_" + std::to_string(::getpid()) + ".sock";
   loop_options.io_threads = io_threads;
-  lyra::svc::EventLoop loop(&service, loop_options);
-  started = loop.Start();
+  lyra::svc::EventLoop loop(fleet.router.get(), loop_options);
+  const lyra::Status started = loop.Start();
   if (!started.ok()) {
-    service.Stop();
+    for (auto& service : fleet.services) {
+      service->Stop();
+    }
     return started;
   }
 
@@ -97,7 +111,9 @@ lyra::StatusOr<lyra::svc::LoadPoint> RunPoint(double rate, double duration,
   client.scrape_server = true;
   lyra::StatusOr<lyra::svc::LoadPoint> point = lyra::svc::RunOpenLoop(client);
 
-  service.Stop();
+  for (auto& service : fleet.services) {
+    service->Stop();
+  }
   loop.Stop();
   return point;
 }
@@ -106,9 +122,12 @@ lyra::StatusOr<lyra::svc::LoadPoint> RunPoint(double rate, double duration,
 
 int main(int argc, char** argv) {
   std::string rates_csv = "20000,50000,100000,200000,400000";
+  std::string shard_sweep_csv;
   double duration = 2.0;
+  double shard_rate = 400000.0;
   int connections = 1;
   int io_threads = 2;
+  int shards = 1;
 
   lyra::FlagSet flags("bench_svc_saturation: offered-load sweep against a "
                       "fresh in-process daemon per point");
@@ -116,6 +135,12 @@ int main(int argc, char** argv) {
   flags.AddDouble("duration", &duration, "send window per point (seconds)");
   flags.AddInt("connections", &connections, "client connections per point");
   flags.AddInt("io-threads", &io_threads, "event-loop I/O threads");
+  flags.AddInt("shards", &shards, "engine shards for the rate sweep");
+  flags.AddString("shard-sweep", &shard_sweep_csv,
+                  "comma-separated shard counts for a scaling sweep "
+                  "(one saturating point per count)");
+  flags.AddDouble("shard-rate", &shard_rate,
+                  "offered rate for every shard-sweep point");
   const lyra::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.message().c_str(),
@@ -151,13 +176,13 @@ int main(int argc, char** argv) {
   const std::string payload = request.Dump();
 
   std::printf("svc saturation sweep: %d connection(s), %d io thread(s), "
-              "%.1fs per point, fresh daemon per point\n",
-              connections, io_threads, duration);
+              "%d shard(s), %.1fs per point, fresh daemon per point\n",
+              connections, io_threads, shards, duration);
   std::vector<lyra::svc::LoadPoint> points;
   std::uint64_t errors = 0;
   for (const double rate : rates) {
     lyra::StatusOr<lyra::svc::LoadPoint> run =
-        RunPoint(rate, duration, connections, io_threads, payload);
+        RunPoint(rate, duration, connections, io_threads, shards, payload);
     if (!run.ok()) {
       std::fprintf(stderr, "bench_svc_saturation: %s\n",
                    run.status().message().c_str());
@@ -191,6 +216,42 @@ int main(int argc, char** argv) {
   std::printf("peak: %.0f submits/s accepted at offered %.0f/s\n",
               points[best].accepted_per_s, points[best].offered_rate);
 
+  // Shard-count scaling sweep: one saturating point per engine count, same
+  // client and front end throughout, so the only variable is how many
+  // single-writer engines share the applied-command work.
+  std::vector<int> shard_counts;
+  {
+    std::stringstream shard_parts(shard_sweep_csv);
+    std::string shard_part;
+    while (std::getline(shard_parts, shard_part, ',')) {
+      const int value = std::atoi(shard_part.c_str());
+      if (value > 0) {
+        shard_counts.push_back(value);
+      }
+    }
+  }
+  std::vector<std::pair<int, lyra::svc::LoadPoint>> shard_points;
+  if (!shard_counts.empty()) {
+    std::printf("shard scaling sweep at offered %.0f/s:\n", shard_rate);
+    for (const int count : shard_counts) {
+      lyra::StatusOr<lyra::svc::LoadPoint> run = RunPoint(
+          shard_rate, duration, connections, io_threads, count, payload);
+      if (!run.ok()) {
+        std::fprintf(stderr, "bench_svc_saturation: %s\n",
+                     run.status().message().c_str());
+        return 1;
+      }
+      const lyra::svc::LoadPoint& point = run.value();
+      errors += point.errors;
+      std::printf("  shards %2d -> accepted %8.0f/s  p50=%.3fms p99=%.3fms "
+                  "corrected_p99=%.3fms backlog_max=%llu\n",
+                  count, point.accepted_per_s, point.p50_ms, point.p99_ms,
+                  point.corrected_p99_ms,
+                  static_cast<unsigned long long>(point.backlog_max));
+      shard_points.emplace_back(count, point);
+    }
+  }
+
   const char* report_env = std::getenv("LYRA_BENCH_PERF_JSON");
   const std::string report_path =
       report_env != nullptr ? report_env : "BENCH_perf.json";
@@ -201,6 +262,15 @@ int main(int argc, char** argv) {
       curve.Append(lyra::svc::LoadPointJson(point));
     }
     section.Set("sweep", std::move(curve));
+    if (!shard_points.empty()) {
+      lyra::JsonValue scaling = lyra::JsonValue::MakeArray();
+      for (const auto& [count, point] : shard_points) {
+        lyra::JsonValue entry = lyra::svc::LoadPointJson(point);
+        entry.Set("shards", lyra::JsonValue::MakeNumber(count));
+        scaling.Append(std::move(entry));
+      }
+      section.Set("shard_sweep", std::move(scaling));
+    }
     MergeReport(report_path, section);
     std::printf("merged svc_saturation section into %s\n", report_path.c_str());
   }

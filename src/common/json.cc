@@ -127,10 +127,26 @@ JsonValue& JsonValue::Set(std::string key, JsonValue value) {
   return *this;
 }
 
+JsonValue& JsonValue::Replace(const std::string& key, JsonValue value) {
+  LYRA_CHECK(is_object());
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return *this;
+    }
+  }
+  return Set(key, std::move(value));
+}
+
 JsonValue& JsonValue::Append(JsonValue value) {
   LYRA_CHECK(is_array());
   array_.push_back(std::move(value));
   return *this;
+}
+
+JsonValue* JsonValue::FindMutable(const std::string& key) {
+  return const_cast<JsonValue*>(
+      static_cast<const JsonValue*>(this)->Find(key));
 }
 
 const JsonValue* JsonValue::Find(const std::string& key) const {

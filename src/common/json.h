@@ -85,14 +85,20 @@ class JsonValue {
   const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
 
   // Mutators; LYRA_CHECK on type mismatch. Set appends (first-wins lookup
-  // semantics make replacing unnecessary for our uses); both return *this so
-  // documents can be built fluently.
+  // means a repeated Set of the same key is shadowed, not replaced); Replace
+  // overwrites the first occurrence of the key, appending when absent — the
+  // mutator for rewriting a member of an existing document (the shard
+  // router's job-id translation). All return *this so documents can be built
+  // fluently.
   JsonValue& Set(std::string key, JsonValue value);
+  JsonValue& Replace(const std::string& key, JsonValue value);
   JsonValue& Append(JsonValue value);
 
   // Object member lookup; nullptr when absent or not an object. With
   // duplicate keys (kKeepAll), the first occurrence wins.
   const JsonValue* Find(const std::string& key) const;
+  // Mutable variant, for editing a member in place.
+  JsonValue* FindMutable(const std::string& key);
 
   // Convenience: Find(key) as a number/string/bool with a fallback.
   double GetDouble(const std::string& key, double fallback = 0.0) const;

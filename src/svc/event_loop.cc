@@ -23,6 +23,7 @@
 #include "src/svc/prom.h"
 #include "src/svc/replies.h"
 #include "src/svc/service.h"
+#include "src/svc/shard_router.h"
 #include "src/svc/wire.h"
 
 namespace lyra::svc {
@@ -125,10 +126,11 @@ class EventLoop::IoThread {
     }
   };
 
-  IoThread(EventLoop* loop, SchedulerService* service, std::size_t max_outbuf,
+  IoThread(EventLoop* loop, ShardRouter* router, std::size_t max_outbuf,
            int index, std::uint64_t slow_ns)
       : loop_(loop),
-        service_(service),
+        router_(router),
+        service_(router->front()),
         max_outbuf_(max_outbuf),
         index_(index),
         slow_ns_(slow_ns),
@@ -202,6 +204,10 @@ class EventLoop::IoThread {
     std::uint64_t start_ns = 0;
     std::uint64_t seq = 0;
     TelemetryCmd cmd = TelemetryCmd::kOther;
+    // Which engine shard owns the command, and whether its reply's "job"
+    // needs the local->global id rewrite (submit/cancel at shard_count > 1).
+    std::uint32_t shard = 0;
+    bool rewrite_job = false;
   };
 
   struct Conn {
@@ -291,7 +297,7 @@ class EventLoop::IoThread {
           }
         }
       }
-      if (!gated_conns_.empty() && !service_->EngineSaturated()) {
+      if (!gated_conns_.empty() && !router_->AnySaturated()) {
         UngateReads();
       }
     }
@@ -403,7 +409,7 @@ class EventLoop::IoThread {
   bool HandleReadable(Conn* conn) {
     char buf[kReadChunk];
     while (!conn->read_closed) {
-      if (service_->EngineSaturated()) {
+      if (router_->AnySaturated()) {
         // Backpressure beats shedding on a shared core: every cycle spent
         // parsing a frame the engine cannot take is a cycle the engine
         // doesn't get. Stop reading; the Run loop re-arms once the engine
@@ -485,7 +491,7 @@ class EventLoop::IoThread {
     const char* status_line;
     const char* content_type;
     if (is_metrics) {
-      body = RenderPrometheus(*service_);
+      body = RenderPrometheus(*router_);
       status_line = "HTTP/1.1 200 OK";
       content_type = "text/plain; version=0.0.4; charset=utf-8";
     } else {
@@ -510,7 +516,7 @@ class EventLoop::IoThread {
       shard_->RecordCmd(TelemetryCmd::kStatsProm, dur);
       shard_->spans.Record(
           start_ns, dur, conn->id, 0,
-          static_cast<std::uint32_t>(service_->QueueDepthHint()),
+          static_cast<std::uint32_t>(router_->QueueDepthHint()),
           TelemetryCmd::kStatsProm);
       shard_->write_queue_peak.NoteMax(conn->queued_bytes);
     }
@@ -543,14 +549,15 @@ class EventLoop::IoThread {
     const TelemetryCmd tcmd = TelemetryCmdFromName(request.GetString("cmd"));
     const SchedulerService::CmdClass cls = SchedulerService::Classify(tcmd);
     if (cls == SchedulerService::CmdClass::kEngine) {
-      if (service_->EngineSaturated()) {
+      const ShardRouter::Plan plan = router_->RouteEngine(tcmd, request);
+      if (plan.shed) {
         // Shed on the saturation hint: at heavy overload most engine frames
         // are doomed to rejection, and building + serializing a fresh reply
         // per frame just starves the frames that would be accepted. Answer
         // with one canned pre-serialized rejection instead. The hint racing
         // the engine's drain only means the authoritative check below picks
         // up the boundary cases.
-        service_->CountShedOverload();
+        router_->shard(static_cast<int>(plan.shard))->CountShedOverload();
         if (request.Find("seq") == nullptr) {
           PushReadyRaw(conn, ShedPayload());
         } else {
@@ -564,17 +571,26 @@ class EventLoop::IoThread {
         }
         return;
       }
+      // BeginEngine consumes the routing counter and rewrites cancel's job
+      // id in place; it must precede the slot so the slot records the
+      // authoritative shard.
+      const std::uint32_t shard = router_->BeginEngine(tcmd, request, plan);
       const std::uint64_t seq = conn->base_seq + conn->slots.size();
       conn->slots.emplace_back();
       Slot& slot = conn->slots.back();
       slot.start_ns = start_ns;
       slot.seq = seq;
       slot.cmd = tcmd;
+      slot.shard = shard;
+      slot.rewrite_job = plan.rewrite_job;
       ++conn->engine_inflight;
       // Engine thread (or inline on overload) bounces the reply onto the
       // owning I/O thread via the mailbox sink as a typed record;
-      // serialization happens there, off the engine.
-      service_->ExecuteAsync(std::move(request), mailbox_, conn->id, seq, cls);
+      // serialization happens there, off the engine. The slot is fully
+      // initialized first: a saturated shard rejects inline, re-entering
+      // OnCompletion before DispatchEngine returns.
+      router_->DispatchEngine(plan, shard, std::move(request), mailbox_,
+                              conn->id, seq);
     } else if (conn->engine_inflight > 0) {
       // An engine command ahead of this read is still in flight: defer, so
       // the reply order matches the request order and the read observes the
@@ -593,7 +609,7 @@ class EventLoop::IoThread {
       slot.start_ns = start_ns;
       slot.seq = conn->base_seq + conn->slots.size() - 1;
       slot.cmd = tcmd;
-      MakeReady(slot, service_->ReadReply(request), conn);
+      MakeReady(slot, router_->ReadReply(request), conn);
     }
   }
 
@@ -615,7 +631,7 @@ class EventLoop::IoThread {
         shard_->RecordCmd(slot.cmd, dur);
         shard_->spans.Record(
             slot.start_ns, dur, conn->id, slot.seq,
-            static_cast<std::uint32_t>(service_->QueueDepthHint()), slot.cmd);
+            static_cast<std::uint32_t>(router_->QueueDepthHint()), slot.cmd);
         if (slow_ns_ != 0 && dur >= slow_ns_) {
           LYRA_LOG_WARNING(
               "slow request: cmd=%s conn=%llu seq=%llu took %.3f ms",
@@ -663,7 +679,7 @@ class EventLoop::IoThread {
   }
 
   void OnCompletion(std::uint64_t conn_id, std::uint64_t seq,
-                    const JsonValue& reply) {
+                    JsonValue& reply) {
     const auto it = conns_.find(conn_id);
     if (it == conns_.end()) {
       return;  // connection died with the command in flight
@@ -678,6 +694,9 @@ class EventLoop::IoThread {
     }
     Slot& slot = conn->slots[index];
     LYRA_CHECK(slot.state == Slot::State::kWaitingEngine);
+    if (slot.rewrite_job) {
+      router_->RewriteReplyJob(slot.shard, reply);
+    }
     MakeReady(slot, reply, conn);
     --conn->engine_inflight;
     ResolveDeferredReads(conn);
@@ -698,7 +717,7 @@ class EventLoop::IoThread {
         break;
       }
       if (slot.state == Slot::State::kDeferredRead) {
-        MakeReady(slot, service_->ReadReply(slot.request), conn);
+        MakeReady(slot, router_->ReadReply(slot.request), conn);
       }
       ++idx;
     }
@@ -866,6 +885,8 @@ class EventLoop::IoThread {
   }
 
   EventLoop* loop_;
+  ShardRouter* router_;
+  // router_->front(): telemetry registry, protocol-error counter, identity.
   SchedulerService* service_;
   std::size_t max_outbuf_;
   int index_;
@@ -892,8 +913,16 @@ class EventLoop::IoThread {
 };
 
 EventLoop::EventLoop(SchedulerService* service, EventLoopOptions options)
-    : service_(service), options_(std::move(options)) {
-  LYRA_CHECK(service_ != nullptr);
+    : owned_router_(std::make_unique<ShardRouter>(
+          std::vector<SchedulerService*>{service})),
+      router_(owned_router_.get()),
+      options_(std::move(options)) {
+  LYRA_CHECK(service != nullptr);
+}
+
+EventLoop::EventLoop(ShardRouter* router, EventLoopOptions options)
+    : router_(router), options_(std::move(options)) {
+  LYRA_CHECK(router_ != nullptr);
 }
 
 EventLoop::~EventLoop() { Stop(); }
@@ -936,7 +965,7 @@ Status EventLoop::Start() {
   threads_.reserve(static_cast<std::size_t>(options_.io_threads));
   for (int i = 0; i < options_.io_threads; ++i) {
     threads_.push_back(std::make_unique<IoThread>(
-        this, service_, options_.max_outbuf_bytes, i, slow_ns));
+        this, router_, options_.max_outbuf_bytes, i, slow_ns));
     const Status init = threads_.back()->Init();
     if (!init.ok()) {
       threads_.clear();

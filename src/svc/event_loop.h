@@ -36,6 +36,7 @@
 namespace lyra::svc {
 
 class SchedulerService;
+class ShardRouter;
 
 struct EventLoopOptions {
   // Unix socket path to listen on; empty disables the Unix listener.
@@ -57,8 +58,13 @@ struct EventLoopOptions {
 
 class EventLoop {
  public:
-  // `service` must outlive the loop.
+  // `service` must outlive the loop. Wraps the service in an owned one-shard
+  // router; every frame behaves exactly as before sharding existed.
   EventLoop(SchedulerService* service, EventLoopOptions options);
+  // Sharded front end: frames route through `router` (which must outlive the
+  // loop). I/O-thread telemetry and protocol-error counts home on
+  // router->front().
+  EventLoop(ShardRouter* router, EventLoopOptions options);
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -80,7 +86,9 @@ class EventLoop {
   class IoThread;
   friend class IoThread;
 
-  SchedulerService* service_;
+  // Wraps the single-service ctor's argument so both ctors meet at router_.
+  std::unique_ptr<ShardRouter> owned_router_;
+  ShardRouter* router_;
   EventLoopOptions options_;
   int unix_listen_fd_ = -1;
   int tcp_listen_fd_ = -1;

@@ -27,8 +27,13 @@ constexpr std::size_t kRecvChunk = 64 * 1024;
 // one stamp, so FIFO matching works on (stamp, count) runs instead of a
 // deque entry per frame — the client must stay cheaper than the daemon it
 // measures, and per-frame bookkeeping was its biggest cost at saturation.
+// `first` is the connection-local index of the run's first frame; frame k's
+// *intended* send time is start + k * interval, which differs from `stamp`
+// whenever the blocking write paced the sender (see the coordinated-omission
+// note on ReceiverLoop).
 struct InFlightRun {
   Clock::time_point stamp;
+  std::uint64_t first = 0;
   std::uint64_t count = 0;
 };
 
@@ -37,6 +42,9 @@ struct Connection {
   std::mutex mu;
   std::deque<InFlightRun> in_flight;  // send-batch runs, FIFO
   std::vector<double> latencies_ms;
+  std::vector<double> corrected_ms;
+  std::uint64_t in_flight_frames = 0;  // under mu
+  std::uint64_t backlog_max = 0;       // high-watermark of in_flight_frames
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;
   std::uint64_t overloaded = 0;
@@ -96,7 +104,9 @@ void SenderLoop(Connection* conn, const std::string& payload, double interval_s,
       const Clock::time_point stamp = Clock::now();
       {
         std::lock_guard<std::mutex> lock(conn->mu);
-        conn->in_flight.push_back({stamp, batch});
+        conn->in_flight.push_back({stamp, scheduled, batch});
+        conn->in_flight_frames += batch;
+        conn->backlog_max = std::max(conn->backlog_max, conn->in_flight_frames);
       }
       std::uint64_t remaining = batch;
       bool failed = false;
@@ -115,6 +125,7 @@ void SenderLoop(Connection* conn, const std::string& payload, double interval_s,
         // Remove the unsent tail of the batch from the in-flight run.
         if (!conn->in_flight.empty()) {
           conn->in_flight.back().count -= remaining;
+          conn->in_flight_frames -= remaining;
           if (conn->in_flight.back().count == 0) {
             conn->in_flight.pop_back();
           }
@@ -134,7 +145,19 @@ void SenderLoop(Connection* conn, const std::string& payload, double interval_s,
   ::shutdown(conn->fd, SHUT_WR);
 }
 
-void ReceiverLoop(Connection* conn) {
+// Drains replies and matches them to sends FIFO. Two latencies per reply:
+//
+//   achieved  = now - the instant the frame's batch actually hit the wire
+//   corrected = now - the instant the frame was *scheduled* to be sent
+//               (start + index * interval)
+//
+// The difference is coordinated omission: when the daemon backlogs, the
+// blocking write paces the sender, frames go out late, and achieved latency
+// silently excludes exactly the queueing delay a saturated server inflicted.
+// The corrected percentiles charge that deferral back to the server, which
+// is what an open-loop sweep is supposed to measure.
+void ReceiverLoop(Connection* conn, Clock::time_point start,
+                  double interval_s) {
   FrameDecoder decoder;
   std::string payload;
   char buf[kRecvChunk];
@@ -178,7 +201,18 @@ void ReceiverLoop(Connection* conn) {
               std::chrono::duration<double, std::milli>(now - run.stamp)
                   .count();
           conn->latencies_ms.insert(conn->latencies_ms.end(), take, ms);
+          // Corrected latencies differ per frame within a run: frame
+          // run.first + j was due at start + (run.first + j) * interval.
+          const double now_ms =
+              std::chrono::duration<double, std::milli>(now - start).count();
+          for (std::uint64_t j = 0; j < take; ++j) {
+            const double intended_ms =
+                static_cast<double>(run.first + j) * interval_s * 1e3;
+            conn->corrected_ms.push_back(now_ms - intended_ms);
+          }
+          run.first += take;
           run.count -= take;
+          conn->in_flight_frames -= take;
           unmatched -= take;
           if (run.count == 0) {
             conn->in_flight.pop_front();
@@ -197,9 +231,8 @@ void ReceiverLoop(Connection* conn) {
 
 StatusOr<obs::Histogram> ScrapeServerHistogram(const LoadClientOptions& options,
                                                const std::string& cmd) {
-  StatusOr<int> fd = !options.unix_path.empty()
-                         ? ConnectUnix(options.unix_path)
-                         : ConnectTcp(options.tcp_host, options.tcp_port);
+  StatusOr<int> fd =
+      ConnectEndpoint(options.unix_path, options.tcp_host, options.tcp_port);
   if (!fd.ok()) {
     return fd.status();
   }
@@ -243,9 +276,8 @@ StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options) {
   }
   std::vector<std::unique_ptr<Connection>> conns;
   for (int i = 0; i < options.connections; ++i) {
-    StatusOr<int> fd = !options.unix_path.empty()
-                           ? ConnectUnix(options.unix_path)
-                           : ConnectTcp(options.tcp_host, options.tcp_port);
+    StatusOr<int> fd =
+        ConnectEndpoint(options.unix_path, options.tcp_host, options.tcp_port);
     if (!fd.ok()) {
       for (const auto& conn : conns) {
         ::close(conn->fd);
@@ -260,6 +292,7 @@ StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options) {
         options.rate * options.duration_s / options.connections;
     conn->latencies_ms.reserve(static_cast<std::size_t>(
         std::min(expected * 1.25, 8e6)));
+    conn->corrected_ms.reserve(conn->latencies_ms.capacity());
     conns.push_back(std::move(conn));
   }
 
@@ -275,7 +308,7 @@ StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options) {
   for (auto& conn : conns) {
     threads.emplace_back(SenderLoop, conn.get(), options.payload, interval_s,
                          start, deadline);
-    threads.emplace_back(ReceiverLoop, conn.get());
+    threads.emplace_back(ReceiverLoop, conn.get(), start, interval_s);
   }
   for (std::thread& thread : threads) {
     thread.join();
@@ -287,16 +320,21 @@ StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options) {
   point.wall_s = wall;
   point.connections = options.connections;
   std::vector<double> latencies;
+  std::vector<double> corrected;
   for (auto& conn : conns) {
     ::close(conn->fd);
     point.sent += conn->sent;
     point.ok += conn->ok;
     point.overloaded += conn->overloaded;
     point.errors += conn->errors;
+    point.backlog_max = std::max(point.backlog_max, conn->backlog_max);
     latencies.insert(latencies.end(), conn->latencies_ms.begin(),
                      conn->latencies_ms.end());
+    corrected.insert(corrected.end(), conn->corrected_ms.begin(),
+                     conn->corrected_ms.end());
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(corrected.begin(), corrected.end());
   point.accepted_per_s =
       wall > 0.0 ? static_cast<double>(point.ok) / wall : 0.0;
   point.p50_ms = Percentile(latencies, 0.50);
@@ -305,6 +343,11 @@ StatusOr<LoadPoint> RunOpenLoop(const LoadClientOptions& options) {
   point.p999_ms = Percentile(latencies, 0.999);
   point.max_ms = latencies.empty() ? 0.0 : latencies.back();
   point.samples = latencies.size();
+  point.corrected_p50_ms = Percentile(corrected, 0.50);
+  point.corrected_p90_ms = Percentile(corrected, 0.90);
+  point.corrected_p99_ms = Percentile(corrected, 0.99);
+  point.corrected_p999_ms = Percentile(corrected, 0.999);
+  point.corrected_max_ms = corrected.empty() ? 0.0 : corrected.back();
 
   if (options.scrape_server) {
     // Every reply has been received, so the daemon has already recorded each
@@ -343,6 +386,18 @@ JsonValue LoadPointJson(const LoadPoint& point) {
   out.Set("latency_ms_p99", JsonValue::MakeNumber(point.p99_ms));
   out.Set("latency_ms_p999", JsonValue::MakeNumber(point.p999_ms));
   out.Set("latency_ms_max", JsonValue::MakeNumber(point.max_ms));
+  out.Set("latency_ms_corrected_p50",
+          JsonValue::MakeNumber(point.corrected_p50_ms));
+  out.Set("latency_ms_corrected_p90",
+          JsonValue::MakeNumber(point.corrected_p90_ms));
+  out.Set("latency_ms_corrected_p99",
+          JsonValue::MakeNumber(point.corrected_p99_ms));
+  out.Set("latency_ms_corrected_p999",
+          JsonValue::MakeNumber(point.corrected_p999_ms));
+  out.Set("latency_ms_corrected_max",
+          JsonValue::MakeNumber(point.corrected_max_ms));
+  out.Set("backlog_max",
+          JsonValue::MakeNumber(static_cast<double>(point.backlog_max)));
   if (point.server_samples > 0) {
     out.Set("server_latency_ms_p50", JsonValue::MakeNumber(point.server_p50_ms));
     out.Set("server_latency_ms_p90", JsonValue::MakeNumber(point.server_p90_ms));

@@ -53,13 +53,26 @@ struct LoadPoint {
   std::uint64_t errors = 0;
   // Replies accepted (`ok:true`) per wall second.
   double accepted_per_s = 0.0;
-  // Send-to-reply latency percentiles over every matched reply.
+  // Send-to-reply latency percentiles over every matched reply, measured
+  // from the instant the frame actually hit the wire ("achieved").
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double p999_ms = 0.0;
   double max_ms = 0.0;
   std::uint64_t samples = 0;
+  // The same percentiles measured from each frame's *intended* send time
+  // (start + index / rate) — the coordinated-omission-corrected view. When
+  // the daemon keeps up the two agree; past saturation the achieved numbers
+  // flatter the server (late sends hide queueing delay) and these do not.
+  double corrected_p50_ms = 0.0;
+  double corrected_p90_ms = 0.0;
+  double corrected_p99_ms = 0.0;
+  double corrected_p999_ms = 0.0;
+  double corrected_max_ms = 0.0;
+  // High-watermark of frames in flight on any one connection — how far the
+  // open loop actually got ahead of the daemon during the window.
+  std::uint64_t backlog_max = 0;
   // Server-side submit latency (decode -> reply queued) over this run's
   // window, from differencing the daemon's cumulative histogram across the
   // before/after scrapes. Zero server_samples means scraping was off or

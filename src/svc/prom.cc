@@ -1,5 +1,6 @@
 #include "src/svc/prom.h"
 
+#include <array>
 #include <cctype>
 #include <cinttypes>
 #include <cmath>
@@ -9,6 +10,7 @@
 #include <utility>
 
 #include "src/svc/service.h"
+#include "src/svc/shard_router.h"
 #include "src/svc/state_snapshot.h"
 #include "src/svc/telemetry.h"
 
@@ -307,6 +309,307 @@ std::string RenderPrometheus(const SchedulerService& service) {
     AppendPoolGpus(out, "training", snap->training);
     AppendPoolGpus(out, "on_loan", snap->on_loan);
     AppendPoolGpus(out, "inference", snap->inference);
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const ShardRouter& router) {
+  if (router.shard_count() == 1) {
+    // Byte-for-byte the unsharded exposition: no shard labels, no extra
+    // families, so dashboards built against a one-shard daemon never change.
+    return RenderPrometheus(*router.front());
+  }
+  const int n = router.shard_count();
+  std::vector<TelemetrySummary> shard_telemetry;
+  std::vector<SchedulerService::Stats> shard_stats;
+  std::vector<std::shared_ptr<const StateSnapshot>> shard_snaps;
+  shard_telemetry.reserve(static_cast<std::size_t>(n));
+  shard_stats.reserve(static_cast<std::size_t>(n));
+  shard_snaps.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    shard_telemetry.push_back(router.shard(k)->telemetry().Collect());
+    shard_stats.push_back(router.shard(k)->stats());
+    shard_snaps.push_back(router.shard(k)->snapshot());
+  }
+  // The front shard's registry is where the I/O threads live; every other
+  // registry holds only that shard's engine thread.
+  const TelemetrySummary& front = shard_telemetry.front();
+  const SchedulerService::Stats total = router.AggregateStats();
+  const SchedulerService& front_service = *router.front();
+
+  std::string out;
+  out.reserve(65536);
+
+  const auto shard_label = [](int k) {
+    return "shard=\"" + std::to_string(k) + "\"";
+  };
+
+  // --- request latency (recorded by the I/O threads; front registry) ---
+  AppendHeader(out, "lyra_svc_request_duration_seconds", "histogram",
+               "Request latency from frame decode to reply queued, per "
+               "command.");
+  for (int c = 0; c < kTelemetryWireCmdCount; ++c) {
+    const obs::Histogram& h = front.cmd_latency[static_cast<std::size_t>(c)];
+    if (h.count() == 0) {
+      continue;
+    }
+    const std::string labels =
+        std::string("cmd=\"") +
+        TelemetryCmdName(static_cast<TelemetryCmd>(c)) + "\"";
+    AppendHistogramSeries(out, "lyra_svc_request_duration_seconds", labels, h);
+  }
+
+  AppendSingleHistogram(out, "lyra_svc_epoll_dispatch_lag_seconds",
+                        "Delay from epoll_wait return to event dispatch.",
+                        front.dispatch_lag[0]);
+  AppendSingleHistogram(out, "lyra_svc_wake_batch_events",
+                        "Ready epoll events handled per wakeup.",
+                        front.wake_events[0]);
+  AppendSingleHistogram(out, "lyra_svc_completion_batch",
+                        "Engine completions delivered per mailbox drain.",
+                        front.completion_batch[0]);
+
+  // --- engine histograms: merged total first (first-match consumers see
+  // the fleet), then one series per shard ---
+  const auto engine_histogram = [&](const char* family, const char* help,
+                                    auto member) {
+    AppendHeader(out, family, "histogram", help);
+    obs::Histogram merged = (shard_telemetry[0].*member)[0];
+    for (int k = 1; k < n; ++k) {
+      merged.Merge((shard_telemetry[static_cast<std::size_t>(k)].*member)[0]);
+    }
+    AppendHistogramSeries(out, family, "", merged);
+    for (int k = 0; k < n; ++k) {
+      AppendHistogramSeries(
+          out, family, shard_label(k),
+          (shard_telemetry[static_cast<std::size_t>(k)].*member)[0]);
+    }
+  };
+  engine_histogram("lyra_svc_engine_batch_apply_seconds",
+                   "Engine time applying one command batch.",
+                   &TelemetrySummary::engine_batch_apply);
+  engine_histogram("lyra_svc_engine_snapshot_publish_seconds",
+                   "Engine time publishing one read snapshot.",
+                   &TelemetrySummary::engine_snapshot_publish);
+  engine_histogram("lyra_svc_engine_batch_commands",
+                   "Commands applied per engine batch.",
+                   &TelemetrySummary::engine_batch_commands);
+
+  // --- per-io-thread transport counters (front registry only) ---
+  const auto is_io = [](const TelemetrySummary::ShardCounters& shard) {
+    return shard.role.rfind("io", 0) == 0;
+  };
+  AppendHeader(out, "lyra_svc_io_bytes_total", "counter",
+               "Bytes moved by each io thread, by direction.");
+  for (const auto& shard : front.shards) {
+    if (!is_io(shard)) {
+      continue;
+    }
+    AppendCountSample(out, "lyra_svc_io_bytes_total", "",
+                      "thread=\"" + shard.role + "\",dir=\"in\"",
+                      shard.bytes_in);
+    AppendCountSample(out, "lyra_svc_io_bytes_total", "",
+                      "thread=\"" + shard.role + "\",dir=\"out\"",
+                      shard.bytes_out);
+  }
+  AppendHeader(out, "lyra_svc_io_frames_total", "counter",
+               "Frames moved by each io thread, by direction.");
+  for (const auto& shard : front.shards) {
+    if (!is_io(shard)) {
+      continue;
+    }
+    AppendCountSample(out, "lyra_svc_io_frames_total", "",
+                      "thread=\"" + shard.role + "\",dir=\"in\"",
+                      shard.frames_in);
+    AppendCountSample(out, "lyra_svc_io_frames_total", "",
+                      "thread=\"" + shard.role + "\",dir=\"out\"",
+                      shard.frames_out);
+  }
+  AppendHeader(out, "lyra_svc_write_queue_bytes_peak", "gauge",
+               "High-watermark of queued reply bytes per io thread.");
+  for (const auto& shard : front.shards) {
+    if (!is_io(shard)) {
+      continue;
+    }
+    AppendCountSample(out, "lyra_svc_write_queue_bytes_peak", "",
+                      "thread=\"" + shard.role + "\"",
+                      shard.write_queue_peak);
+  }
+  AppendHeader(out, "lyra_svc_flight_spans_total", "counter",
+               "Flight-recorder spans recorded per telemetry shard.");
+  for (const auto& shard : front.shards) {
+    if (!is_io(shard)) {
+      continue;
+    }
+    AppendCountSample(out, "lyra_svc_flight_spans_total", "",
+                      "thread=\"" + shard.role + "\"", shard.spans_recorded);
+  }
+  for (int k = 0; k < n; ++k) {
+    for (const auto& shard : shard_telemetry[static_cast<std::size_t>(k)].shards) {
+      if (is_io(shard)) {
+        continue;
+      }
+      AppendCountSample(out, "lyra_svc_flight_spans_total", "",
+                        "thread=\"" + shard.role + "\"," + shard_label(k),
+                        shard.spans_recorded);
+    }
+  }
+
+  // --- service counters / gauges: fleet total first, then per shard ---
+  const auto stat_family = [&](const char* family, const char* type,
+                               const char* help, std::uint64_t total_value,
+                               auto per_shard) {
+    AppendHeader(out, family, type, help);
+    AppendCountSample(out, family, "", "", total_value);
+    for (int k = 0; k < n; ++k) {
+      AppendCountSample(out, family, "", shard_label(k),
+                        per_shard(shard_stats[static_cast<std::size_t>(k)]));
+    }
+  };
+  stat_family("lyra_svc_commands_applied_total", "counter",
+              "Engine commands applied.", total.commands_applied,
+              [](const SchedulerService::Stats& s) { return s.commands_applied; });
+  stat_family("lyra_svc_jobs_submitted_total", "counter",
+              "Jobs accepted via submit.", total.jobs_submitted,
+              [](const SchedulerService::Stats& s) { return s.jobs_submitted; });
+  stat_family("lyra_svc_jobs_cancelled_total", "counter",
+              "Jobs cancelled via cancel.", total.jobs_cancelled,
+              [](const SchedulerService::Stats& s) { return s.jobs_cancelled; });
+  stat_family("lyra_svc_rejected_overload_total", "counter",
+              "Commands rejected or shed under backpressure.",
+              total.rejected_overload,
+              [](const SchedulerService::Stats& s) { return s.rejected_overload; });
+  stat_family("lyra_svc_command_errors_total", "counter",
+              "Malformed or failed commands.", total.command_errors,
+              [](const SchedulerService::Stats& s) { return s.command_errors; });
+  stat_family("lyra_svc_reads_served_total", "counter",
+              "Read-only commands answered from the snapshot.",
+              total.reads_served,
+              [](const SchedulerService::Stats& s) { return s.reads_served; });
+  stat_family("lyra_svc_snapshots_published_total", "counter",
+              "Read snapshots published by the engine.",
+              total.snapshots_published,
+              [](const SchedulerService::Stats& s) {
+                return s.snapshots_published;
+              });
+  stat_family("lyra_svc_queue_depth", "gauge",
+              "Engine command queue depth.", total.queue_depth,
+              [](const SchedulerService::Stats& s) { return s.queue_depth; });
+  stat_family("lyra_svc_queue_peak", "gauge",
+              "Engine command queue high-watermark.", total.queue_peak,
+              [](const SchedulerService::Stats& s) { return s.queue_peak; });
+
+  AppendHeader(out, "lyra_svc_uptime_seconds", "gauge",
+               "Seconds since the service started.");
+  AppendSample(out, "lyra_svc_uptime_seconds", "", "",
+               front_service.UptimeSeconds());
+
+  AppendHeader(out, "lyra_svc_shards", "gauge",
+               "Engine shards behind this front end.");
+  AppendCountSample(out, "lyra_svc_shards", "", "",
+                    static_cast<std::uint64_t>(n));
+
+  AppendHeader(out, "lyra_svc_info", "gauge",
+               "Service identity; value is always 1.");
+  {
+    std::string labels = "scheduler=\"";
+    labels += front_service.options().engine.scheduler;
+    labels += "\",reclaim=\"";
+    labels += front_service.options().engine.reclaim;
+    labels += "\",driver=\"";
+    labels += front_service.driver_name();
+    labels += '"';
+    AppendSample(out, "lyra_svc_info", "", labels, 1.0);
+  }
+
+  // --- engine gauges from the per-shard read snapshots ---
+  double virtual_time = 0.0;
+  std::uint64_t events = 0, version = 0;
+  std::array<std::uint64_t, 4> states{};
+  PoolCounters training, on_loan, inference;
+  bool any_snap = false;
+  const auto add_pool = [](PoolCounters& into, const PoolCounters& from) {
+    into.servers += from.servers;
+    into.total_gpus += from.total_gpus;
+    into.used_gpus += from.used_gpus;
+    into.free_gpus += from.free_gpus;
+  };
+  for (const auto& snap : shard_snaps) {
+    if (snap == nullptr) {
+      continue;
+    }
+    any_snap = true;
+    virtual_time = std::max(virtual_time, snap->time);
+    events += snap->events_processed;
+    version = std::max(version, snap->version);
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      states[i] += snap->state_counts[i];
+    }
+    add_pool(training, snap->training);
+    add_pool(on_loan, snap->on_loan);
+    add_pool(inference, snap->inference);
+  }
+  if (any_snap) {
+    AppendHeader(out, "lyra_engine_virtual_time_seconds", "gauge",
+                 "Engine virtual-time frontier.");
+    AppendSample(out, "lyra_engine_virtual_time_seconds", "", "", virtual_time);
+    for (int k = 0; k < n; ++k) {
+      if (shard_snaps[static_cast<std::size_t>(k)] != nullptr) {
+        AppendSample(out, "lyra_engine_virtual_time_seconds", "",
+                     shard_label(k),
+                     shard_snaps[static_cast<std::size_t>(k)]->time);
+      }
+    }
+    AppendHeader(out, "lyra_engine_events_processed_total", "counter",
+                 "Discrete events processed by the engine.");
+    AppendCountSample(out, "lyra_engine_events_processed_total", "", "",
+                      events);
+    for (int k = 0; k < n; ++k) {
+      if (shard_snaps[static_cast<std::size_t>(k)] != nullptr) {
+        AppendCountSample(
+            out, "lyra_engine_events_processed_total", "", shard_label(k),
+            shard_snaps[static_cast<std::size_t>(k)]->events_processed);
+      }
+    }
+    AppendHeader(out, "lyra_engine_snapshot_version", "gauge",
+                 "Monotone version of the published read snapshot.");
+    AppendCountSample(out, "lyra_engine_snapshot_version", "", "", version);
+    for (int k = 0; k < n; ++k) {
+      if (shard_snaps[static_cast<std::size_t>(k)] != nullptr) {
+        AppendCountSample(out, "lyra_engine_snapshot_version", "",
+                          shard_label(k),
+                          shard_snaps[static_cast<std::size_t>(k)]->version);
+      }
+    }
+    AppendHeader(out, "lyra_engine_jobs", "gauge",
+                 "Jobs known to the engine, by state.");
+    for (std::size_t st = 0; st < states.size(); ++st) {
+      AppendCountSample(out, "lyra_engine_jobs", "",
+                        std::string("state=\"") + kJobStateNames[st] + "\"",
+                        states[st]);
+    }
+    for (int k = 0; k < n; ++k) {
+      const auto& snap = shard_snaps[static_cast<std::size_t>(k)];
+      if (snap == nullptr) {
+        continue;
+      }
+      for (std::size_t st = 0; st < states.size(); ++st) {
+        AppendCountSample(out, "lyra_engine_jobs", "",
+                          std::string("state=\"") + kJobStateNames[st] +
+                              "\"," + shard_label(k),
+                          snap->state_counts[st]);
+      }
+    }
+    AppendHeader(out, "lyra_engine_pool_servers", "gauge",
+                 "Servers per cluster pool.");
+    AppendPool(out, "training", training);
+    AppendPool(out, "on_loan", on_loan);
+    AppendPool(out, "inference", inference);
+    AppendHeader(out, "lyra_engine_pool_gpus", "gauge",
+                 "GPUs per cluster pool, by kind (total/used/free).");
+    AppendPoolGpus(out, "training", training);
+    AppendPoolGpus(out, "on_loan", on_loan);
+    AppendPoolGpus(out, "inference", inference);
   }
   return out;
 }

@@ -120,7 +120,19 @@ Status SchedulerService::Restore(const std::string& snapshot_path) {
   if (!loaded.ok()) {
     return loaded.status();
   }
-  ServiceSnapshot& snapshot = loaded.value();
+  return RestoreSnapshot(std::move(loaded).value());
+}
+
+Status SchedulerService::RestoreBytes(const std::string& image,
+                                      const std::string& origin) {
+  StatusOr<ServiceSnapshot> decoded = DecodeSnapshot(image, origin);
+  if (!decoded.ok()) {
+    return decoded.status();
+  }
+  return RestoreSnapshot(std::move(decoded).value());
+}
+
+Status SchedulerService::RestoreSnapshot(ServiceSnapshot snapshot) {
   options_.engine = snapshot.config;
   StatusOr<Engine> built = BuildEngine(options_.engine, options_.trace_path);
   if (!built.ok()) {

@@ -127,6 +127,11 @@ class SchedulerService {
   // Call instead of Start().
   Status Restore(const std::string& snapshot_path);
 
+  // Same, from an in-memory LYRASNAP file image — the multi-shard restore
+  // path, where the container carries each shard's image byte-for-byte.
+  // `origin` only flavors error messages.
+  Status RestoreBytes(const std::string& image, const std::string& origin);
+
   // Processes every queued command, stops the engine thread, and finalizes
   // the engine (flushing the trace file). Idempotent.
   void Stop();
@@ -166,6 +171,13 @@ class SchedulerService {
   // themselves instead of going through ExecuteText.
   void CountProtocolError() const {
     command_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Counts one served read in Stats::reads_served. For front ends that
+  // answer a read by merging several shards' snapshots themselves (the
+  // ShardRouter) rather than going through this service's ReadReply.
+  void CountRead() const {
+    reads_served_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Advisory saturation hint for front ends: true when the engine queue was
@@ -248,6 +260,9 @@ class SchedulerService {
   JsonValue ApplyAdvance(const JsonValue& request);
   JsonValue ApplyDrain();
   JsonValue ApplySnapshot(const JsonValue& request);
+
+  // Shared tail of Restore/RestoreBytes: rebuild the engine and replay.
+  Status RestoreSnapshot(ServiceSnapshot snapshot);
 
   // Virtual-time stamp for a mutating command: max(engine frontier, driver
   // clock, explicit "at"). Monotone by construction.

@@ -7,6 +7,7 @@ namespace lyra::svc {
 namespace {
 
 constexpr char kMagic[8] = {'L', 'Y', 'R', 'A', 'S', 'N', 'A', 'P'};
+constexpr char kShardMagic[8] = {'L', 'Y', 'R', 'A', 'S', 'H', 'R', 'D'};
 
 std::uint64_t Fnv1a(const std::string& data) {
   std::uint64_t hash = 14695981039346656037ull;
@@ -119,6 +120,17 @@ class Reader {
     const Status status = U8(&byte);
     *v = byte != 0;
     return status;
+  }
+
+  // Raw byte blob with an externally-read u64 length (shard images can
+  // exceed the u32-length Str framing).
+  Status Str64(std::string* v, std::uint64_t length) {
+    if (!Have(length)) {
+      return Truncated();
+    }
+    v->assign(data_, pos_, length);
+    pos_ += static_cast<std::size_t>(length);
+    return Status::Ok();
   }
 
   bool AtEnd() const { return pos_ == data_.size(); }
@@ -244,40 +256,9 @@ Status ReadCommand(Reader& in, LoggedCommand* cmd) {
   return Status::Ok();
 }
 
-}  // namespace
-
-const char* CommandKindName(CommandKind kind) {
-  switch (kind) {
-    case CommandKind::kSubmit:
-      return "submit";
-    case CommandKind::kCancel:
-      return "cancel";
-    case CommandKind::kAdvance:
-      return "advance";
-    case CommandKind::kDrain:
-      return "drain";
-  }
-  return "?";
-}
-
-Status SaveSnapshot(const ServiceSnapshot& snapshot, const std::string& path) {
-  std::string payload;
-  PutConfig(payload, snapshot.config);
-  PutU64(payload, snapshot.commands.size());
-  for (const LoggedCommand& cmd : snapshot.commands) {
-    PutCommand(payload, cmd);
-  }
-  PutF64(payload, snapshot.horizon);
-
-  std::string file;
-  file.append(kMagic, sizeof(kMagic));
-  PutU32(file, kSnapshotVersion);
-  PutU64(file, payload.size());
-  file += payload;
-  PutU64(file, Fnv1a(payload));
-
-  // Write-then-rename so a crash mid-write never leaves a torn snapshot at
-  // the target path.
+// Write-then-rename so a crash mid-write never leaves a torn snapshot at
+// the target path.
+Status WriteFileAtomic(const std::string& file, const std::string& path) {
   const std::string tmp = path + ".tmp";
   std::FILE* out = std::fopen(tmp.c_str(), "wb");
   if (out == nullptr) {
@@ -296,7 +277,7 @@ Status SaveSnapshot(const ServiceSnapshot& snapshot, const std::string& path) {
   return Status::Ok();
 }
 
-StatusOr<ServiceSnapshot> LoadSnapshot(const std::string& path) {
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
   std::FILE* in = std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
     return Status::NotFound("cannot open snapshot: " + path);
@@ -312,12 +293,22 @@ StatusOr<ServiceSnapshot> LoadSnapshot(const std::string& path) {
   if (read_error) {
     return Status::DataLoss("read error: " + path);
   }
+  return file;
+}
 
-  if (file.size() < sizeof(kMagic) + 4 + 8 ||
-      std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a Lyra snapshot: " + path);
+// Splits a container file into (version, payload) after verifying the given
+// magic, the length framing, and the payload checksum. Shared by both the
+// single- and multi-shard envelopes, which differ only in magic and payload
+// grammar.
+StatusOr<std::string> OpenEnvelope(const std::string& file,
+                                   const char (&magic)[8],
+                                   std::uint32_t expected_version,
+                                   const std::string& origin) {
+  if (file.size() < sizeof(magic) + 4 + 8 ||
+      std::memcmp(file.data(), magic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not a Lyra snapshot: " + origin);
   }
-  std::size_t pos = sizeof(kMagic);
+  std::size_t pos = sizeof(magic);
   auto read_u32 = [&](std::uint32_t* v) {
     *v = 0;
     for (int i = 0; i < 4; ++i) {
@@ -334,23 +325,80 @@ StatusOr<ServiceSnapshot> LoadSnapshot(const std::string& path) {
   };
   std::uint32_t version = 0;
   read_u32(&version);
-  if (version != kSnapshotVersion) {
+  if (version != expected_version) {
     return Status::InvalidArgument("unsupported snapshot version " +
                                    std::to_string(version) + " (expected " +
-                                   std::to_string(kSnapshotVersion) + ")");
+                                   std::to_string(expected_version) + ")");
   }
   std::uint64_t payload_size = 0;
   read_u64(&payload_size);
   if (file.size() < pos + payload_size + 8) {
-    return Status::DataLoss("snapshot truncated: " + path);
+    return Status::DataLoss("snapshot truncated: " + origin);
   }
-  const std::string payload = file.substr(pos, payload_size);
+  std::string payload = file.substr(pos, payload_size);
   pos += payload_size;
   std::uint64_t stored_hash = 0;
   read_u64(&stored_hash);
   if (Fnv1a(payload) != stored_hash) {
-    return Status::DataLoss("snapshot checksum mismatch: " + path);
+    return Status::DataLoss("snapshot checksum mismatch: " + origin);
   }
+  return payload;
+}
+
+}  // namespace
+
+const char* CommandKindName(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kSubmit:
+      return "submit";
+    case CommandKind::kCancel:
+      return "cancel";
+    case CommandKind::kAdvance:
+      return "advance";
+    case CommandKind::kDrain:
+      return "drain";
+  }
+  return "?";
+}
+
+std::string EncodeSnapshot(const ServiceSnapshot& snapshot) {
+  std::string payload;
+  PutConfig(payload, snapshot.config);
+  PutU64(payload, snapshot.commands.size());
+  for (const LoggedCommand& cmd : snapshot.commands) {
+    PutCommand(payload, cmd);
+  }
+  PutF64(payload, snapshot.horizon);
+
+  std::string file;
+  file.append(kMagic, sizeof(kMagic));
+  PutU32(file, kSnapshotVersion);
+  PutU64(file, payload.size());
+  file += payload;
+  PutU64(file, Fnv1a(payload));
+  return file;
+}
+
+Status SaveSnapshot(const ServiceSnapshot& snapshot, const std::string& path) {
+  return WriteFileAtomic(EncodeSnapshot(snapshot), path);
+}
+
+StatusOr<ServiceSnapshot> LoadSnapshot(const std::string& path) {
+  StatusOr<std::string> file = ReadWholeFile(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  return DecodeSnapshot(file.value(), path);
+}
+
+StatusOr<ServiceSnapshot> DecodeSnapshot(const std::string& image,
+                                         const std::string& origin) {
+  StatusOr<std::string> opened =
+      OpenEnvelope(image, kMagic, kSnapshotVersion, origin);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  const std::string payload = std::move(opened).value();
 
   ServiceSnapshot snapshot;
   Reader reader(payload);
@@ -375,6 +423,91 @@ StatusOr<ServiceSnapshot> LoadSnapshot(const std::string& path) {
   status = reader.F64(&snapshot.horizon);
   if (!status.ok()) {
     return status;
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in snapshot payload: " + origin);
+  }
+  return snapshot;
+}
+
+Status SaveMultiSnapshot(const MultiSnapshot& snapshot,
+                         const std::string& path) {
+  if (snapshot.shard_images.empty()) {
+    return Status::InvalidArgument("multi-snapshot has no shards");
+  }
+  if (snapshot.shard_images.size() == 1) {
+    // Bit-compatible with the unsharded service: one shard writes the plain
+    // LYRASNAP image, so existing tooling keeps working on shards=1 files.
+    return WriteFileAtomic(snapshot.shard_images.front(), path);
+  }
+  std::string payload;
+  PutU32(payload, static_cast<std::uint32_t>(snapshot.shard_images.size()));
+  PutU64(payload, snapshot.submit_seq);
+  for (const std::string& image : snapshot.shard_images) {
+    PutU64(payload, image.size());
+    payload += image;
+  }
+
+  std::string file;
+  file.append(kShardMagic, sizeof(kShardMagic));
+  PutU32(file, kMultiSnapshotVersion);
+  PutU64(file, payload.size());
+  file += payload;
+  PutU64(file, Fnv1a(payload));
+  return WriteFileAtomic(file, path);
+}
+
+StatusOr<MultiSnapshot> LoadMultiSnapshot(const std::string& path) {
+  StatusOr<std::string> read = ReadWholeFile(path);
+  if (!read.ok()) {
+    return read.status();
+  }
+  const std::string& file = read.value();
+
+  // A plain LYRASNAP file is a valid one-shard snapshot: the sequence number
+  // never influenced routing at one shard, so 0 is exact, not a guess.
+  if (file.size() >= sizeof(kMagic) &&
+      std::memcmp(file.data(), kMagic, sizeof(kMagic)) == 0) {
+    MultiSnapshot snapshot;
+    snapshot.shard_images.push_back(file);
+    return snapshot;
+  }
+
+  StatusOr<std::string> opened =
+      OpenEnvelope(file, kShardMagic, kMultiSnapshotVersion, path);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  const std::string payload = std::move(opened).value();
+
+  MultiSnapshot snapshot;
+  Reader reader(payload);
+  std::uint32_t shard_count = 0;
+  Status status = reader.U32(&shard_count);
+  if (!status.ok()) {
+    return status;
+  }
+  if (shard_count == 0 || shard_count > 4096) {
+    return Status::DataLoss("implausible shard count in snapshot: " +
+                            std::to_string(shard_count));
+  }
+  status = reader.U64(&snapshot.submit_seq);
+  if (!status.ok()) {
+    return status;
+  }
+  snapshot.shard_images.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    std::uint64_t image_size = 0;
+    status = reader.U64(&image_size);
+    if (!status.ok()) {
+      return status;
+    }
+    std::string image;
+    status = reader.Str64(&image, image_size);
+    if (!status.ok()) {
+      return status;
+    }
+    snapshot.shard_images.push_back(std::move(image));
   }
   if (!reader.AtEnd()) {
     return Status::DataLoss("trailing bytes in snapshot payload: " + path);

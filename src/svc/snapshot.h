@@ -65,6 +65,43 @@ Status SaveSnapshot(const ServiceSnapshot& snapshot, const std::string& path);
 // truncated file or checksum mismatch.
 StatusOr<ServiceSnapshot> LoadSnapshot(const std::string& path);
 
+// String-level codec for the exact LYRASNAP file image (magic + version +
+// payload + checksum). SaveSnapshot == EncodeSnapshot + atomic file write;
+// LoadSnapshot == file read + DecodeSnapshot. Exposed so the multi-shard
+// container below can carry each shard's image byte-for-byte, and so tests
+// can round-trip snapshots without touching the filesystem. `origin` only
+// flavors error messages (a path or a "shard k" tag).
+std::string EncodeSnapshot(const ServiceSnapshot& snapshot);
+StatusOr<ServiceSnapshot> DecodeSnapshot(const std::string& image,
+                                         const std::string& origin);
+
+// Multi-shard snapshot container (DESIGN.md §10). Wraps N complete LYRASNAP
+// images — one per engine shard, stored byte-identically — plus the front
+// end's submit-routing sequence number, so a warm restart resumes routing
+// keyless submits to the same shards an uninterrupted run would have.
+//
+// File layout mirrors LYRASNAP:
+//   magic  "LYRASHRD" (8 bytes)
+//   u32    version (currently 1)
+//   u64    payload size
+//   bytes  payload: u32 shard count, u64 submit_seq,
+//                   then per shard: u64 image size + LYRASNAP image bytes
+//   u64    FNV-1a hash of the payload
+inline constexpr std::uint32_t kMultiSnapshotVersion = 1;
+
+struct MultiSnapshot {
+  std::uint64_t submit_seq = 0;
+  std::vector<std::string> shard_images;  // one LYRASNAP file image per shard
+};
+
+// One shard degrades to a plain LYRASNAP file (bit-identical with what the
+// unsharded service writes); two or more get the LYRASHRD envelope.
+Status SaveMultiSnapshot(const MultiSnapshot& snapshot, const std::string& path);
+
+// Accepts both formats: a plain LYRASNAP file loads as a one-shard
+// MultiSnapshot with submit_seq 0. Error classes match LoadSnapshot.
+StatusOr<MultiSnapshot> LoadMultiSnapshot(const std::string& path);
+
 }  // namespace lyra::svc
 
 #endif  // SRC_SVC_SNAPSHOT_H_

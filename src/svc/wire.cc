@@ -256,6 +256,12 @@ StatusOr<int> ConnectTcp(const std::string& host, int port) {
   return fd;
 }
 
+StatusOr<int> ConnectEndpoint(const std::string& unix_path,
+                              const std::string& tcp_host, int tcp_port) {
+  return !unix_path.empty() ? ConnectUnix(unix_path)
+                            : ConnectTcp(tcp_host, tcp_port);
+}
+
 Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {

@@ -75,6 +75,12 @@ StatusOr<int> ListenTcp(const std::string& host, int port, int backlog,
                         int* bound_port = nullptr);
 StatusOr<int> ConnectTcp(const std::string& host, int port);
 
+// Connects to whichever endpoint is configured: the Unix path when
+// non-empty, else TCP host:port. The shared client-side policy of the load
+// client and the CLI tools, in one place.
+StatusOr<int> ConnectEndpoint(const std::string& unix_path,
+                              const std::string& tcp_host, int tcp_port);
+
 // Puts `fd` into non-blocking mode (the event loop's sockets).
 Status SetNonBlocking(int fd);
 

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   std::string tcp;
   std::string path;
   std::string model;
+  std::string key;
   double at = -1.0;
   double to = -1.0;
   double total_work = -1.0;
@@ -63,6 +64,8 @@ int main(int argc, char** argv) {
   flags.AddDouble("total-work", &total_work,
                   "submit: total work in GPU-seconds (<0 = default)");
   flags.AddString("model", &model, "submit: resnet | vgg | bert | gnmt | other");
+  flags.AddString("key", &key,
+                  "submit: routing key (same key -> same engine shard)");
   flags.AddBool("fungible", &fungible, "submit: job tolerates reclaims");
   flags.AddBool("heterogeneous", &heterogeneous, "submit: may span GPU types");
   flags.AddBool("checkpointing", &checkpointing, "submit: checkpoint-enabled");
@@ -98,6 +101,9 @@ int main(int argc, char** argv) {
     }
     if (!model.empty()) {
       request.Set("model", lyra::JsonValue::MakeString(model));
+    }
+    if (!key.empty()) {
+      request.Set("key", lyra::JsonValue::MakeString(key));
     }
     request.Set("fungible", lyra::JsonValue::MakeBool(fungible));
     request.Set("heterogeneous", lyra::JsonValue::MakeBool(heterogeneous));
@@ -164,6 +170,21 @@ int main(int argc, char** argv) {
     std::fputs(parsed_reply.value().GetString("text", "").c_str(), stdout);
   } else {
     std::printf("%s\n", reply.value().c_str());
+  }
+  // A sharded daemon's ping carries a per-shard breakdown; render it as a
+  // table under the raw reply so shard imbalance is visible at a glance.
+  if (cmd == "ping" && ok) {
+    const lyra::JsonValue* shards = parsed_reply.value().Find("shards");
+    if (shards != nullptr && shards->is_array()) {
+      for (const lyra::JsonValue& entry : shards->AsArray()) {
+        std::printf("  shard %2.0f: commands_applied=%.0f snapshot_seq=%.0f "
+                    "virtual_time=%.1f\n",
+                    entry.GetDouble("shard"),
+                    entry.GetDouble("commands_applied"),
+                    entry.GetDouble("snapshot_seq"),
+                    entry.GetDouble("virtual_time"));
+      }
+    }
   }
   return ok ? 0 : 2;
 }

@@ -3,9 +3,12 @@
 // Drives the daemon over its Unix socket (or TCP with --tcp=<host:port>)
 // with paced, batched, pipelined submit frames — the open-loop client in
 // src/svc/loadclient.h. Reports submit throughput and latency percentiles
-// (p50/p90/p99/p999), counts `overloaded` backpressure rejections separately
-// from errors, and can merge the summary into the repo's BENCH_perf.json
-// under a "lyra_loadgen" key.
+// (p50/p90/p99/p999) on two bases — achieved (from the actual wire instant)
+// and coordinated-omission-corrected (from each frame's intended send time,
+// charging sender stalls back to the server) — plus the per-connection
+// in-flight high-watermark (backlog_max). Counts `overloaded` backpressure
+// rejections separately from errors, and can merge the summary into the
+// repo's BENCH_perf.json under a "lyra_loadgen" key.
 //
 // --sweep runs a saturation sweep across a list of offered rates and records
 // the full offered-load vs accepted-throughput + latency curve under
@@ -67,6 +70,12 @@ void PrintPoint(const lyra::svc::LoadPoint& point) {
               "(n=%llu)\n",
               point.p50_ms, point.p90_ms, point.p99_ms, point.p999_ms,
               point.max_ms, static_cast<unsigned long long>(point.samples));
+  std::printf("    corrected ms: p50=%.3f p90=%.3f p99=%.3f p999=%.3f "
+              "max=%.3f (intended-send basis; backlog_max=%llu)\n",
+              point.corrected_p50_ms, point.corrected_p90_ms,
+              point.corrected_p99_ms, point.corrected_p999_ms,
+              point.corrected_max_ms,
+              static_cast<unsigned long long>(point.backlog_max));
   if (point.server_samples > 0) {
     std::printf("    server  ms: p50=%.3f p90=%.3f p99=%.3f p999=%.3f (n=%llu, "
                 "decode->reply-queued)\n",

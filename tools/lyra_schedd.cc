@@ -9,10 +9,15 @@
 // from a snapshot taken with `lyra_ctl snapshot` (or the snapshot command),
 // replaying the persisted command log into a bit-identical engine.
 //
+// --shards=N runs N independent single-writer engines behind the one front
+// end (DESIGN.md §10): submits spread by key hash, job ids carry their owning
+// shard, snapshot/restore round-trips the whole fleet byte-identically.
+//
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --tcp-port=7070
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --restore=/tmp/lyra.snap
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --time-scale=3600
+//   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --shards=4
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -25,6 +30,7 @@
 #include "src/common/log.h"
 #include "src/svc/event_loop.h"
 #include "src/svc/service.h"
+#include "src/svc/shard_router.h"
 #include "src/svc/time_driver.h"
 
 namespace {
@@ -51,6 +57,7 @@ int main(int argc, char** argv) {
   std::string log_level = env_level != nullptr ? env_level : "warning";
   std::string flight_path = "/tmp/lyra_schedd.trace.json";
   double time_scale = 0.0;
+  int shards = 1;
   int seed = 42;
   double scale = 0.25;
   double horizon_days = 30.0;
@@ -82,6 +89,8 @@ int main(int argc, char** argv) {
   flags.AddInt("queue-capacity", &options.queue_capacity,
                "command queue bound (backpressure beyond it)");
   flags.AddInt("io-threads", &loop_options.io_threads, "epoll I/O threads");
+  flags.AddInt("shards", &shards,
+               "independent engine shards behind the front end");
   flags.AddString("log-level", &log_level,
                   "debug | info | warning | error | off "
                   "(default from LYRA_LOG_LEVEL)");
@@ -115,31 +124,42 @@ int main(int argc, char** argv) {
   // nothing in this process ever wants a SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
 
-  std::unique_ptr<lyra::svc::TimeDriver> driver;
-  if (time_scale > 0.0) {
-    driver = std::make_unique<lyra::svc::ScaledRealTimeDriver>(time_scale);
-  } else {
-    driver = std::make_unique<lyra::svc::VirtualTimeDriver>();
-  }
-  lyra::svc::SchedulerService service(options, std::move(driver));
-  const lyra::Status started = restore_path.empty()
-                                   ? service.Start()
-                                   : service.Restore(restore_path);
-  if (!started.ok()) {
-    std::fprintf(stderr, "lyra_schedd: %s\n", started.message().c_str());
+  const auto make_driver =
+      [time_scale](int) -> std::unique_ptr<lyra::svc::TimeDriver> {
+    if (time_scale > 0.0) {
+      return std::make_unique<lyra::svc::ScaledRealTimeDriver>(time_scale);
+    }
+    return std::make_unique<lyra::svc::VirtualTimeDriver>();
+  };
+  lyra::StatusOr<lyra::svc::ShardSet> built =
+      restore_path.empty()
+          ? lyra::svc::BuildShardSet(options, shards, make_driver)
+          : lyra::svc::RestoreShardSet(options, restore_path, make_driver);
+  if (!built.ok()) {
+    std::fprintf(stderr, "lyra_schedd: %s\n", built.status().message().c_str());
     return 1;
   }
+  lyra::svc::ShardSet fleet = std::move(built.value());
+  lyra::svc::ShardRouter& router = *fleet.router;
   if (!restore_path.empty()) {
-    std::printf("restored %zu command(s) from %s; engine at t=%.1fs\n",
-                service.command_log().size(), restore_path.c_str(),
-                service.simulator().now());
+    std::size_t commands = 0;
+    for (const auto& shard : fleet.services) {
+      commands += shard->command_log().size();
+    }
+    std::printf(
+        "restored %zu command(s) across %d shard(s) from %s; front engine at "
+        "t=%.1fs\n",
+        commands, router.shard_count(), restore_path.c_str(),
+        router.front()->simulator().now());
   }
 
-  lyra::svc::EventLoop loop(&service, loop_options);
+  lyra::svc::EventLoop loop(&router, loop_options);
   const lyra::Status listening = loop.Start();
   if (!listening.ok()) {
     std::fprintf(stderr, "lyra_schedd: %s\n", listening.message().c_str());
-    service.Stop();
+    for (auto& shard : fleet.services) {
+      shard->Stop();
+    }
     return 1;
   }
   std::printf("lyra_schedd listening on %s", loop.unix_path().empty()
@@ -149,45 +169,54 @@ int main(int argc, char** argv) {
     std::printf(" and tcp %s:%d", loop_options.tcp_host.c_str(),
                 loop.tcp_port());
   }
-  std::printf(" (scheduler=%s reclaim=%s driver=%s io-threads=%d)\n",
+  std::printf(" (scheduler=%s reclaim=%s driver=%s io-threads=%d shards=%d)\n",
               options.engine.scheduler.c_str(), options.engine.reclaim.c_str(),
               time_scale > 0.0 ? "scaled-realtime" : "virtual",
-              loop_options.io_threads);
+              loop_options.io_threads, router.shard_count());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGUSR1, HandleUsr1);
-  while (g_signal == 0 && !service.stopped()) {
+  while (g_signal == 0 && !router.front()->stopped()) {
     if (g_dump_flight != 0) {
       g_dump_flight = 0;
-      const lyra::StatusOr<std::size_t> dumped =
-          service.DumpFlightRecorder(flight_path);
-      if (dumped.ok()) {
-        std::printf("flight recorder: %zu span(s) -> %s\n", dumped.value(),
-                    flight_path.c_str());
-      } else {
-        std::fprintf(stderr, "flight recorder: %s\n",
-                     dumped.status().message().c_str());
+      // Shard 0 writes the configured path; other shards get per-shard
+      // files, same naming as the trace_dump wire command.
+      for (int k = 0; k < router.shard_count(); ++k) {
+        const std::string path =
+            k == 0 ? flight_path : flight_path + ".shard" + std::to_string(k);
+        const lyra::StatusOr<std::size_t> dumped =
+            router.shard(k)->DumpFlightRecorder(path);
+        if (dumped.ok()) {
+          std::printf("flight recorder: %zu span(s) -> %s\n", dumped.value(),
+                      path.c_str());
+        } else {
+          std::fprintf(stderr, "flight recorder: %s\n",
+                       dumped.status().message().c_str());
+        }
       }
       std::fflush(stdout);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  if (g_signal != 0 && !snapshot_on_exit.empty() && !service.stopped()) {
+  if (g_signal != 0 && !snapshot_on_exit.empty() &&
+      !router.front()->stopped()) {
     lyra::JsonValue request = lyra::JsonValue::MakeObject();
     request.Set("cmd", lyra::JsonValue::MakeString("snapshot"));
     request.Set("path", lyra::JsonValue::MakeString(snapshot_on_exit));
-    const lyra::JsonValue reply = service.Execute(request);
+    const lyra::JsonValue reply = router.Execute(request);
     std::printf("snapshot-on-exit: %s\n", reply.Dump().c_str());
   }
 
-  // Stop the service first so every queued command completes and its reply
+  // Stop the shards first so every queued command completes and its reply
   // reaches the event loop; the loop then flushes and closes connections.
-  service.Stop();
+  for (auto& shard : fleet.services) {
+    shard->Stop();
+  }
   loop.Stop();
-  const lyra::svc::SchedulerService::Stats stats = service.stats();
+  const lyra::svc::SchedulerService::Stats stats = router.AggregateStats();
   std::printf("lyra_schedd exiting: %llu command(s), %llu submit(s), "
               "%llu read(s), %llu rejection(s)\n",
               static_cast<unsigned long long>(stats.commands_applied),

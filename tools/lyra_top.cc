@@ -4,7 +4,8 @@
 // --tcp is given (the same sniffed path a real scraper uses), or the
 // `stats_prom` wire command over the Unix socket otherwise — and renders
 // throughput deltas, windowed latency percentiles per command, queue depth,
-// shed counts, and the per-io-thread traffic balance. Percentiles are
+// shed counts, the per-io-thread traffic balance, and (against a sharded
+// daemon) the per-engine-shard command balance. Percentiles are
 // computed by differencing consecutive scrapes of the cumulative histograms
 // (obs::Histogram::Subtract), so every number shown is "over the last
 // interval", not since daemon start.
@@ -216,6 +217,35 @@ void Render(const Frame& cur, const Frame* prev, double dt, bool plain) {
                 Rate(frames, prev_frames, dt, have_prev));
   }
   std::printf("\n");
+
+  // Per-engine-shard balance, from the shard="k" rows a sharded daemon adds
+  // to lyra_svc_commands_applied_total. Unsharded daemons have no such rows
+  // and skip the line entirely; a skewed column here means the routing hash
+  // (or a hot client key) is concentrating work on one engine.
+  std::map<std::string, double> per_shard;
+  for (const PromSample& sample : s.samples) {
+    if (sample.name != "lyra_svc_commands_applied_total") {
+      continue;
+    }
+    const auto shard = sample.labels.find("shard");
+    if (shard == sample.labels.end()) {
+      continue;
+    }
+    per_shard[shard->second] += sample.value;
+  }
+  if (!per_shard.empty()) {
+    std::printf("shards:");
+    for (const auto& [shard, commands] : per_shard) {
+      double prev_commands = 0.0;
+      if (have_prev) {
+        prev_commands = prev->scrape.Value("lyra_svc_commands_applied_total",
+                                           {{"shard", shard}});
+      }
+      std::printf("  engine%s %.0f/s", shard.c_str(),
+                  Rate(commands, prev_commands, dt, have_prev));
+    }
+    std::printf("\n");
+  }
   std::fflush(stdout);
 }
 
