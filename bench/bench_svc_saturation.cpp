@@ -16,12 +16,16 @@
 //   bench_svc_saturation [--rates=20000,100000,400000] [--duration=2]
 //                        [--connections=1] [--io-threads=2] [--shards=1]
 //                        [--shard-sweep=1,2,4,8] [--shard-rate=400000]
+//                        [--federation-sweep=1x1,2x2] [--federation-rate=400000]
 //
 // --shard-sweep additionally runs one saturating point per engine-shard
 // count (--shard-rate offered) and records the scaling curve under
 // "shard_sweep" in the same section; each entry carries its "shards" count.
 // Engine sharding only buys throughput when shards run on distinct cores —
 // on a single-core host the sweep documents the overhead floor instead.
+// --federation-sweep does the same per federation spec (one fresh federated
+// daemon per point, untargeted submits landing on the training side) and
+// records the curve under "federation_sweep" with each entry's spec string.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,6 +39,7 @@
 #include "src/common/flags.h"
 #include "src/common/json.h"
 #include "src/svc/event_loop.h"
+#include "src/svc/federation.h"
 #include "src/svc/loadclient.h"
 #include "src/svc/service.h"
 #include "src/svc/shard_router.h"
@@ -118,13 +123,71 @@ lyra::StatusOr<lyra::svc::LoadPoint> RunPoint(double rate, double duration,
   return point;
 }
 
+// One offered-rate point against a fresh federation (--federation-sweep):
+// same open-loop client, but the daemon behind the socket is a
+// FederationRouter over one engine per (cluster, shard). Untargeted submits
+// default to the training side, so the point measures the federated routing
+// path end to end.
+lyra::StatusOr<lyra::svc::LoadPoint> RunFederationPoint(
+    double rate, double duration, int connections, int io_threads,
+    const std::string& spec, const std::string& payload) {
+  lyra::StatusOr<std::vector<lyra::svc::ClusterSpec>> clusters =
+      lyra::svc::ParseFederationSpec(spec);
+  if (!clusters.ok()) {
+    return clusters.status();
+  }
+  lyra::svc::ServiceOptions service_options;
+  service_options.engine.scale = 0.05;
+  service_options.auto_advance = false;
+  service_options.queue_capacity = 8192;
+
+  lyra::StatusOr<lyra::svc::FederationSet> built = lyra::svc::BuildFederation(
+      service_options, clusters.value(), [](int) {
+        return std::make_unique<lyra::svc::VirtualTimeDriver>();
+      });
+  if (!built.ok()) {
+    return built.status();
+  }
+  lyra::svc::FederationSet fleet = std::move(built.value());
+
+  lyra::svc::EventLoopOptions loop_options;
+  loop_options.unix_path =
+      "/tmp/lyra_bench_fed_" + std::to_string(::getpid()) + ".sock";
+  loop_options.io_threads = io_threads;
+  lyra::svc::EventLoop loop(fleet.router.get(), loop_options);
+  const lyra::Status started = loop.Start();
+  if (!started.ok()) {
+    for (auto& service : fleet.services) {
+      service->Stop();
+    }
+    return started;
+  }
+
+  lyra::svc::LoadClientOptions client;
+  client.unix_path = loop_options.unix_path;
+  client.connections = connections;
+  client.rate = rate;
+  client.duration_s = duration;
+  client.payload = payload;
+  client.scrape_server = true;
+  lyra::StatusOr<lyra::svc::LoadPoint> point = lyra::svc::RunOpenLoop(client);
+
+  for (auto& service : fleet.services) {
+    service->Stop();
+  }
+  loop.Stop();
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string rates_csv = "20000,50000,100000,200000,400000";
   std::string shard_sweep_csv;
+  std::string federation_sweep_csv;
   double duration = 2.0;
   double shard_rate = 400000.0;
+  double federation_rate = 400000.0;
   int connections = 1;
   int io_threads = 2;
   int shards = 1;
@@ -141,6 +204,11 @@ int main(int argc, char** argv) {
                   "(one saturating point per count)");
   flags.AddDouble("shard-rate", &shard_rate,
                   "offered rate for every shard-sweep point");
+  flags.AddString("federation-sweep", &federation_sweep_csv,
+                  "comma-separated --federation specs (e.g. 1x1,2x2) for a "
+                  "federated-topology sweep (one saturating point per spec)");
+  flags.AddDouble("federation-rate", &federation_rate,
+                  "offered rate for every federation-sweep point");
   const lyra::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.message().c_str(),
@@ -252,6 +320,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Federation-topology sweep: one saturating point per federation spec —
+  // the cost of the cluster-routing layer as the fleet grows.
+  std::vector<std::string> federation_specs;
+  {
+    std::stringstream fed_parts(federation_sweep_csv);
+    std::string fed_part;
+    while (std::getline(fed_parts, fed_part, ',')) {
+      if (!fed_part.empty()) {
+        federation_specs.push_back(fed_part);
+      }
+    }
+  }
+  std::vector<std::pair<std::string, lyra::svc::LoadPoint>> federation_points;
+  if (!federation_specs.empty()) {
+    std::printf("federation scaling sweep at offered %.0f/s:\n",
+                federation_rate);
+    for (const std::string& spec : federation_specs) {
+      lyra::StatusOr<lyra::svc::LoadPoint> run = RunFederationPoint(
+          federation_rate, duration, connections, io_threads, spec, payload);
+      if (!run.ok()) {
+        std::fprintf(stderr, "bench_svc_saturation: federation %s: %s\n",
+                     spec.c_str(), run.status().message().c_str());
+        return 1;
+      }
+      const lyra::svc::LoadPoint& point = run.value();
+      errors += point.errors;
+      std::printf("  federation %-8s -> accepted %8.0f/s  p50=%.3fms "
+                  "p99=%.3fms corrected_p99=%.3fms\n",
+                  spec.c_str(), point.accepted_per_s, point.p50_ms,
+                  point.p99_ms, point.corrected_p99_ms);
+      federation_points.emplace_back(spec, point);
+    }
+  }
+
   const char* report_env = std::getenv("LYRA_BENCH_PERF_JSON");
   const std::string report_path =
       report_env != nullptr ? report_env : "BENCH_perf.json";
@@ -270,6 +372,15 @@ int main(int argc, char** argv) {
         scaling.Append(std::move(entry));
       }
       section.Set("shard_sweep", std::move(scaling));
+    }
+    if (!federation_points.empty()) {
+      lyra::JsonValue scaling = lyra::JsonValue::MakeArray();
+      for (const auto& [spec, point] : federation_points) {
+        lyra::JsonValue entry = lyra::svc::LoadPointJson(point);
+        entry.Set("federation", lyra::JsonValue::MakeString(spec));
+        scaling.Append(std::move(entry));
+      }
+      section.Set("federation_sweep", std::move(scaling));
     }
     MergeReport(report_path, section);
     std::printf("merged svc_saturation section into %s\n", report_path.c_str());

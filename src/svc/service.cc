@@ -51,11 +51,12 @@ bool ModelFamilyFromName(const std::string& name, ModelFamily* family) {
 
 SchedulerService::CmdClass SchedulerService::Classify(const std::string& cmd) {
   if (cmd == "query_job" || cmd == "cluster_stats" || cmd == "metrics" ||
-      cmd == "ping" || cmd == "stats_prom" || cmd == "trace_dump") {
+      cmd == "ping" || cmd == "stats_prom" || cmd == "trace_dump" ||
+      cmd == "federation_stats") {
     return CmdClass::kRead;
   }
   if (cmd == "submit" || cmd == "cancel" || cmd == "advance" || cmd == "drain" ||
-      cmd == "snapshot" || cmd == "shutdown") {
+      cmd == "snapshot" || cmd == "shutdown" || cmd == "migrate") {
     return CmdClass::kEngine;
   }
   return CmdClass::kUnknown;
@@ -69,6 +70,7 @@ SchedulerService::CmdClass SchedulerService::Classify(TelemetryCmd cmd) {
     case TelemetryCmd::kDrain:
     case TelemetryCmd::kSnapshot:
     case TelemetryCmd::kShutdown:
+    case TelemetryCmd::kMigrate:
       return CmdClass::kEngine;
     case TelemetryCmd::kQueryJob:
     case TelemetryCmd::kClusterStats:
@@ -76,6 +78,7 @@ SchedulerService::CmdClass SchedulerService::Classify(TelemetryCmd cmd) {
     case TelemetryCmd::kPing:
     case TelemetryCmd::kStatsProm:
     case TelemetryCmd::kTraceDump:
+    case TelemetryCmd::kFederationStats:
       return CmdClass::kRead;
     case TelemetryCmd::kOther:
     case TelemetryCmd::kBatchApply:
@@ -420,6 +423,11 @@ JsonValue SchedulerService::ReadReply(const JsonValue& request) const {
     // document as a reply field, for clients without an HTTP path.
     reply = OkReply();
     reply.Set("text", JsonValue::MakeString(RenderPrometheus(*this)));
+  } else if (cmd == "federation_stats") {
+    // Classified as a read so the federation front end can intercept it; a
+    // plain engine has no clusters or broker to report on.
+    command_errors_.fetch_add(1, std::memory_order_relaxed);
+    reply = ErrorReply("failed_precondition", "not a federation");
   } else if (cmd == "trace_dump") {
     const std::string path = request.GetString("path");
     if (path.empty()) {

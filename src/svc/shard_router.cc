@@ -49,10 +49,6 @@ std::string ShardSuffixPath(const std::string& path, int shard) {
   return path + ".shard" + std::to_string(shard);
 }
 
-std::string PartPath(const std::string& path, int shard) {
-  return path + ".part" + std::to_string(shard);
-}
-
 StatusOr<std::string> ReadFileBytes(const std::string& path) {
   std::FILE* in = std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
@@ -150,6 +146,10 @@ ShardRouter::ShardRouter(std::vector<SchedulerService*> shards)
   for (SchedulerService* shard : shards_) {
     LYRA_CHECK(shard != nullptr);
   }
+}
+
+std::string ShardRouter::PartPath(const std::string& path, int shard) {
+  return path + ".part" + std::to_string(shard);
 }
 
 std::uint64_t ShardRouter::Hash(const void* data, std::size_t size) {
@@ -564,11 +564,13 @@ JsonValue ShardRouter::MergedStatsProm(const JsonValue& request) const {
     return reply;
   }
   JsonValue reply = OkReply();
-  reply.Set("text", JsonValue::MakeString(RenderPrometheus(*this)));
+  reply.Set("text", JsonValue::MakeString(RenderPromText()));
   front()->CountRead();
   EchoSeq(request, reply);
   return reply;
 }
+
+std::string ShardRouter::RenderPromText() const { return RenderPrometheus(*this); }
 
 JsonValue ShardRouter::MergedTraceDump(const JsonValue& request) const {
   const std::string path = request.GetString("path");

@@ -54,6 +54,7 @@ class ShardRouter {
 
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
+  virtual ~ShardRouter() = default;
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
   SchedulerService* shard(int i) const { return shards_[static_cast<std::size_t>(i)]; }
@@ -83,32 +84,35 @@ class ShardRouter {
     bool shed = false;         // target saturated: answer canned, enqueue nothing
     bool fanout = false;       // barrier command (advance/drain/snapshot/shutdown)
     bool rewrite_job = false;  // reply "job" needs the local->global rewrite
+    bool reject = false;       // invalid target: DispatchEngine answers inline
     std::uint32_t shard = 0;   // advisory target (authoritative after Begin)
   };
 
   // Phase 1: pure routing decision, no side effects. For keyless submits the
   // counter is peeked, not consumed — a shed frame must not burn a sequence
   // number or replay-after-restore would route differently than the
-  // uninterrupted run.
-  Plan RouteEngine(TelemetryCmd cmd, const JsonValue& request) const;
+  // uninterrupted run. Virtual so a FederationRouter (federation.h) can
+  // layer cluster-aware routing over the same event loop.
+  virtual Plan RouteEngine(TelemetryCmd cmd, const JsonValue& request) const;
 
   // Phase 2: consumes the submit counter where routing is counter-based and
   // rewrites the request's "job" from global to local in place (cancel).
   // Returns the authoritative shard (0 for fanout commands).
-  std::uint32_t BeginEngine(TelemetryCmd cmd, JsonValue& request,
-                            const Plan& plan);
+  virtual std::uint32_t BeginEngine(TelemetryCmd cmd, JsonValue& request,
+                                    const Plan& plan);
 
   // Phase 3: enqueue. Single-shard commands go to shard `shard`'s
   // ExecuteAsync; fanout commands are copied to every shard behind a
   // barrier sink that merges the N replies and delivers once to `sink` with
   // (a, b). Inline rejections can invoke the sink before this returns.
-  void DispatchEngine(const Plan& plan, std::uint32_t shard, JsonValue request,
-                      std::shared_ptr<SchedulerService::CompletionSink> sink,
-                      std::uint64_t a, std::uint64_t b);
+  virtual void DispatchEngine(
+      const Plan& plan, std::uint32_t shard, JsonValue request,
+      std::shared_ptr<SchedulerService::CompletionSink> sink, std::uint64_t a,
+      std::uint64_t b);
 
   // Reply-side id rewrite (local -> global) for replies from `shard`.
   // No-op when the reply has no numeric "job" (error replies) or N == 1.
-  void RewriteReplyJob(std::uint32_t shard, JsonValue& reply) const;
+  virtual void RewriteReplyJob(std::uint32_t shard, JsonValue& reply) const;
 
   // --- Reads ------------------------------------------------------------
 
@@ -116,7 +120,11 @@ class ShardRouter {
   // otherwise query_job routes by id, cluster_stats/metrics/ping merge the
   // per-shard snapshots, stats_prom renders the merged exposition, and
   // trace_dump fans out per-shard trace files.
-  JsonValue ReadReply(const JsonValue& request) const;
+  virtual JsonValue ReadReply(const JsonValue& request) const;
+
+  // The Prometheus exposition the /metrics endpoint and stats_prom serve.
+  // A federation re-renders with cluster= labels and broker gauges.
+  virtual std::string RenderPromText() const;
 
   // Synchronous convenience for tools and tests (mirrors
   // SchedulerService::Execute, including reply-id rewrites and barriers).
@@ -148,7 +156,11 @@ class ShardRouter {
   // FNV-1a over `data` (the routing hash; exposed for tests).
   static std::uint64_t Hash(const void* data, std::size_t size);
 
- private:
+  // Per-shard scratch file a fanout snapshot writes before the merge gathers
+  // the parts into the container ("<path>.part<k>").
+  static std::string PartPath(const std::string& path, int shard);
+
+ protected:
   class FanoutSink;
   class WaitSink;
 
@@ -161,11 +173,20 @@ class ShardRouter {
   JsonValue QueryJob(const JsonValue& request) const;
 
   // Merges the N fanout replies into the client's one (called by the last
-  // shard to complete, on its engine thread).
-  JsonValue MergeFanout(TelemetryCmd cmd, const JsonValue& request,
-                        const std::string& snapshot_path,
-                        std::uint64_t snapshot_submit_seq,
-                        std::vector<JsonValue>& replies) const;
+  // shard to complete, on its engine thread). Barrier merges are strictly
+  // sequential across fanout commands — the merging thread only delivers
+  // the next barrier after finishing this one — so an override may fold in
+  // ordered post-barrier work (the federation's loan broker).
+  virtual JsonValue MergeFanout(TelemetryCmd cmd, const JsonValue& request,
+                                const std::string& snapshot_path,
+                                std::uint64_t snapshot_submit_seq,
+                                std::vector<JsonValue>& replies) const;
+
+  // Consumes one submit-routing sequence number (BeginEngine's counter
+  // discipline, exposed for subclasses that route within a cluster's range).
+  std::uint64_t NextSubmitSeq() {
+    return submit_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::vector<SchedulerService*> shards_;
   std::atomic<std::uint64_t> submit_seq_{0};

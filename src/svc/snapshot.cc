@@ -8,6 +8,7 @@ namespace {
 
 constexpr char kMagic[8] = {'L', 'Y', 'R', 'A', 'S', 'N', 'A', 'P'};
 constexpr char kShardMagic[8] = {'L', 'Y', 'R', 'A', 'S', 'H', 'R', 'D'};
+constexpr char kFedMagic[8] = {'L', 'Y', 'R', 'A', 'F', 'E', 'D', '_'};
 
 std::uint64_t Fnv1a(const std::string& data) {
   std::uint64_t hash = 14695981039346656037ull;
@@ -430,15 +431,11 @@ StatusOr<ServiceSnapshot> DecodeSnapshot(const std::string& image,
   return snapshot;
 }
 
-Status SaveMultiSnapshot(const MultiSnapshot& snapshot,
-                         const std::string& path) {
-  if (snapshot.shard_images.empty()) {
-    return Status::InvalidArgument("multi-snapshot has no shards");
-  }
+std::string EncodeMultiSnapshot(const MultiSnapshot& snapshot) {
   if (snapshot.shard_images.size() == 1) {
     // Bit-compatible with the unsharded service: one shard writes the plain
     // LYRASNAP image, so existing tooling keeps working on shards=1 files.
-    return WriteFileAtomic(snapshot.shard_images.front(), path);
+    return snapshot.shard_images.front();
   }
   std::string payload;
   PutU32(payload, static_cast<std::uint32_t>(snapshot.shard_images.size()));
@@ -454,27 +451,30 @@ Status SaveMultiSnapshot(const MultiSnapshot& snapshot,
   PutU64(file, payload.size());
   file += payload;
   PutU64(file, Fnv1a(payload));
-  return WriteFileAtomic(file, path);
+  return file;
 }
 
-StatusOr<MultiSnapshot> LoadMultiSnapshot(const std::string& path) {
-  StatusOr<std::string> read = ReadWholeFile(path);
-  if (!read.ok()) {
-    return read.status();
+Status SaveMultiSnapshot(const MultiSnapshot& snapshot,
+                         const std::string& path) {
+  if (snapshot.shard_images.empty()) {
+    return Status::InvalidArgument("multi-snapshot has no shards");
   }
-  const std::string& file = read.value();
+  return WriteFileAtomic(EncodeMultiSnapshot(snapshot), path);
+}
 
-  // A plain LYRASNAP file is a valid one-shard snapshot: the sequence number
+StatusOr<MultiSnapshot> DecodeMultiSnapshot(const std::string& image,
+                                            const std::string& origin) {
+  // A plain LYRASNAP image is a valid one-shard snapshot: the sequence number
   // never influenced routing at one shard, so 0 is exact, not a guess.
-  if (file.size() >= sizeof(kMagic) &&
-      std::memcmp(file.data(), kMagic, sizeof(kMagic)) == 0) {
+  if (image.size() >= sizeof(kMagic) &&
+      std::memcmp(image.data(), kMagic, sizeof(kMagic)) == 0) {
     MultiSnapshot snapshot;
-    snapshot.shard_images.push_back(file);
+    snapshot.shard_images.push_back(image);
     return snapshot;
   }
 
   StatusOr<std::string> opened =
-      OpenEnvelope(file, kShardMagic, kMultiSnapshotVersion, path);
+      OpenEnvelope(image, kShardMagic, kMultiSnapshotVersion, origin);
   if (!opened.ok()) {
     return opened.status();
   }
@@ -502,17 +502,147 @@ StatusOr<MultiSnapshot> LoadMultiSnapshot(const std::string& path) {
     if (!status.ok()) {
       return status;
     }
-    std::string image;
-    status = reader.Str64(&image, image_size);
+    std::string shard_image;
+    status = reader.Str64(&shard_image, image_size);
     if (!status.ok()) {
       return status;
     }
-    snapshot.shard_images.push_back(std::move(image));
+    snapshot.shard_images.push_back(std::move(shard_image));
   }
   if (!reader.AtEnd()) {
-    return Status::DataLoss("trailing bytes in snapshot payload: " + path);
+    return Status::DataLoss("trailing bytes in snapshot payload: " + origin);
   }
   return snapshot;
+}
+
+StatusOr<MultiSnapshot> LoadMultiSnapshot(const std::string& path) {
+  StatusOr<std::string> read = ReadWholeFile(path);
+  if (!read.ok()) {
+    return read.status();
+  }
+  return DecodeMultiSnapshot(read.value(), path);
+}
+
+std::string EncodeFedSnapshot(const FedSnapshot& snapshot) {
+  std::string payload;
+  PutU64(payload, snapshot.submit_seq);
+  PutU64(payload, snapshot.ledger.next_loan_id);
+  PutU64(payload, snapshot.ledger.total_granted);
+  PutU64(payload, snapshot.ledger.total_reclaimed);
+  PutU64(payload, snapshot.ledger.total_returned);
+  PutU64(payload, snapshot.ledger.ledger_hash);
+  PutU32(payload, static_cast<std::uint32_t>(snapshot.ledger.loans.size()));
+  for (const FedLoan& loan : snapshot.ledger.loans) {
+    PutU64(payload, loan.id);
+    PutU32(payload, loan.lender);
+    PutU32(payload, loan.borrower);
+    PutI64(payload, loan.gpus);
+    PutF64(payload, loan.granted_at);
+  }
+  PutU32(payload, static_cast<std::uint32_t>(snapshot.clusters.size()));
+  for (const FedClusterImage& cluster : snapshot.clusters) {
+    PutString(payload, cluster.name);
+    PutU8(payload, cluster.kind);
+    PutI64(payload, cluster.loan_priority);
+    PutU32(payload, cluster.shards);
+    PutU64(payload, cluster.image.size());
+    payload += cluster.image;
+  }
+
+  std::string file;
+  file.append(kFedMagic, sizeof(kFedMagic));
+  PutU32(file, kFedSnapshotVersion);
+  PutU64(file, payload.size());
+  file += payload;
+  PutU64(file, Fnv1a(payload));
+  return file;
+}
+
+Status SaveFedSnapshot(const FedSnapshot& snapshot, const std::string& path) {
+  if (snapshot.clusters.empty()) {
+    return Status::InvalidArgument("federation snapshot has no clusters");
+  }
+  return WriteFileAtomic(EncodeFedSnapshot(snapshot), path);
+}
+
+StatusOr<FedSnapshot> DecodeFedSnapshot(const std::string& image,
+                                        const std::string& origin) {
+  StatusOr<std::string> opened =
+      OpenEnvelope(image, kFedMagic, kFedSnapshotVersion, origin);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  const std::string payload = std::move(opened).value();
+
+  FedSnapshot snapshot;
+  Reader reader(payload);
+  Status status = reader.U64(&snapshot.submit_seq);
+  if (status.ok()) status = reader.U64(&snapshot.ledger.next_loan_id);
+  if (status.ok()) status = reader.U64(&snapshot.ledger.total_granted);
+  if (status.ok()) status = reader.U64(&snapshot.ledger.total_reclaimed);
+  if (status.ok()) status = reader.U64(&snapshot.ledger.total_returned);
+  if (status.ok()) status = reader.U64(&snapshot.ledger.ledger_hash);
+  if (!status.ok()) {
+    return status;
+  }
+  std::uint32_t loan_count = 0;
+  status = reader.U32(&loan_count);
+  if (!status.ok()) {
+    return status;
+  }
+  if (loan_count > 1 << 20) {
+    return Status::DataLoss("implausible loan count in snapshot: " +
+                            std::to_string(loan_count));
+  }
+  snapshot.ledger.loans.reserve(loan_count);
+  for (std::uint32_t i = 0; i < loan_count; ++i) {
+    FedLoan loan;
+    status = reader.U64(&loan.id);
+    if (status.ok()) status = reader.U32(&loan.lender);
+    if (status.ok()) status = reader.U32(&loan.borrower);
+    if (status.ok()) status = reader.I64(&loan.gpus);
+    if (status.ok()) status = reader.F64(&loan.granted_at);
+    if (!status.ok()) {
+      return status;
+    }
+    snapshot.ledger.loans.push_back(loan);
+  }
+  std::uint32_t cluster_count = 0;
+  status = reader.U32(&cluster_count);
+  if (!status.ok()) {
+    return status;
+  }
+  if (cluster_count == 0 || cluster_count > 256) {
+    return Status::DataLoss("implausible cluster count in snapshot: " +
+                            std::to_string(cluster_count));
+  }
+  snapshot.clusters.reserve(cluster_count);
+  for (std::uint32_t i = 0; i < cluster_count; ++i) {
+    FedClusterImage cluster;
+    status = reader.Str(&cluster.name);
+    if (status.ok()) status = reader.U8(&cluster.kind);
+    if (status.ok()) status = reader.I64(&cluster.loan_priority);
+    if (status.ok()) status = reader.U32(&cluster.shards);
+    std::uint64_t image_size = 0;
+    if (status.ok()) status = reader.U64(&image_size);
+    if (status.ok()) status = reader.Str64(&cluster.image, image_size);
+    if (!status.ok()) {
+      return status;
+    }
+    snapshot.clusters.push_back(std::move(cluster));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("trailing bytes in snapshot payload: " + origin);
+  }
+  return snapshot;
+}
+
+StatusOr<FedSnapshot> LoadFedSnapshot(const std::string& path) {
+  StatusOr<std::string> read = ReadWholeFile(path);
+  if (!read.ok()) {
+    return read.status();
+  }
+  return DecodeFedSnapshot(read.value(), path);
 }
 
 }  // namespace lyra::svc

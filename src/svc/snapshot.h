@@ -102,6 +102,76 @@ Status SaveMultiSnapshot(const MultiSnapshot& snapshot, const std::string& path)
 // MultiSnapshot with submit_seq 0. Error classes match LoadSnapshot.
 StatusOr<MultiSnapshot> LoadMultiSnapshot(const std::string& path);
 
+// String-level codec for the multi-shard container, mirroring
+// EncodeSnapshot/DecodeSnapshot: EncodeMultiSnapshot returns the exact bytes
+// SaveMultiSnapshot would write (a plain LYRASNAP image at one shard, the
+// LYRASHRD envelope otherwise); DecodeMultiSnapshot accepts both. Exposed so
+// the federation container below can nest per-cluster images byte-for-byte.
+std::string EncodeMultiSnapshot(const MultiSnapshot& snapshot);
+StatusOr<MultiSnapshot> DecodeMultiSnapshot(const std::string& image,
+                                            const std::string& origin);
+
+// Federation snapshot container (DESIGN.md §11). Wraps one complete
+// LYRASHRD/LYRASNAP image per cluster — stored byte-identically, so each
+// cluster warm-restarts exactly as a standalone fleet would — plus the
+// federation front end's submit-routing sequence number and the loan
+// broker's ledger (active loans + rolling event hash), so a restart resumes
+// routing, granting, and reclaiming exactly where the killed process was.
+//
+// File layout mirrors LYRASNAP/LYRASHRD:
+//   magic  "LYRAFED_" (8 bytes)
+//   u32    version (currently 1)
+//   u64    payload size
+//   bytes  payload: u64 submit_seq, broker ledger, u32 cluster count,
+//                   then per cluster: name, u8 kind, i64 loan_priority,
+//                   u32 shards, u64 image size + image bytes
+//   u64    FNV-1a hash of the payload
+inline constexpr std::uint32_t kFedSnapshotVersion = 1;
+
+// One outstanding cross-cluster loan, as carried in the broker ledger.
+struct FedLoan {
+  std::uint64_t id = 0;
+  std::uint32_t lender = 0;    // inference cluster index
+  std::uint32_t borrower = 0;  // training cluster index
+  std::int64_t gpus = 0;
+  double granted_at = 0.0;
+
+  friend bool operator==(const FedLoan&, const FedLoan&) = default;
+};
+
+// Broker ledger totals + active loans; ledger_hash is the rolling FNV-1a of
+// every event line the broker ever emitted (the byte-identity witness).
+struct FedLedger {
+  std::uint64_t next_loan_id = 0;
+  std::uint64_t total_granted = 0;
+  std::uint64_t total_reclaimed = 0;
+  std::uint64_t total_returned = 0;
+  std::uint64_t ledger_hash = 0;
+  std::vector<FedLoan> loans;
+
+  friend bool operator==(const FedLedger&, const FedLedger&) = default;
+};
+
+struct FedClusterImage {
+  std::string name;
+  std::uint8_t kind = 0;  // ClusterKind as a byte (0 inference, 1 training)
+  std::int64_t loan_priority = 0;
+  std::uint32_t shards = 1;
+  std::string image;  // complete LYRASHRD/LYRASNAP file image
+};
+
+struct FedSnapshot {
+  std::uint64_t submit_seq = 0;
+  FedLedger ledger;
+  std::vector<FedClusterImage> clusters;
+};
+
+Status SaveFedSnapshot(const FedSnapshot& snapshot, const std::string& path);
+StatusOr<FedSnapshot> LoadFedSnapshot(const std::string& path);
+std::string EncodeFedSnapshot(const FedSnapshot& snapshot);
+StatusOr<FedSnapshot> DecodeFedSnapshot(const std::string& image,
+                                        const std::string& origin);
+
 }  // namespace lyra::svc
 
 #endif  // SRC_SVC_SNAPSHOT_H_

@@ -8,7 +8,8 @@ namespace {
 constexpr const char* kCmdNames[kTelemetryCmdCount] = {
     "submit",      "cancel",     "advance",    "drain",       "snapshot",
     "shutdown",    "query_job",  "cluster_stats", "metrics",  "ping",
-    "stats_prom",  "trace_dump", "other",      "batch_apply", "snapshot_publish",
+    "stats_prom",  "trace_dump", "migrate",    "federation_stats",
+    "other",       "batch_apply", "snapshot_publish",
 };
 
 }  // namespace

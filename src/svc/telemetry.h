@@ -50,15 +50,17 @@ enum class TelemetryCmd : std::uint8_t {
   kPing,
   kStatsProm,
   kTraceDump,
+  kMigrate,           // federation: cancel-on-source + resubmit-on-dest chain
+  kFederationStats,   // federation: merged per-cluster read
   kOther,
   // Engine-thread span names only; never recorded as request latency.
   kBatchApply,
   kSnapshotPublish,
 };
-inline constexpr int kTelemetryCmdCount = 15;
+inline constexpr int kTelemetryCmdCount = 17;
 // Wire commands tracked in the request-duration histograms (excludes the
 // engine-internal span kinds above).
-inline constexpr int kTelemetryWireCmdCount = 13;
+inline constexpr int kTelemetryWireCmdCount = 15;
 
 const char* TelemetryCmdName(TelemetryCmd cmd);
 TelemetryCmd TelemetryCmdFromName(const std::string& name);

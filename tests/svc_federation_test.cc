@@ -1,0 +1,668 @@
+// Multi-cluster federation conformance tests (DESIGN.md §11): spec parsing,
+// deterministic cluster routing (explicit cluster / kind targets, keyed and
+// keyless, pipelined over the event loop), global-id arithmetic across
+// federation × shards, loan-broker ledger invariants (grants never dip into
+// the lender's reserve, GPU accounting balances, every event folds into the
+// rolling hash), checkpoint-cost-charged migration between training
+// clusters, the plain-service compatibility contract (a one-cluster
+// federation answers byte-for-byte like an unsharded SchedulerService and
+// writes the identical LYRASNAP file), and a golden-trace regression pinning
+// Lyra's single inference + single training loan semantics.
+//
+// To regenerate the golden fixture after an *intentional* behaviour change:
+//   LYRA_UPDATE_GOLDEN=1 ./svc_federation_test
+// and commit tests/golden/federation_pair.golden with an explanation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/svc/event_loop.h"
+#include "src/svc/federation.h"
+#include "src/svc/service.h"
+#include "src/svc/shard_router.h"
+#include "src/svc/snapshot.h"
+#include "src/svc/time_driver.h"
+#include "src/svc/wire.h"
+
+namespace lyra::svc {
+namespace {
+
+#ifndef LYRA_GOLDEN_DIR
+#error "LYRA_GOLDEN_DIR must be defined by the build"
+#endif
+
+constexpr const char* kPairFixture = LYRA_GOLDEN_DIR "/federation_pair.golden";
+
+std::string TempPath(const char* tag) {
+  return "/tmp/lyra_fed_test_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+JsonValue Cmd(const char* cmd) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("cmd", JsonValue::MakeString(cmd));
+  return request;
+}
+
+JsonValue Submit(double at, double work, int gpus_per_worker = 1,
+                 int min_workers = 1, int max_workers = 1) {
+  JsonValue cmd = Cmd("submit");
+  cmd.Set("at", JsonValue::MakeNumber(at));
+  cmd.Set("gpus_per_worker", JsonValue::MakeNumber(gpus_per_worker));
+  cmd.Set("min_workers", JsonValue::MakeNumber(min_workers));
+  cmd.Set("max_workers", JsonValue::MakeNumber(max_workers));
+  cmd.Set("total_work", JsonValue::MakeNumber(work));
+  return cmd;
+}
+
+JsonValue SubmitTo(const char* cluster, double at, double work,
+                   int gpus_per_worker = 1, int min_workers = 1,
+                   int max_workers = 1) {
+  JsonValue cmd = Submit(at, work, gpus_per_worker, min_workers, max_workers);
+  cmd.Set("cluster", JsonValue::MakeString(cluster));
+  return cmd;
+}
+
+JsonValue Advance(double to) {
+  JsonValue cmd = Cmd("advance");
+  cmd.Set("to", JsonValue::MakeNumber(to));
+  return cmd;
+}
+
+JsonValue Cancel(double at, std::int64_t job) {
+  JsonValue cmd = Cmd("cancel");
+  cmd.Set("at", JsonValue::MakeNumber(at));
+  cmd.Set("job", JsonValue::MakeNumber(static_cast<double>(job)));
+  return cmd;
+}
+
+JsonValue Migrate(std::int64_t job, const char* to) {
+  JsonValue cmd = Cmd("migrate");
+  cmd.Set("job", JsonValue::MakeNumber(static_cast<double>(job)));
+  cmd.Set("to", JsonValue::MakeString(to));
+  return cmd;
+}
+
+ServiceOptions BaseOptions() {
+  ServiceOptions options;
+  options.engine.scale = 0.05;
+  options.engine.seed = 4321;
+  options.auto_advance = false;
+  return options;
+}
+
+std::unique_ptr<TimeDriver> MakeVirtualDriver(int /*shard*/) {
+  return std::make_unique<VirtualTimeDriver>();
+}
+
+FederationSet BuildFed(const std::string& spec) {
+  StatusOr<std::vector<ClusterSpec>> clusters = ParseFederationSpec(spec);
+  EXPECT_TRUE(clusters.ok()) << clusters.status().message();
+  StatusOr<FederationSet> built =
+      BuildFederation(BaseOptions(), clusters.value(), MakeVirtualDriver);
+  EXPECT_TRUE(built.ok()) << built.status().message();
+  return std::move(built.value());
+}
+
+void StopFed(FederationSet& fed) {
+  for (auto& service : fed.services) {
+    service->Stop();
+  }
+}
+
+// Mirror of the router's keyless in-cluster pick: FNV-1a over the sequence
+// number's 8 little-endian bytes, reduced modulo the target set size.
+// Recomputed here so the tests predict every submit's engine (and global id)
+// independently of the router.
+std::uint64_t HashSeqMirror(std::uint64_t seq) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((seq >> (8 * i)) & 0xff);
+  }
+  return ShardRouter::Hash(bytes, sizeof(bytes));
+}
+
+TEST(Federation, SpecParsingCompactAndExplicitForms) {
+  StatusOr<std::vector<ClusterSpec>> compact = ParseFederationSpec("2x3");
+  ASSERT_TRUE(compact.ok()) << compact.status().message();
+  ASSERT_EQ(compact.value().size(), 5u);
+  EXPECT_EQ(compact.value()[0].name, "inf0");
+  EXPECT_EQ(compact.value()[1].name, "inf1");
+  EXPECT_EQ(compact.value()[2].name, "train0");
+  EXPECT_EQ(compact.value()[4].name, "train2");
+  EXPECT_EQ(compact.value()[0].kind, ClusterKind::kInference);
+  EXPECT_EQ(compact.value()[2].kind, ClusterKind::kTraining);
+  for (const ClusterSpec& spec : compact.value()) {
+    EXPECT_EQ(spec.shards, 1);
+    EXPECT_EQ(spec.loan_priority, 0);
+  }
+
+  StatusOr<std::vector<ClusterSpec>> sharded = ParseFederationSpec("1x1@4");
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded.value().size(), 2u);
+  EXPECT_EQ(sharded.value()[0].shards, 4);
+  EXPECT_EQ(sharded.value()[1].shards, 4);
+
+  StatusOr<std::vector<ClusterSpec>> verbose =
+      ParseFederationSpec("edge:inf:2:7,bulk:train:3,spill:training");
+  ASSERT_TRUE(verbose.ok()) << verbose.status().message();
+  ASSERT_EQ(verbose.value().size(), 3u);
+  EXPECT_EQ(verbose.value()[0].name, "edge");
+  EXPECT_EQ(verbose.value()[0].kind, ClusterKind::kInference);
+  EXPECT_EQ(verbose.value()[0].shards, 2);
+  EXPECT_EQ(verbose.value()[0].loan_priority, 7);
+  EXPECT_EQ(verbose.value()[1].shards, 3);
+  EXPECT_EQ(verbose.value()[2].kind, ClusterKind::kTraining);
+  EXPECT_EQ(verbose.value()[2].shards, 1);
+
+  EXPECT_FALSE(ParseFederationSpec("").ok());
+  EXPECT_FALSE(ParseFederationSpec("0x0").ok());
+  EXPECT_FALSE(ParseFederationSpec("1x1@0").ok());
+  EXPECT_FALSE(ParseFederationSpec("1x1@65").ok());
+  EXPECT_FALSE(ParseFederationSpec("a:bogus").ok());
+  EXPECT_FALSE(ParseFederationSpec("a:inf,a:train").ok());
+  EXPECT_FALSE(ParseFederationSpec("bad name:inf").ok());
+}
+
+TEST(Federation, GlobalIdRoundTripAcrossFederationTimesShards) {
+  for (const char* spec : {"1x1", "2x1@2", "1x2@3", "2x2@2"}) {
+    FederationSet fed = BuildFed(spec);
+    FederationRouter& router = *fed.router;
+    const int engines = router.shard_count();
+    // Every engine belongs to exactly one cluster, clusters own contiguous
+    // ranges in spec order, and the id arithmetic round-trips through the
+    // flat pool — so an id names (cluster, engine, local) unambiguously.
+    int expected_cluster = 0;
+    for (int e = 0; e < engines; ++e) {
+      while (e >= router.cluster_first_engine(expected_cluster) +
+                      router.cluster_spec(expected_cluster).shards) {
+        ++expected_cluster;
+      }
+      EXPECT_EQ(router.ClusterOfEngine(static_cast<std::uint32_t>(e)),
+                static_cast<std::uint32_t>(expected_cluster))
+          << spec << " engine " << e;
+    }
+    for (std::int64_t local = 0; local < 50; ++local) {
+      for (int e = 0; e < engines; ++e) {
+        const std::int64_t global =
+            router.ToGlobal(local, static_cast<std::uint32_t>(e));
+        EXPECT_EQ(router.ShardOfJob(global), static_cast<std::uint32_t>(e))
+            << spec;
+        EXPECT_EQ(router.ToLocal(global), local) << spec;
+      }
+    }
+    StopFed(fed);
+  }
+}
+
+// Pipelined submits targeting explicit clusters and kinds over the event
+// loop: replies come back in order, and every global id matches the routing
+// mirror — cluster routing is a pure function of (cluster, key | sequence),
+// never of timing.
+TEST(Federation, RoutingIsDeterministicUnderPipelining) {
+  FederationSet fed = BuildFed("1x1@2");  // inf0={0,1}, train0={2,3}
+  EventLoopOptions loop_options;
+  loop_options.unix_path =
+      "/tmp/lyra_fed_route_" + std::to_string(::getpid()) + ".sock";
+  EventLoop server(fed.router.get(), loop_options);
+  ASSERT_TRUE(server.Start().ok());
+  StatusOr<int> fd = ConnectUnix(loop_options.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.status().message();
+
+  const std::vector<std::uint32_t> inf_engines = {0, 1};
+  const std::vector<std::uint32_t> train_engines = {2, 3};
+  constexpr int kEngines = 4;
+  std::vector<std::int64_t> local(kEngines, 0);
+  std::uint64_t seq_counter = 0;  // router's keyless submit counter
+  std::vector<std::int64_t> predicted;
+  std::string burst;
+  int frame = 0;
+
+  const auto queue_submit = [&](const char* cluster, const char* kind,
+                                const char* key) {
+    JsonValue submit = Submit(0.0, 36000.0);
+    if (cluster != nullptr) {
+      submit.Set("cluster", JsonValue::MakeString(cluster));
+    }
+    if (kind != nullptr) {
+      submit.Set("kind", JsonValue::MakeString(kind));
+    }
+    const std::vector<std::uint32_t>& targets =
+        (cluster != nullptr && std::string(cluster) == "inf0") ||
+                (kind != nullptr && std::string(kind) == "inference")
+            ? inf_engines
+            : train_engines;
+    std::uint32_t engine;
+    if (key != nullptr) {
+      submit.Set("key", JsonValue::MakeString(key));
+      engine = targets[ShardRouter::Hash(key, std::string(key).size()) %
+                       targets.size()];
+    } else {
+      engine = targets[HashSeqMirror(seq_counter++) % targets.size()];
+    }
+    predicted.push_back(local[engine]++ * kEngines + engine);
+    submit.Set("seq", JsonValue::MakeNumber(frame++));
+    AppendFrame(submit.Dump(), burst);
+  };
+
+  // Interleave every targeting mode in one pipelined burst.
+  for (int round = 0; round < 6; ++round) {
+    queue_submit("train0", nullptr, nullptr);
+    queue_submit("inf0", nullptr, nullptr);
+    queue_submit(nullptr, "training", nullptr);
+    queue_submit(nullptr, "inference", nullptr);
+    queue_submit(nullptr, nullptr, nullptr);  // kindless -> training default
+    queue_submit("train0", nullptr, "tenant-a");
+  }
+  ASSERT_TRUE(WriteAllBytes(fd.value(), burst.data(), burst.size()).ok());
+
+  std::set<std::int64_t> distinct;
+  for (int expect = 0; expect < frame; ++expect) {
+    StatusOr<std::string> reply_text = ReadFrame(fd.value());
+    ASSERT_TRUE(reply_text.ok()) << reply_text.status().message();
+    StatusOr<JsonValue> reply = JsonValue::Parse(reply_text.value());
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply.value().GetDouble("seq", -1.0), expect)
+        << reply_text.value();
+    ASSERT_TRUE(reply.value().GetBool("ok")) << reply_text.value();
+    const std::int64_t id =
+        static_cast<std::int64_t>(reply.value().GetDouble("job", -1.0));
+    EXPECT_EQ(id, predicted[static_cast<std::size_t>(expect)])
+        << "frame " << expect << " routed off the mirror: "
+        << reply_text.value();
+    EXPECT_TRUE(distinct.insert(id).second) << "global id collided: " << id;
+  }
+  ::close(fd.value());
+  StopFed(fed);
+  server.Stop();
+
+  // Keyed submits all landed on one engine ("tenant-a" is pinned).
+  const std::uint32_t pinned =
+      train_engines[ShardRouter::Hash("tenant-a", 8) % train_engines.size()];
+  int keyed = 0;
+  for (std::size_t i = 5; i < predicted.size(); i += 6) {
+    EXPECT_EQ(predicted[i] % kEngines, pinned);
+    ++keyed;
+  }
+  EXPECT_EQ(keyed, 6);
+}
+
+TEST(Federation, InvalidTargetsAreRejectedInline) {
+  FederationSet fed = BuildFed("1x1");
+  FederationRouter& router = *fed.router;
+
+  JsonValue unknown = Submit(0.0, 3600.0);
+  unknown.Set("cluster", JsonValue::MakeString("nope"));
+  JsonValue reply = router.Execute(unknown);
+  EXPECT_FALSE(reply.GetBool("ok"));
+  EXPECT_EQ(reply.GetString("code"), "invalid_argument");
+  EXPECT_NE(reply.GetString("error").find("nope"), std::string::npos);
+
+  JsonValue bad_kind = Submit(0.0, 3600.0);
+  bad_kind.Set("kind", JsonValue::MakeString("quantum"));
+  reply = router.Execute(bad_kind);
+  EXPECT_FALSE(reply.GetBool("ok"));
+  EXPECT_EQ(reply.GetString("code"), "invalid_argument");
+
+  reply = router.Execute(Migrate(0, "train0"));
+  EXPECT_FALSE(reply.GetBool("ok"));
+  EXPECT_EQ(reply.GetString("code"), "failed_precondition")
+      << "one-pair federations cannot migrate: " << reply.Dump();
+
+  // An out-of-range numeric cluster index is an unknown cluster.
+  JsonValue numeric = Submit(0.0, 3600.0);
+  numeric.Set("cluster", JsonValue::MakeNumber(7));
+  reply = router.Execute(numeric);
+  EXPECT_FALSE(reply.GetBool("ok"));
+  StopFed(fed);
+}
+
+// Loan-broker accounting over a scripted imbalance: grants never dip into
+// the lender's reserve, the GPU totals balance exactly
+// (granted == outstanding + reclaimed + returned), loans only flow from
+// inference clusters to training clusters, and every decision moves the
+// rolling ledger hash.
+TEST(Federation, LoanLedgerInvariantsUnderGrantAndReturn) {
+  FederationSet fed = BuildFed("2x2");
+  FederationRouter& router = *fed.router;
+  ASSERT_EQ(router.cluster_count(), 4);
+
+  // 30 unplaceable training jobs on train0 -> demand 30 at the barrier.
+  std::vector<std::int64_t> pending_ids;
+  for (int i = 0; i < 30; ++i) {
+    const JsonValue reply =
+        router.Execute(SubmitTo("train0", 0.0, 999999.0, 64, 100, 100));
+    ASSERT_TRUE(reply.GetBool("ok")) << reply.Dump();
+    pending_ids.push_back(
+        static_cast<std::int64_t>(reply.GetDouble("job", -1.0)));
+  }
+  const std::uint64_t hash_before = router.LedgerCopy().ledger_hash;
+  JsonValue advanced = router.Execute(Advance(100.0));
+  ASSERT_TRUE(advanced.GetBool("ok")) << advanced.Dump();
+  EXPECT_GT(advanced.GetDouble("loans", 0.0), 0.0)
+      << "imbalance produced no loan: " << advanced.Dump();
+
+  FedLedger ledger = router.LedgerCopy();
+  EXPECT_NE(ledger.ledger_hash, hash_before) << "grants must move the hash";
+  ASSERT_FALSE(ledger.loans.empty());
+  std::int64_t outstanding = 0;
+  for (const FedLoan& loan : ledger.loans) {
+    EXPECT_NE(loan.lender, loan.borrower);
+    EXPECT_EQ(router.cluster_spec(static_cast<int>(loan.lender)).kind,
+              ClusterKind::kInference);
+    EXPECT_EQ(router.cluster_spec(static_cast<int>(loan.borrower)).kind,
+              ClusterKind::kTraining);
+    EXPECT_GT(loan.gpus, 0);
+    outstanding += loan.gpus;
+  }
+  EXPECT_EQ(ledger.total_granted,
+            static_cast<std::uint64_t>(outstanding) + ledger.total_reclaimed +
+                ledger.total_returned);
+  // The lender never pledges into its reserve: loaned <= total - ceil(10%).
+  for (int c = 0; c < router.cluster_count(); ++c) {
+    if (router.cluster_spec(c).kind != ClusterKind::kInference) {
+      continue;
+    }
+    const JsonValue stats = router.Execute(Cmd("federation_stats"));
+    const JsonValue* clusters = stats.Find("clusters");
+    ASSERT_NE(clusters, nullptr);
+    const JsonValue& info = clusters->AsArray()[static_cast<std::size_t>(c)];
+    const JsonValue* gpus = info.Find("gpus");
+    ASSERT_NE(gpus, nullptr);
+    const std::int64_t total =
+        static_cast<std::int64_t>(gpus->GetDouble("total"));
+    const std::int64_t reserve = (total + 9) / 10;
+    EXPECT_LE(static_cast<std::int64_t>(info.GetDouble("loaned")),
+              total - reserve)
+        << "cluster " << c << " lent into its reserve";
+  }
+
+  // Demand collapses -> surplus loans come back as "return" events and the
+  // accounting still balances with zero outstanding.
+  for (const std::int64_t id : pending_ids) {
+    ASSERT_TRUE(router.Execute(Cancel(150.0, id)).GetBool("ok"));
+  }
+  ASSERT_TRUE(router.Execute(Advance(200.0)).GetBool("ok"));
+  ledger = router.LedgerCopy();
+  EXPECT_TRUE(ledger.loans.empty())
+      << "surplus loans must be returned once demand drops";
+  EXPECT_EQ(ledger.total_granted,
+            ledger.total_reclaimed + ledger.total_returned);
+  bool saw_return = false;
+  for (const std::string& event : router.RecentEvents()) {
+    saw_return = saw_return || event.find(" return ") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_return) << "no return event in the ledger";
+  StopFed(fed);
+}
+
+// Migration between training clusters: the job is cancelled on the source,
+// resubmitted on the destination with the remaining work plus the checkpoint
+// cost (60s GPU-time when checkpointing, 300s cold otherwise), and the move
+// is recorded in the broker ledger. Invalid moves answer inline.
+TEST(Federation, MigrationChargesCheckpointCostAndMovesTheJob) {
+  FederationSet fed = BuildFed("1x2");  // inf0, train0, train1
+  FederationRouter& router = *fed.router;
+
+  JsonValue submit = SubmitTo("train0", 0.0, 7200.0, 1, 1, 1);
+  submit.Set("checkpointing", JsonValue::MakeBool(true));
+  const JsonValue submitted = router.Execute(submit);
+  ASSERT_TRUE(submitted.GetBool("ok")) << submitted.Dump();
+  const std::int64_t job =
+      static_cast<std::int64_t>(submitted.GetDouble("job", -1.0));
+  ASSERT_TRUE(router.Execute(Advance(600.0)).GetBool("ok"));
+
+  const JsonValue moved = router.Execute(Migrate(job, "train1"));
+  ASSERT_TRUE(moved.GetBool("ok")) << moved.Dump();
+  EXPECT_EQ(moved.GetDouble("checkpoint_cost"), kMigrationCheckpointCost);
+  EXPECT_EQ(moved.GetDouble("from_job"), static_cast<double>(job));
+  EXPECT_EQ(moved.GetString("cluster"), "train1");
+  const std::int64_t new_job =
+      static_cast<std::int64_t>(moved.GetDouble("job", -1.0));
+  ASSERT_GE(new_job, 0);
+  EXPECT_NE(new_job, job);
+  EXPECT_EQ(router.ClusterOfEngine(router.ShardOfJob(new_job)), 2u)
+      << "migrated job must live on train1's engine";
+
+  // Source side: the original job ended cancelled.
+  JsonValue query = Cmd("query_job");
+  query.Set("job", JsonValue::MakeNumber(static_cast<double>(job)));
+  const JsonValue old_state = router.Execute(query);
+  ASSERT_TRUE(old_state.GetBool("ok")) << old_state.Dump();
+  EXPECT_EQ(old_state.GetString("state"), "cancelled") << old_state.Dump();
+
+  // The ledger recorded the move.
+  bool saw_migrate = false;
+  for (const std::string& event : router.RecentEvents()) {
+    saw_migrate = saw_migrate || event.find("migrate") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_migrate);
+
+  // A non-checkpointing job pays the cold-restart cost.
+  const JsonValue cold_submit =
+      router.Execute(SubmitTo("train1", 700.0, 7200.0));
+  ASSERT_TRUE(cold_submit.GetBool("ok"));
+  const std::int64_t cold_job =
+      static_cast<std::int64_t>(cold_submit.GetDouble("job", -1.0));
+  const JsonValue cold_moved = router.Execute(Migrate(cold_job, "train0"));
+  ASSERT_TRUE(cold_moved.GetBool("ok")) << cold_moved.Dump();
+  EXPECT_EQ(cold_moved.GetDouble("checkpoint_cost"), kMigrationColdCost);
+
+  // Invalid moves: inference destination, unknown job, self-move.
+  JsonValue bad = router.Execute(Migrate(new_job, "inf0"));
+  EXPECT_FALSE(bad.GetBool("ok"));
+  EXPECT_NE(bad.GetString("error").find("not a training cluster"),
+            std::string::npos)
+      << bad.Dump();
+  bad = router.Execute(Migrate(router.ToGlobal(9999, 1), "train1"));
+  EXPECT_FALSE(bad.GetBool("ok"));
+  EXPECT_EQ(bad.GetString("code"), "not_found");
+  bad = router.Execute(Migrate(new_job, "train1"));
+  EXPECT_FALSE(bad.GetBool("ok"));
+  EXPECT_NE(bad.GetString("error").find("already on"), std::string::npos)
+      << bad.Dump();
+  StopFed(fed);
+}
+
+// The compatibility contract: a federation of exactly one training cluster
+// with one engine answers every plain command byte-for-byte like the
+// unsharded SchedulerService, and its snapshot file is the identical
+// LYRASNAP image. federation_stats and lyra_fed_* metrics are the only
+// additive surface.
+TEST(Federation, SingleClusterFederationMatchesPlainServiceByteForByte) {
+  const auto script = [](double snapshot_at) {
+    std::vector<JsonValue> commands;
+    commands.push_back(Submit(0.0, 50000.0, 1, 1, 4));
+    commands.push_back(Submit(0.0, 200000.0));
+    commands.push_back(Advance(3000.0));
+    commands.push_back(Cancel(3600.0, 1));
+    commands.push_back(Submit(5000.0, 90000.0, 2, 1, 2));
+    commands.push_back(Advance(snapshot_at));
+    commands.push_back(Cmd("cluster_stats"));
+    commands.push_back(Cmd("drain"));
+    return commands;
+  };
+
+  SchedulerService plain(BaseOptions(), MakeVirtualDriver(0));
+  ASSERT_TRUE(plain.Start().ok());
+  FederationSet fed = BuildFed("solo:train");
+  ASSERT_EQ(fed.router->shard_count(), 1);
+
+  const std::string plain_snap = TempPath("plain");
+  const std::string fed_snap = TempPath("fed");
+  for (const JsonValue& command : script(20000.0)) {
+    const JsonValue plain_reply = plain.Execute(command);
+    const JsonValue fed_reply = fed.router->Execute(command);
+    EXPECT_EQ(plain_reply.Dump(), fed_reply.Dump())
+        << "diverged on " << command.Dump();
+  }
+  JsonValue snap = Cmd("snapshot");
+  snap.Set("path", JsonValue::MakeString(plain_snap));
+  ASSERT_TRUE(plain.Execute(snap).GetBool("ok"));
+  snap.Replace("path", JsonValue::MakeString(fed_snap));
+  ASSERT_TRUE(fed.router->Execute(snap).GetBool("ok"));
+
+  const std::string plain_bytes = ReadFileBytes(plain_snap);
+  const std::string fed_bytes = ReadFileBytes(fed_snap);
+  ASSERT_FALSE(plain_bytes.empty());
+  EXPECT_EQ(plain_bytes.substr(0, 8), "LYRASNAP")
+      << "one-engine federation must degrade to the plain container";
+  EXPECT_EQ(plain_bytes, fed_bytes);
+  std::remove(plain_snap.c_str());
+  std::remove(fed_snap.c_str());
+  plain.Stop();
+  StopFed(fed);
+}
+
+// Golden-trace regression for the Lyra pair (1 inference + 1 training
+// cluster): a scripted demand spike grants a loan, the lender's own diurnal
+// load spike reclaims it, fresh capacity is re-granted, and cancelled demand
+// returns it. Every reply and every ledger event is diffed byte-for-byte
+// against tests/golden/federation_pair.golden.
+TEST(Federation, PairLoanSemanticsMatchGoldenTrace) {
+  FederationSet fed = BuildFed("1x1");
+  FederationRouter& router = *fed.router;
+
+  std::ostringstream trace;
+  const auto run = [&](const JsonValue& command) {
+    const JsonValue reply = router.Execute(command);
+    trace << ">> " << command.Dump() << "\n<< " << reply.Dump() << "\n";
+    return reply;
+  };
+
+  // Phase 1: 190 unplaceable training jobs saturate the lendable pool
+  // (208 total - 21 reserve = 187 grantable).
+  std::vector<std::int64_t> demand_ids;
+  for (int i = 0; i < 190; ++i) {
+    const JsonValue reply =
+        router.Execute(SubmitTo("train0", 0.0, 999999.0, 64, 100, 100));
+    ASSERT_TRUE(reply.GetBool("ok")) << reply.Dump();
+    demand_ids.push_back(
+        static_cast<std::int64_t>(reply.GetDouble("job", -1.0)));
+  }
+  trace << "## submitted 190 pending training jobs\n";
+  run(Advance(100.0));
+  // Phase 2: fungible pending work on the inference cluster makes its engine
+  // loan its own T4 servers inward over the diurnal valley — the lender's
+  // free pool dips and the federation loan is reclaimed.
+  for (int i = 0; i < 6; ++i) {
+    JsonValue spike = SubmitTo("inf0", 100.0, 999999.0, 8, 40, 40);
+    spike.Set("fungible", JsonValue::MakeBool(true));
+    // The inference engine accepts the job even though it stays pending.
+    const JsonValue reply = router.Execute(spike);
+    ASSERT_TRUE(reply.GetBool("ok")) << reply.Dump();
+  }
+  trace << "## submitted 6 fungible spike jobs on inf0\n";
+  run(Advance(14400.0));
+  // Phase 3: demand collapses; surviving loans are returned.
+  for (const std::int64_t id : demand_ids) {
+    ASSERT_TRUE(router.Execute(Cancel(14500.0, id)).GetBool("ok"));
+  }
+  trace << "## cancelled all pending training demand\n";
+  run(Advance(15000.0));
+
+  trace << "## ledger\n";
+  for (const std::string& event : router.RecentEvents()) {
+    trace << event << "\n";
+  }
+  const FedLedger ledger = router.LedgerCopy();
+  char hash[24];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(ledger.ledger_hash));
+  trace << "granted=" << ledger.total_granted
+        << " reclaimed=" << ledger.total_reclaimed
+        << " returned=" << ledger.total_returned << " active="
+        << ledger.loans.size() << " hash=" << hash << "\n";
+  StopFed(fed);
+
+  // The trace must show all three broker verbs.
+  const std::string text = trace.str();
+  EXPECT_NE(text.find(" grant "), std::string::npos);
+  EXPECT_NE(text.find(" reclaim "), std::string::npos);
+  EXPECT_NE(text.find(" return "), std::string::npos);
+
+  if (std::getenv("LYRA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kPairFixture, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << kPairFixture;
+    out << text;
+    GTEST_SKIP() << "fixture regenerated at " << kPairFixture;
+  }
+  std::ifstream fixture(kPairFixture, std::ios::binary);
+  ASSERT_TRUE(fixture.good())
+      << kPairFixture
+      << " missing; run with LYRA_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream want;
+  want << fixture.rdbuf();
+  EXPECT_EQ(text, want.str())
+      << "federation pair semantics diverged from the golden trace; if "
+         "intentional, regenerate with LYRA_UPDATE_GOLDEN=1";
+}
+
+// The LYRAFED container round-trips the whole federation: cluster layout,
+// per-engine images, broker ledger, and routing counter all come back, and a
+// restored federation continues byte-identically (ledger hash chain intact).
+TEST(Federation, FedSnapshotRestoresLayoutLedgerAndCounter) {
+  FederationSet fed = BuildFed("edge:inf:1:5,bulk:train:2:1,spill:train");
+  FederationRouter& router = *fed.router;
+  ASSERT_EQ(router.shard_count(), 4);
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(router.Execute(SubmitTo("bulk", 0.0, 999999.0, 64, 100, 100))
+                    .GetBool("ok"));
+  }
+  ASSERT_TRUE(router.Execute(Advance(100.0)).GetBool("ok"));
+  const FedLedger before = router.LedgerCopy();
+  ASSERT_FALSE(before.loans.empty()) << "script must snapshot mid-loan";
+  const std::uint64_t seq_before = router.submit_seq();
+
+  const std::string path = TempPath("layout");
+  JsonValue snap = Cmd("snapshot");
+  snap.Set("path", JsonValue::MakeString(path));
+  const JsonValue written = router.Execute(snap);
+  ASSERT_TRUE(written.GetBool("ok")) << written.Dump();
+  EXPECT_EQ(written.GetDouble("clusters", 0.0), 3.0);
+  EXPECT_TRUE(IsFedSnapshotFile(path));
+  StopFed(fed);
+
+  // Base options are deliberately wrong — the container's layout must win.
+  ServiceOptions base = BaseOptions();
+  base.engine.seed = 1;
+  StatusOr<FederationSet> restored =
+      RestoreFederation(base, path, MakeVirtualDriver);
+  ASSERT_TRUE(restored.ok()) << restored.status().message();
+  FederationRouter& resumed = *restored.value().router;
+  ASSERT_EQ(resumed.cluster_count(), 3);
+  EXPECT_EQ(resumed.cluster_spec(0).name, "edge");
+  EXPECT_EQ(resumed.cluster_spec(0).kind, ClusterKind::kInference);
+  EXPECT_EQ(resumed.cluster_spec(0).loan_priority, 5);
+  EXPECT_EQ(resumed.cluster_spec(1).name, "bulk");
+  EXPECT_EQ(resumed.cluster_spec(1).shards, 2);
+  EXPECT_EQ(resumed.cluster_spec(2).name, "spill");
+  EXPECT_EQ(resumed.shard_count(), 4);
+  EXPECT_EQ(resumed.submit_seq(), seq_before);
+  EXPECT_TRUE(resumed.LedgerCopy() == before)
+      << "broker ledger must survive the restart bit-for-bit";
+  for (auto& service : restored.value().services) {
+    service->Stop();
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lyra::svc

@@ -598,5 +598,174 @@ TEST(Shard, PipelinedRepliesStayInOrderAcrossShards) {
   server.Stop();
 }
 
+// A cancel pipelined in the same burst as its own submit: the client never
+// saw the submit reply, so it predicts the global id from the routing
+// mirror. The router must have consumed the submit's sequence number before
+// the cancel is routed (BeginEngine order), so the cancel lands on the same
+// shard as the submit and finds the job — the regression this guards is the
+// router routing the cancel before assigning the submit's id.
+TEST(Shard, PipelinedCancelImmediatelyAfterSubmitSameFrameBurst) {
+  EventLoopOptions loop_options;
+  loop_options.unix_path =
+      "/tmp/lyra_shard_cancel_" + std::to_string(::getpid()) + ".sock";
+  ServiceOptions options = FleetOptions();
+  options.engine.faults = false;
+  StatusOr<ShardSet> built = BuildShardSet(options, kShards, MakeVirtualDriver);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  ShardSet fleet = std::move(built.value());
+  EventLoop server(fleet.router.get(), loop_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<int> fd = ConnectUnix(loop_options.unix_path);
+  ASSERT_TRUE(fd.ok()) << fd.status().message();
+
+  // Predict every submit's global id, then pipeline submit + cancel pairs in
+  // one write() so the cancel is queued before the submit's reply exists.
+  constexpr int kPairs = 8;
+  std::vector<std::int64_t> local(kShards, 0);
+  std::string burst;
+  std::vector<std::int64_t> predicted;
+  int seq = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    const std::uint32_t shard =
+        PredictKeylessShard(static_cast<std::uint64_t>(i), kShards);
+    const std::int64_t id = local[shard]++ * kShards + shard;
+    predicted.push_back(id);
+    JsonValue submit = Submit(0.0, 36000.0);
+    submit.Set("seq", JsonValue::MakeNumber(seq++));
+    AppendFrame(submit.Dump(), burst);
+    JsonValue cancel = Cancel(0.0, id);
+    cancel.Set("seq", JsonValue::MakeNumber(seq++));
+    AppendFrame(cancel.Dump(), burst);
+  }
+  ASSERT_TRUE(WriteAllBytes(fd.value(), burst.data(), burst.size()).ok());
+
+  for (int expect = 0; expect < seq; ++expect) {
+    StatusOr<std::string> reply_text = ReadFrame(fd.value());
+    ASSERT_TRUE(reply_text.ok()) << reply_text.status().message();
+    StatusOr<JsonValue> reply = JsonValue::Parse(reply_text.value());
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply.value().GetDouble("seq", -1.0), expect)
+        << reply_text.value();
+    ASSERT_TRUE(reply.value().GetBool("ok")) << reply_text.value();
+    // Both halves of pair i answer with the same global id.
+    EXPECT_EQ(reply.value().GetDouble("job", -1.0),
+              static_cast<double>(predicted[expect / 2]))
+        << reply_text.value();
+  }
+
+  // Every job ended cancelled — nothing leaked into pending/running.
+  const JsonValue stats = fleet.router->Execute(Cmd("cluster_stats"));
+  ASSERT_TRUE(stats.GetBool("ok")) << stats.Dump();
+  const JsonValue* jobs = stats.Find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_EQ(jobs->GetDouble("cancelled"), static_cast<double>(kPairs));
+  EXPECT_EQ(jobs->GetDouble("pending") + jobs->GetDouble("running"), 0.0);
+  ::close(fd.value());
+  StopFleet(fleet);
+  server.Stop();
+}
+
+// A snapshot pipelined directly behind a drain, with a second connection
+// racing submits against both barriers: the two fanouts must serialize
+// (countdown merges), the snapshot must capture a consistent fleet (every
+// image loads, the routing counter covers every submit that was answered
+// before the snapshot), and nothing deadlocks.
+TEST(Shard, SnapshotPipelinedBehindDrainWhileSubmitsRace) {
+  EventLoopOptions loop_options;
+  loop_options.unix_path =
+      "/tmp/lyra_shard_drainrace_" + std::to_string(::getpid()) + ".sock";
+  loop_options.io_threads = 2;
+  ServiceOptions options = FleetOptions();
+  options.engine.faults = false;
+  StatusOr<ShardSet> built = BuildShardSet(options, kShards, MakeVirtualDriver);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  ShardSet fleet = std::move(built.value());
+  EventLoop server(fleet.router.get(), loop_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  StatusOr<int> barrier_fd = ConnectUnix(loop_options.unix_path);
+  ASSERT_TRUE(barrier_fd.ok());
+  StatusOr<int> racer_fd = ConnectUnix(loop_options.unix_path);
+  ASSERT_TRUE(racer_fd.ok());
+
+  const std::string path = TempPath("drainrace");
+  // Connection A: submits, then drain + snapshot back-to-back in one write.
+  std::string burst;
+  constexpr int kBefore = 6;
+  for (int i = 0; i < kBefore; ++i) {
+    JsonValue submit = Submit(0.0, 36000.0);
+    submit.Set("seq", JsonValue::MakeNumber(i));
+    AppendFrame(submit.Dump(), burst);
+  }
+  JsonValue drain = Cmd("drain");
+  drain.Set("seq", JsonValue::MakeNumber(kBefore));
+  AppendFrame(drain.Dump(), burst);
+  JsonValue snap = Cmd("snapshot");
+  snap.Set("path", JsonValue::MakeString(path));
+  snap.Set("seq", JsonValue::MakeNumber(kBefore + 1));
+  AppendFrame(snap.Dump(), burst);
+
+  // Connection B: a concurrent burst of submits racing the barriers.
+  std::string race;
+  constexpr int kRacers = 16;
+  for (int i = 0; i < kRacers; ++i) {
+    JsonValue submit = Submit(0.0, 36000.0);
+    submit.Set("seq", JsonValue::MakeNumber(1000 + i));
+    AppendFrame(submit.Dump(), race);
+  }
+  ASSERT_TRUE(
+      WriteAllBytes(barrier_fd.value(), burst.data(), burst.size()).ok());
+  ASSERT_TRUE(WriteAllBytes(racer_fd.value(), race.data(), race.size()).ok());
+
+  // Connection A's replies arrive in order; drain and snapshot both succeed.
+  for (int expect = 0; expect <= kBefore + 1; ++expect) {
+    StatusOr<std::string> reply_text = ReadFrame(barrier_fd.value());
+    ASSERT_TRUE(reply_text.ok()) << reply_text.status().message();
+    StatusOr<JsonValue> reply = JsonValue::Parse(reply_text.value());
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply.value().GetDouble("seq", -1.0), expect)
+        << reply_text.value();
+    ASSERT_TRUE(reply.value().GetBool("ok")) << reply_text.value();
+    if (expect == kBefore + 1) {
+      EXPECT_EQ(reply.value().GetDouble("shards", 0.0), kShards);
+    }
+  }
+  // Connection B's submits all complete (in order, unique global ids).
+  std::set<std::int64_t> distinct;
+  for (int expect = 0; expect < kRacers; ++expect) {
+    StatusOr<std::string> reply_text = ReadFrame(racer_fd.value());
+    ASSERT_TRUE(reply_text.ok()) << reply_text.status().message();
+    StatusOr<JsonValue> reply = JsonValue::Parse(reply_text.value());
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply.value().GetDouble("seq", -1.0), 1000 + expect);
+    ASSERT_TRUE(reply.value().GetBool("ok")) << reply_text.value();
+    EXPECT_TRUE(distinct
+                    .insert(static_cast<std::int64_t>(
+                        reply.value().GetDouble("job", -1.0)))
+                    .second);
+  }
+  ::close(barrier_fd.value());
+  ::close(racer_fd.value());
+
+  // The snapshot is a loadable kShards container whose routing counter has
+  // advanced at least past connection A's submits (B's may land either side
+  // of the barrier — that's the race — but the container must be coherent).
+  StatusOr<MultiSnapshot> loaded = LoadMultiSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().shard_images.size(),
+            static_cast<std::size_t>(kShards));
+  EXPECT_GE(loaded.value().submit_seq, static_cast<std::uint64_t>(kBefore));
+  EXPECT_LE(loaded.value().submit_seq,
+            static_cast<std::uint64_t>(kBefore + kRacers));
+  for (const std::string& image : loaded.value().shard_images) {
+    EXPECT_EQ(image.substr(0, 8), "LYRASNAP");
+  }
+  std::remove(path.c_str());
+
+  StopFleet(fleet);
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace lyra::svc

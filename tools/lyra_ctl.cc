@@ -25,8 +25,22 @@
 namespace {
 
 const char kSubcommands[] =
-    "submit | cancel | advance | drain | query_job | cluster_stats | metrics "
-    "| stats_prom | trace_dump | snapshot | ping | shutdown";
+    "submit | cancel | migrate | advance | drain | query_job | cluster_stats "
+    "| metrics | stats_prom | trace_dump | federation_stats | snapshot | ping "
+    "| shutdown";
+
+// Cluster targets are a name or a numeric index; the daemon distinguishes
+// them by JSON type, so an all-digits flag value becomes a number.
+lyra::JsonValue ClusterTarget(const std::string& value) {
+  bool digits = !value.empty();
+  for (char ch : value) {
+    digits = digits && ch >= '0' && ch <= '9';
+  }
+  if (digits) {
+    return lyra::JsonValue::MakeNumber(std::atof(value.c_str()));
+  }
+  return lyra::JsonValue::MakeString(value);
+}
 
 }  // namespace
 
@@ -36,6 +50,8 @@ int main(int argc, char** argv) {
   std::string path;
   std::string model;
   std::string key;
+  std::string cluster;
+  std::string migrate_to;
   double at = -1.0;
   double to = -1.0;
   double total_work = -1.0;
@@ -66,6 +82,10 @@ int main(int argc, char** argv) {
   flags.AddString("model", &model, "submit: resnet | vgg | bert | gnmt | other");
   flags.AddString("key", &key,
                   "submit: routing key (same key -> same engine shard)");
+  flags.AddString("cluster", &cluster,
+                  "submit: federation target cluster name or index");
+  flags.AddString("dest", &migrate_to,
+                  "migrate: destination cluster name or index");
   flags.AddBool("fungible", &fungible, "submit: job tolerates reclaims");
   flags.AddBool("heterogeneous", &heterogeneous, "submit: may span GPU types");
   flags.AddBool("checkpointing", &checkpointing, "submit: checkpoint-enabled");
@@ -108,6 +128,16 @@ int main(int argc, char** argv) {
     request.Set("fungible", lyra::JsonValue::MakeBool(fungible));
     request.Set("heterogeneous", lyra::JsonValue::MakeBool(heterogeneous));
     request.Set("checkpointing", lyra::JsonValue::MakeBool(checkpointing));
+    if (!cluster.empty()) {
+      request.Set("cluster", ClusterTarget(cluster));
+    }
+  } else if (cmd == "migrate") {
+    if (job < 0 || migrate_to.empty()) {
+      std::fprintf(stderr, "lyra_ctl: migrate requires --job and --dest\n");
+      return 1;
+    }
+    request.Set("job", lyra::JsonValue::MakeNumber(job));
+    request.Set("to", ClusterTarget(migrate_to));
   } else if (cmd == "cancel" || cmd == "query_job") {
     if (job < 0) {
       std::fprintf(stderr, "lyra_ctl: %s requires --job\n", cmd.c_str());
@@ -170,6 +200,36 @@ int main(int argc, char** argv) {
     std::fputs(parsed_reply.value().GetString("text", "").c_str(), stdout);
   } else {
     std::printf("%s\n", reply.value().c_str());
+  }
+  // federation_stats carries per-cluster rows plus the broker ledger;
+  // render them as a table so loan imbalance is visible at a glance.
+  if (cmd == "federation_stats" && ok) {
+    const lyra::JsonValue* fed = parsed_reply.value().Find("clusters");
+    if (fed != nullptr && fed->is_array()) {
+      for (const lyra::JsonValue& entry : fed->AsArray()) {
+        const lyra::JsonValue* jobs = entry.Find("jobs");
+        const lyra::JsonValue* gpus = entry.Find("gpus");
+        std::printf(
+            "  cluster %2.0f %-12s %-9s gpus=%.0f/%.0f loaned=%.0f "
+            "borrowed=%.0f pending=%.0f running=%.0f\n",
+            entry.GetDouble("cluster"), entry.GetString("name", "?").c_str(),
+            entry.GetString("kind", "?").c_str(),
+            gpus != nullptr ? gpus->GetDouble("used") : 0.0,
+            gpus != nullptr ? gpus->GetDouble("total") : 0.0,
+            entry.GetDouble("loaned"), entry.GetDouble("borrowed"),
+            jobs != nullptr ? jobs->GetDouble("pending") : 0.0,
+            jobs != nullptr ? jobs->GetDouble("running") : 0.0);
+      }
+    }
+    const lyra::JsonValue* broker = parsed_reply.value().Find("broker");
+    if (broker != nullptr) {
+      std::printf("  broker: loans=%.0f granted=%.0f reclaimed=%.0f "
+                  "returned=%.0f hash=%s\n",
+                  broker->GetDouble("active"), broker->GetDouble("granted"),
+                  broker->GetDouble("reclaimed"),
+                  broker->GetDouble("returned"),
+                  broker->GetString("ledger_hash", "?").c_str());
+    }
   }
   // A sharded daemon's ping carries a per-shard breakdown; render it as a
   // table under the raw reply so shard imbalance is visible at a glance.

@@ -171,7 +171,28 @@ int main(int argc, char** argv) {
     options.rate = offered;
     lyra::StatusOr<lyra::svc::LoadPoint> run = lyra::svc::RunOpenLoop(options);
     if (!run.ok()) {
-      std::fprintf(stderr, "lyra_loadgen: %s\n", run.status().message().c_str());
+      // A daemon shedding hard past saturation can slam connections shut
+      // mid-point (ECONNRESET / EPIPE / short read). Aborting there would
+      // throw away the sweep's earlier points, so record the point as failed
+      // and keep walking the rate ladder; the exit status still reports it.
+      const std::string& why = run.status().message();
+      const bool transient = why.find("Connection reset") != std::string::npos ||
+                             why.find("Broken pipe") != std::string::npos ||
+                             why.find("closed") != std::string::npos ||
+                             why.find("short read") != std::string::npos;
+      if (transient && rates.size() > 1) {
+        std::fprintf(stderr,
+                     "lyra_loadgen: rate %.0f/s failed (%s); continuing sweep\n",
+                     offered, why.c_str());
+        lyra::svc::LoadPoint failed;
+        failed.offered_rate = offered;
+        failed.connections = connections;
+        failed.errors = 1;
+        PrintPoint(failed);
+        points.push_back(failed);
+        continue;
+      }
+      std::fprintf(stderr, "lyra_loadgen: %s\n", why.c_str());
       return 1;
     }
     PrintPoint(run.value());

@@ -13,11 +13,20 @@
 // end (DESIGN.md §10): submits spread by key hash, job ids carry their owning
 // shard, snapshot/restore round-trips the whole fleet byte-identically.
 //
+// --federation=<spec> runs a multi-cluster federation instead (DESIGN.md
+// §11): "2x2" is 2 inference + 2 training clusters, "2x2@4" gives each 4
+// engine shards, and "name:kind[:shards[:prio]],..." spells the clusters
+// out. Submits route by "cluster"/"kind", a loan broker moves idle inference
+// capacity to pending training demand at every advance/drain barrier, and
+// snapshots write one LYRAFED container. --restore sniffs the file format,
+// so a federation snapshot restores a federation whatever the flags say.
+//
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --tcp-port=7070
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --restore=/tmp/lyra.snap
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --time-scale=3600
 //   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --shards=4
+//   ./build/tools/lyra_schedd --socket=/tmp/lyra.sock --federation=2x2
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -25,10 +34,12 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/flags.h"
 #include "src/common/log.h"
 #include "src/svc/event_loop.h"
+#include "src/svc/federation.h"
 #include "src/svc/service.h"
 #include "src/svc/shard_router.h"
 #include "src/svc/time_driver.h"
@@ -57,6 +68,7 @@ int main(int argc, char** argv) {
   std::string log_level = env_level != nullptr ? env_level : "warning";
   std::string flight_path = "/tmp/lyra_schedd.trace.json";
   double time_scale = 0.0;
+  std::string federation_spec;
   int shards = 1;
   int seed = 42;
   double scale = 0.25;
@@ -91,6 +103,9 @@ int main(int argc, char** argv) {
   flags.AddInt("io-threads", &loop_options.io_threads, "epoll I/O threads");
   flags.AddInt("shards", &shards,
                "independent engine shards behind the front end");
+  flags.AddString("federation", &federation_spec,
+                  "multi-cluster federation: \"NxM[@S]\" or "
+                  "\"name:kind[:shards[:prio]],...\" (excludes --shards)");
   flags.AddString("log-level", &log_level,
                   "debug | info | warning | error | off "
                   "(default from LYRA_LOG_LEVEL)");
@@ -131,19 +146,58 @@ int main(int argc, char** argv) {
     }
     return std::make_unique<lyra::svc::VirtualTimeDriver>();
   };
-  lyra::StatusOr<lyra::svc::ShardSet> built =
-      restore_path.empty()
-          ? lyra::svc::BuildShardSet(options, shards, make_driver)
-          : lyra::svc::RestoreShardSet(options, restore_path, make_driver);
-  if (!built.ok()) {
-    std::fprintf(stderr, "lyra_schedd: %s\n", built.status().message().c_str());
+  if (!federation_spec.empty() && shards != 1) {
+    std::fprintf(stderr, "lyra_schedd: --federation excludes --shards\n");
     return 1;
   }
-  lyra::svc::ShardSet fleet = std::move(built.value());
-  lyra::svc::ShardRouter& router = *fleet.router;
+  // The restore file's format decides the topology: a LYRAFED container
+  // always restores a federation, LYRASNAP/LYRASHRD always a shard fleet.
+  const bool federated =
+      restore_path.empty() ? !federation_spec.empty()
+                           : lyra::svc::IsFedSnapshotFile(restore_path);
+  lyra::svc::ShardSet shard_fleet;
+  lyra::svc::FederationSet fed_fleet;
+  std::vector<std::unique_ptr<lyra::svc::SchedulerService>>* services = nullptr;
+  lyra::svc::ShardRouter* router_ptr = nullptr;
+  if (federated) {
+    lyra::StatusOr<lyra::svc::FederationSet> built =
+        restore_path.empty()
+            ? [&]() -> lyra::StatusOr<lyra::svc::FederationSet> {
+                lyra::StatusOr<std::vector<lyra::svc::ClusterSpec>> clusters =
+                    lyra::svc::ParseFederationSpec(federation_spec);
+                if (!clusters.ok()) {
+                  return clusters.status();
+                }
+                return lyra::svc::BuildFederation(options, clusters.value(),
+                                                  make_driver);
+              }()
+            : lyra::svc::RestoreFederation(options, restore_path, make_driver);
+    if (!built.ok()) {
+      std::fprintf(stderr, "lyra_schedd: %s\n",
+                   built.status().message().c_str());
+      return 1;
+    }
+    fed_fleet = std::move(built.value());
+    services = &fed_fleet.services;
+    router_ptr = fed_fleet.router.get();
+  } else {
+    lyra::StatusOr<lyra::svc::ShardSet> built =
+        restore_path.empty()
+            ? lyra::svc::BuildShardSet(options, shards, make_driver)
+            : lyra::svc::RestoreShardSet(options, restore_path, make_driver);
+    if (!built.ok()) {
+      std::fprintf(stderr, "lyra_schedd: %s\n",
+                   built.status().message().c_str());
+      return 1;
+    }
+    shard_fleet = std::move(built.value());
+    services = &shard_fleet.services;
+    router_ptr = shard_fleet.router.get();
+  }
+  lyra::svc::ShardRouter& router = *router_ptr;
   if (!restore_path.empty()) {
     std::size_t commands = 0;
-    for (const auto& shard : fleet.services) {
+    for (const auto& shard : *services) {
       commands += shard->command_log().size();
     }
     std::printf(
@@ -157,7 +211,7 @@ int main(int argc, char** argv) {
   const lyra::Status listening = loop.Start();
   if (!listening.ok()) {
     std::fprintf(stderr, "lyra_schedd: %s\n", listening.message().c_str());
-    for (auto& shard : fleet.services) {
+    for (auto& shard : *services) {
       shard->Stop();
     }
     return 1;
@@ -212,7 +266,7 @@ int main(int argc, char** argv) {
 
   // Stop the shards first so every queued command completes and its reply
   // reaches the event loop; the loop then flushes and closes connections.
-  for (auto& shard : fleet.services) {
+  for (auto& shard : *services) {
     shard->Stop();
   }
   loop.Stop();
