@@ -145,6 +145,8 @@ const char* SchedulerKindName(SchedulerKind kind) {
       return "Lyra (no scaling)";
     case SchedulerKind::kOpportunistic:
       return "Opportunistic";
+    case SchedulerKind::kLearned:
+      return "Learned";
   }
   return "?";
 }
@@ -210,6 +212,20 @@ SimulationResult RunOne(const ExperimentConfig& config, const RunSpec& spec,
     case SchedulerKind::kOpportunistic:
       scheduler = std::make_unique<OpportunisticScheduler>();
       break;
+    case SchedulerKind::kLearned: {
+      LYRA_CHECK(spec.policy != nullptr);
+      rl::LearnedSchedulerOptions learned_options;
+      learned_options.mode = spec.policy_mode;
+      learned_options.sample_seed = spec.policy_sample_seed;
+      learned_options.worker_sigma = spec.policy_worker_sigma;
+      auto learned =
+          std::make_unique<rl::LearnedScheduler>(*spec.policy, learned_options);
+      if (spec.trajectory != nullptr) {
+        learned->set_trajectory_sink(spec.trajectory);
+      }
+      scheduler = std::move(learned);
+      break;
+    }
   }
 
   std::unique_ptr<ReclaimPolicy> reclaim;

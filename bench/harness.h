@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/rl/learned_scheduler.h"
 #include "src/sim/simulator.h"
 #include "src/workload/synthetic.h"
 
@@ -64,6 +65,7 @@ enum class SchedulerKind {
   kLyraNaivePlacement,  // Table 6 ablation
   kLyraNoElastic,       // capacity-loaning-only studies (§7.3)
   kOpportunistic,
+  kLearned,  // RL policy (requires RunSpec::policy)
 };
 
 const char* SchedulerKindName(SchedulerKind kind);
@@ -89,6 +91,16 @@ struct RunSpec {
   bool lstm_predictor = false;
   // Deterministic fault injection (off by default; see src/sim/faults.h).
   FaultOptions faults;
+  // kLearned only: the policy to drive (shared read-only across pool
+  // threads; each run copies it into its own LearnedScheduler), the rollout
+  // mode, the action-sampling seed, the worker-head exploration stddev, and
+  // an optional per-run trajectory sink (must outlive the run; the RL
+  // trainer points each rollout at its own slot).
+  std::shared_ptr<const rl::PolicyNet> policy;
+  rl::PolicyMode policy_mode = rl::PolicyMode::kEval;
+  std::uint64_t policy_sample_seed = 1;
+  double policy_worker_sigma = 0.5;
+  rl::Trajectory* trajectory = nullptr;
 };
 
 SimulationResult RunExperiment(const ExperimentConfig& config, const RunSpec& spec);

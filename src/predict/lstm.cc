@@ -43,7 +43,14 @@ LstmNetwork::LstmNetwork(const LstmOptions& options) : options_(options) {
     v = rng.NextGaussian() / std::sqrt(static_cast<double>(h));
   }
 
-  // Build the flat parameter view for Adam.
+  RebuildParamPtrs();
+  grads_.assign(param_ptrs_.size(), 0.0);
+  adam_m_.assign(param_ptrs_.size(), 0.0);
+  adam_v_.assign(param_ptrs_.size(), 0.0);
+}
+
+void LstmNetwork::RebuildParamPtrs() {
+  param_ptrs_.clear();
   for (Layer& layer : layers_) {
     for (double& v : layer.w) {
       param_ptrs_.push_back(&v);
@@ -59,12 +66,52 @@ LstmNetwork::LstmNetwork(const LstmOptions& options) : options_(options) {
     param_ptrs_.push_back(&v);
   }
   param_ptrs_.push_back(&head_b_);
-  grads_.assign(param_ptrs_.size(), 0.0);
-  adam_m_.assign(param_ptrs_.size(), 0.0);
-  adam_v_.assign(param_ptrs_.size(), 0.0);
+}
+
+LstmNetwork::LstmNetwork(const LstmNetwork& other)
+    : options_(other.options_),
+      layers_(other.layers_),
+      head_w_(other.head_w_),
+      head_b_(other.head_b_),
+      grads_(other.grads_),
+      adam_m_(other.adam_m_),
+      adam_v_(other.adam_v_),
+      adam_t_(other.adam_t_) {
+  RebuildParamPtrs();
+}
+
+LstmNetwork& LstmNetwork::operator=(const LstmNetwork& other) {
+  if (this == &other) {
+    return *this;
+  }
+  options_ = other.options_;
+  layers_ = other.layers_;
+  head_w_ = other.head_w_;
+  head_b_ = other.head_b_;
+  grads_ = other.grads_;
+  adam_m_ = other.adam_m_;
+  adam_v_ = other.adam_v_;
+  adam_t_ = other.adam_t_;
+  RebuildParamPtrs();
+  return *this;
 }
 
 int LstmNetwork::num_parameters() const { return static_cast<int>(param_ptrs_.size()); }
+
+std::vector<double> LstmNetwork::ExportParameters() const {
+  std::vector<double> out(param_ptrs_.size());
+  for (std::size_t i = 0; i < param_ptrs_.size(); ++i) {
+    out[i] = *param_ptrs_[i];
+  }
+  return out;
+}
+
+void LstmNetwork::ImportParameters(const std::vector<double>& params) {
+  LYRA_CHECK_EQ(params.size(), param_ptrs_.size());
+  for (std::size_t i = 0; i < param_ptrs_.size(); ++i) {
+    *param_ptrs_[i] = params[i];
+  }
+}
 
 double LstmNetwork::RunForward(const std::vector<double>& window,
                                std::vector<std::vector<StepCache>>* cache) {
@@ -154,15 +201,15 @@ void LstmNetwork::Backward(const std::vector<std::vector<StepCache>>& cache,
     offset += layer.w.size() + layer.u.size() + layer.b.size();
   }
   const std::size_t head_offset = offset;
-  std::fill(grads_.begin(), grads_.end(), 0.0);
 
-  // Head gradient and the seed gradient into the top layer's final h.
+  // Head gradient and the seed gradient into the top layer's final h. Note
+  // Backward *accumulates* into grads_; callers zero via ZeroGradients.
   const std::vector<double>& top_h = cache.back()[steps - 1].h;
   for (int i = 0; i < h; ++i) {
-    grads_[head_offset + static_cast<std::size_t>(i)] =
+    grads_[head_offset + static_cast<std::size_t>(i)] +=
         d_output * top_h[static_cast<std::size_t>(i)];
   }
-  grads_[head_offset + static_cast<std::size_t>(h)] = d_output;
+  grads_[head_offset + static_cast<std::size_t>(h)] += d_output;
 
   // d_h[l][t] contributions flowing down the stack: process layers top-down,
   // accumulating the gradient each layer passes to the one below via x.
@@ -258,13 +305,32 @@ void LstmNetwork::AdamUpdate() {
 }
 
 double LstmNetwork::TrainStep(const std::vector<double>& window, double target) {
+  const double err = ComputeLossAndGradient(window, target);
+  AdamUpdate();
+  return err;
+}
+
+void LstmNetwork::ZeroGradients() { std::fill(grads_.begin(), grads_.end(), 0.0); }
+
+double LstmNetwork::AccumulateGradient(const std::vector<double>& window,
+                                       double d_output) {
+  std::vector<std::vector<StepCache>> cache;
+  const double prediction = RunForward(window, &cache);
+  Backward(cache, d_output);
+  return prediction;
+}
+
+double LstmNetwork::ComputeLossAndGradient(const std::vector<double>& window,
+                                           double target) {
+  ZeroGradients();
   std::vector<std::vector<StepCache>> cache;
   const double prediction = RunForward(window, &cache);
   const double err = prediction - target;
   Backward(cache, 2.0 * err);
-  AdamUpdate();
   return err * err;
 }
+
+void LstmNetwork::ApplyAdam() { AdamUpdate(); }
 
 LstmPredictor::LstmPredictor(LstmOptions options)
     : options_(options), network_(options), rng_(options.seed ^ 0xabcdef) {}

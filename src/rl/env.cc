@@ -1,0 +1,62 @@
+#include "src/rl/env.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/types.h"
+#include "src/lyra/reclaim.h"
+#include "src/predict/predictor.h"
+#include "src/sim/inference_cluster.h"
+#include "src/workload/synthetic.h"
+
+namespace lyra::rl {
+
+double ComputeReward(const SimulationResult& result, const RewardOptions& options) {
+  return -(result.jct.mean / options.jct_scale) +
+         options.utilization_weight * result.training_usage;
+}
+
+SchedulingEnv::SchedulingEnv(EnvOptions options, RewardOptions reward)
+    : options_(options), reward_(reward) {}
+
+EpisodeResult SchedulingEnv::RunEpisode(const PolicyNet& policy, PolicyMode mode,
+                                        std::uint64_t sample_seed) {
+  SyntheticTraceOptions trace_options;
+  trace_options.duration = options_.days * kDay;
+  trace_options.training_gpus = options_.training_servers * 8;
+  trace_options.target_utilization = options_.offered_load;
+  trace_options.elastic_work_fraction = options_.elastic_work_fraction;
+  trace_options.fungible_job_fraction = options_.fungible_fraction;
+  trace_options.seed = options_.seed;
+  const Trace trace = SyntheticTraceGenerator(trace_options).Generate();
+
+  LearnedSchedulerOptions sched_options;
+  sched_options.mode = mode;
+  sched_options.sample_seed = sample_seed;
+  LearnedScheduler scheduler(policy, sched_options);
+
+  EpisodeResult episode;
+  if (mode == PolicyMode::kSample) {
+    scheduler.set_trajectory_sink(&episode.trajectory);
+  }
+
+  LyraReclaimPolicy reclaim;
+  DiurnalTrafficOptions traffic;
+  traffic.duration = (options_.days + 8) * kDay;
+  traffic.seed = options_.seed ^ 0x7aff1c;
+  InferenceClusterOptions inference_options;
+  inference_options.num_servers = options_.inference_servers;
+  auto inference = std::make_unique<InferenceCluster>(
+      inference_options, DiurnalTrafficModel(traffic),
+      std::make_unique<SeasonalNaivePredictor>());
+
+  SimulatorOptions sim_options;
+  sim_options.training_servers = options_.training_servers;
+  sim_options.enable_loaning = options_.loaning;
+  Simulator simulator(sim_options, trace, &scheduler, &reclaim, std::move(inference));
+  episode.result = simulator.Run();
+  episode.reward = ComputeReward(episode.result, reward_);
+  return episode;
+}
+
+}  // namespace lyra::rl

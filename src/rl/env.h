@@ -1,0 +1,73 @@
+// SchedulingEnv: the deterministic simulator as an RL gym (DESIGN.md §12).
+//
+// One episode = one full simulation of a synthetic trace under the learned
+// scheduler. Observations and actions happen inside the simulation (the
+// simulator calls the scheduler, which queries the policy at every scheduling
+// epoch — control is inverted relative to a step()-style gym), so the env's
+// surface is episode-granular: run a policy, get back the simulation result,
+// the scalar episode reward, and (in sample mode) the trajectory REINFORCE
+// needs for credit assignment.
+//
+// Reward: -(mean JCT / jct_scale) + utilization_weight * training_usage.
+// Minimizing JCT is the paper's headline metric; the utilization term shapes
+// early training, when most orderings time out into similar JCTs.
+#ifndef SRC_RL_ENV_H_
+#define SRC_RL_ENV_H_
+
+#include <cstdint>
+
+#include "src/rl/learned_scheduler.h"
+#include "src/rl/policy.h"
+#include "src/sim/simulator.h"
+
+namespace lyra::rl {
+
+struct RewardOptions {
+  double jct_scale = 4.0 * 3600.0;  // mean-JCT normalizer (seconds)
+  double utilization_weight = 0.5;
+
+  friend bool operator==(const RewardOptions&, const RewardOptions&) = default;
+};
+
+double ComputeReward(const SimulationResult& result, const RewardOptions& options);
+
+// Scenario knobs, mirroring the bench harness vocabulary at gym scale.
+struct EnvOptions {
+  int training_servers = 44;  // ~0.1x the paper's cluster
+  int inference_servers = 52;
+  double days = 2.0;
+  double offered_load = 0.95;
+  double elastic_work_fraction = 0.36;
+  double fungible_fraction = 0.21;
+  bool loaning = true;
+  std::uint64_t seed = 42;
+};
+
+struct EpisodeResult {
+  SimulationResult result;
+  double reward = 0.0;
+  Trajectory trajectory;  // empty in kEval mode
+};
+
+class SchedulingEnv {
+ public:
+  explicit SchedulingEnv(EnvOptions options, RewardOptions reward = {});
+
+  // Runs one episode. The policy is copied (episodes never mutate it);
+  // `sample_seed` seeds the action sampling only — the trace and simulator
+  // stay fixed by EnvOptions::seed, so kEval episodes are bit-reproducible
+  // and kSample episodes differ only in the sampled actions.
+  EpisodeResult RunEpisode(const PolicyNet& policy, PolicyMode mode,
+                           std::uint64_t sample_seed);
+
+  const EnvOptions& options() const { return options_; }
+  const RewardOptions& reward_options() const { return reward_; }
+
+ private:
+  EnvOptions options_;
+  RewardOptions reward_;
+};
+
+}  // namespace lyra::rl
+
+#endif  // SRC_RL_ENV_H_

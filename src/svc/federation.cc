@@ -1,12 +1,14 @@
 #include "src/svc/federation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/svc/registry.h"
 #include "src/svc/replies.h"
 
 namespace lyra::svc {
@@ -301,6 +303,44 @@ std::int64_t LoanBroker::BorrowedBy(std::uint32_t cluster) const {
   return total;
 }
 
+Status LoanBroker::ConfigurePredictor(const std::string& name) {
+  if (name.empty()) {
+    predictor_name_.clear();
+    predictors_.clear();
+    return Status::Ok();
+  }
+  // Validate eagerly so a typo fails at configure time, not at the first
+  // barrier evaluation.
+  StatusOr<std::unique_ptr<UsagePredictor>> probe = MakePredictor(name);
+  if (!probe.ok()) {
+    return probe.status();
+  }
+  predictor_name_ = name;
+  predictors_.clear();
+  return Status::Ok();
+}
+
+std::int64_t LoanBroker::PredictedDemand(std::uint32_t cluster,
+                                         std::int64_t pending) {
+  if (predictor_name_.empty()) {
+    return pending;
+  }
+  if (predictors_.size() <= cluster) {
+    predictors_.resize(cluster + 1);
+  }
+  if (predictors_[cluster] == nullptr) {
+    StatusOr<std::unique_ptr<UsagePredictor>> made =
+        MakePredictor(predictor_name_);
+    predictors_[cluster] = std::move(made.value());
+  }
+  UsagePredictor& predictor = *predictors_[cluster];
+  predictor.Observe(
+      std::min(1.0, static_cast<double>(pending) / kDemandScale));
+  const double predicted = predictor.PredictNext();
+  return std::max<std::int64_t>(
+      0, static_cast<std::int64_t>(std::ceil(predicted * kDemandScale)));
+}
+
 void LoanBroker::Evaluate(double now,
                           const std::vector<ClusterSignal>& signals) {
   // Training demand is approximated as one GPU per pending job (the engine's
@@ -366,7 +406,8 @@ void LoanBroker::Evaluate(double now,
   std::sort(borrowers.begin(), borrowers.end(), by_priority);
   std::sort(lenders.begin(), lenders.end(), by_priority);
   for (const std::uint32_t b : borrowers) {
-    std::int64_t demand = signals[b].pending_jobs - BorrowedBy(b);
+    std::int64_t demand =
+        PredictedDemand(b, signals[b].pending_jobs) - BorrowedBy(b);
     for (const std::uint32_t l : lenders) {
       if (demand <= 0) {
         break;
@@ -519,6 +560,11 @@ int FederationRouter::FindCluster(const std::string& name) const {
     }
   }
   return -1;
+}
+
+Status FederationRouter::ConfigureLoanPredictor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(broker_mu_);
+  return broker_.ConfigurePredictor(name);
 }
 
 FedLedger FederationRouter::LedgerCopy() const {
@@ -1256,6 +1302,13 @@ StatusOr<FederationSet> BuildFederation(
   }
   set.router =
       std::make_unique<FederationRouter>(std::move(pointers), clusters);
+  if (!base.loan_predictor.empty()) {
+    const Status configured =
+        set.router->ConfigureLoanPredictor(base.loan_predictor);
+    if (!configured.ok()) {
+      return configured;
+    }
+  }
   return set;
 }
 
@@ -1325,6 +1378,13 @@ StatusOr<FederationSet> RestoreFederation(
   auto router = std::make_unique<FederationRouter>(std::move(pointers),
                                                    std::move(clusters));
   router->set_submit_seq(fed.submit_seq);
+  if (!base.loan_predictor.empty()) {
+    const Status configured =
+        router->ConfigureLoanPredictor(base.loan_predictor);
+    if (!configured.ok()) {
+      return configured;
+    }
+  }
   router->RestoreLedger(fed.ledger);
   // A crash between a snapshot and a cluster-set change can persist loans
   // against clusters that no longer exist; drop them before serving.

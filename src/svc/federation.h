@@ -43,6 +43,7 @@
 
 #include "src/common/json.h"
 #include "src/common/status.h"
+#include "src/predict/predictor.h"
 #include "src/svc/shard_router.h"
 #include "src/svc/snapshot.h"
 
@@ -85,6 +86,10 @@ class LoanBroker {
   static constexpr double kReserveFraction = 0.1;
   // Event lines retained for federation_stats (the hash covers all).
   static constexpr std::size_t kMaxEvents = 256;
+  // Pending-demand normalization for the optional loan predictor: predictors
+  // model usage in [0, 1], so pending jobs are observed as pending / scale
+  // and predictions are mapped back with ceil(prediction * scale).
+  static constexpr double kDemandScale = 1024.0;
 
   // One cluster's broker-relevant state at a barrier.
   struct ClusterSignal {
@@ -111,6 +116,17 @@ class LoanBroker {
   // cluster that no longer exists. Emits a "drop" event per casualty.
   void Reconcile(double now, std::size_t clusters);
 
+  // Sizes loan grants from a per-borrower UsagePredictor instead of the raw
+  // pending-job count (`--loan-predictor`): every Evaluate observes each
+  // training cluster's normalized pending demand and the grant phase uses
+  // ceil(PredictNext() * kDemandScale) as that cluster's demand. `name` is a
+  // registry predictor name ("seasonal-naive" | "lstm" | "last-value"); an
+  // empty name switches the feature off. When off (the default) Evaluate is
+  // byte-identical to the unpredicted broker — same events, same ledger
+  // hash. InvalidArgument on an unknown name.
+  Status ConfigurePredictor(const std::string& name);
+  const std::string& predictor_name() const { return predictor_name_; }
+
   // Ledger entry for a completed job migration (the router performs the
   // cancel/resubmit chain; the broker only records it).
   void RecordMigration(double now, std::int64_t from_job, std::int64_t to_job,
@@ -132,9 +148,16 @@ class LoanBroker {
              std::int64_t gpus);
   // Removes loans_[index], emitting `verb` ("reclaim" / "return" / "drop").
   void EndLoan(double now, const char* verb, std::size_t index);
+  // Observes `pending` into cluster's predictor and returns the predicted
+  // demand in jobs; the raw `pending` when no predictor is configured.
+  std::int64_t PredictedDemand(std::uint32_t cluster, std::int64_t pending);
 
   FedLedger ledger_;
   std::vector<std::string> events_;
+  std::string predictor_name_;
+  // Lazily grown, indexed by borrower cluster; each training cluster gets
+  // its own predictor so one cluster's history never leaks into another's.
+  std::vector<std::unique_ptr<UsagePredictor>> predictors_;
 };
 
 // The federation front end: a ShardRouter over the flat engine pool whose
@@ -158,6 +181,9 @@ class FederationRouter : public ShardRouter {
     return engine_cluster_[engine];
   }
   int FindCluster(const std::string& name) const;  // -1 when unknown
+
+  // Thread-safe pass-through to LoanBroker::ConfigurePredictor.
+  Status ConfigureLoanPredictor(const std::string& name);
 
   // Thread-safe copies of the broker state (tools, tests, stats).
   FedLedger LedgerCopy() const;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/types.h"
 #include "src/lyra/lyra_scheduler.h"
 #include "src/predict/lstm.h"
+#include "src/rl/learned_scheduler.h"
+#include "src/rl/policy.h"
 #include "src/sched/afs.h"
 #include "src/sched/fifo.h"
 #include "src/sched/gandiva.h"
@@ -15,50 +18,127 @@
 #include "src/workload/trace.h"
 
 namespace lyra::svc {
+namespace {
 
-std::unique_ptr<JobScheduler> MakeSchedulerByName(const std::string& name,
-                                                  bool info_agnostic, bool tuned) {
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += name;
+  }
+  return out;
+}
+
+Status UnknownComponent(const std::string& kind, const std::string& name,
+                        const std::vector<std::string>& known) {
+  return Status::InvalidArgument("unknown " + kind + ": \"" + name +
+                                 "\" (known: " + JoinNames(known) + ")");
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownSchedulerNames() {
+  static const std::vector<std::string> names = {
+      "afs",   "fifo",          "gandiva", "learned",
+      "lyra",  "opportunistic", "pollux",  "sjf"};
+  return names;
+}
+
+const std::vector<std::string>& KnownReclaimNames() {
+  static const std::vector<std::string> names = {"lyra", "optimal", "random", "scf"};
+  return names;
+}
+
+const std::vector<std::string>& KnownPredictorNames() {
+  static const std::vector<std::string> names = {"last-value", "lstm",
+                                                 "seasonal-naive"};
+  return names;
+}
+
+StatusOr<std::unique_ptr<JobScheduler>> MakeScheduler(
+    const std::string& name, bool info_agnostic, bool tuned,
+    const std::string& policy_weights) {
   if (name == "fifo") {
-    return std::make_unique<FifoScheduler>();
+    return std::unique_ptr<JobScheduler>(std::make_unique<FifoScheduler>());
   }
   if (name == "sjf") {
-    return std::make_unique<SjfScheduler>();
+    return std::unique_ptr<JobScheduler>(std::make_unique<SjfScheduler>());
   }
   if (name == "gandiva") {
-    return std::make_unique<GandivaScheduler>();
+    return std::unique_ptr<JobScheduler>(std::make_unique<GandivaScheduler>());
   }
   if (name == "afs") {
-    return std::make_unique<AfsScheduler>();
+    return std::unique_ptr<JobScheduler>(std::make_unique<AfsScheduler>());
   }
   if (name == "pollux") {
-    return std::make_unique<PolluxScheduler>();
+    return std::unique_ptr<JobScheduler>(std::make_unique<PolluxScheduler>());
   }
   if (name == "opportunistic") {
-    return std::make_unique<OpportunisticScheduler>();
+    return std::unique_ptr<JobScheduler>(std::make_unique<OpportunisticScheduler>());
   }
   if (name == "lyra") {
     LyraSchedulerOptions options;
     options.information_agnostic = info_agnostic;
     options.tuned_jobs = tuned;
-    return std::make_unique<LyraScheduler>(options);
+    return std::unique_ptr<JobScheduler>(std::make_unique<LyraScheduler>(options));
   }
-  return nullptr;
+  if (name == "learned") {
+    if (policy_weights.empty()) {
+      return Status::InvalidArgument(
+          "scheduler \"learned\" requires --policy-weights=<LYRAPOL file> "
+          "(train one with lyra_train)");
+    }
+    StatusOr<rl::PolicyNet> policy = rl::PolicyNet::Load(policy_weights);
+    if (!policy.ok()) {
+      return policy.status();
+    }
+    return std::unique_ptr<JobScheduler>(
+        std::make_unique<rl::LearnedScheduler>(std::move(policy.value())));
+  }
+  return UnknownComponent("scheduler", name, KnownSchedulerNames());
+}
+
+StatusOr<std::unique_ptr<ReclaimPolicy>> MakeReclaim(const std::string& name) {
+  if (name == "lyra") {
+    return std::unique_ptr<ReclaimPolicy>(std::make_unique<LyraReclaimPolicy>());
+  }
+  if (name == "random") {
+    return std::unique_ptr<ReclaimPolicy>(std::make_unique<RandomReclaimPolicy>());
+  }
+  if (name == "scf") {
+    return std::unique_ptr<ReclaimPolicy>(std::make_unique<ScfReclaimPolicy>());
+  }
+  if (name == "optimal") {
+    return std::unique_ptr<ReclaimPolicy>(std::make_unique<OptimalReclaimPolicy>());
+  }
+  return UnknownComponent("reclaim policy", name, KnownReclaimNames());
+}
+
+StatusOr<std::unique_ptr<UsagePredictor>> MakePredictor(const std::string& name) {
+  if (name == "seasonal-naive") {
+    return std::unique_ptr<UsagePredictor>(std::make_unique<SeasonalNaivePredictor>());
+  }
+  if (name == "lstm") {
+    return std::unique_ptr<UsagePredictor>(std::make_unique<LstmPredictor>());
+  }
+  if (name == "last-value") {
+    return std::unique_ptr<UsagePredictor>(std::make_unique<LastValuePredictor>());
+  }
+  return UnknownComponent("usage predictor", name, KnownPredictorNames());
+}
+
+std::unique_ptr<JobScheduler> MakeSchedulerByName(const std::string& name,
+                                                  bool info_agnostic, bool tuned) {
+  StatusOr<std::unique_ptr<JobScheduler>> made =
+      MakeScheduler(name, info_agnostic, tuned);
+  return made.ok() ? std::move(made.value()) : nullptr;
 }
 
 std::unique_ptr<ReclaimPolicy> MakeReclaimByName(const std::string& name) {
-  if (name == "lyra") {
-    return std::make_unique<LyraReclaimPolicy>();
-  }
-  if (name == "random") {
-    return std::make_unique<RandomReclaimPolicy>();
-  }
-  if (name == "scf") {
-    return std::make_unique<ScfReclaimPolicy>();
-  }
-  if (name == "optimal") {
-    return std::make_unique<OptimalReclaimPolicy>();
-  }
-  return nullptr;
+  StatusOr<std::unique_ptr<ReclaimPolicy>> made = MakeReclaim(name);
+  return made.ok() ? std::move(made.value()) : nullptr;
 }
 
 std::unique_ptr<UsagePredictor> MakeUsagePredictor(bool lstm) {
@@ -77,15 +157,17 @@ StatusOr<Engine> BuildEngine(const EngineConfig& config,
     return Status::InvalidArgument("horizon_days must be positive");
   }
   Engine engine;
-  engine.scheduler =
-      MakeSchedulerByName(config.scheduler, config.info_agnostic, config.tuned);
-  if (engine.scheduler == nullptr) {
-    return Status::InvalidArgument("unknown scheduler: " + config.scheduler);
+  StatusOr<std::unique_ptr<JobScheduler>> scheduler = MakeScheduler(
+      config.scheduler, config.info_agnostic, config.tuned, config.policy_weights);
+  if (!scheduler.ok()) {
+    return scheduler.status();
   }
-  engine.reclaim = MakeReclaimByName(config.reclaim);
-  if (engine.reclaim == nullptr) {
-    return Status::InvalidArgument("unknown reclaim policy: " + config.reclaim);
+  engine.scheduler = std::move(scheduler.value());
+  StatusOr<std::unique_ptr<ReclaimPolicy>> reclaim = MakeReclaim(config.reclaim);
+  if (!reclaim.ok()) {
+    return reclaim.status();
   }
+  engine.reclaim = std::move(reclaim.value());
 
   const int training_servers = std::max(1, static_cast<int>(443 * config.scale));
   const int inference_servers = std::max(1, static_cast<int>(520 * config.scale));

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/lyra/reclaim.h"
@@ -24,7 +25,22 @@
 
 namespace lyra::svc {
 
-// nullptr on an unknown name. Names match lyra_sim's --scheduler/--reclaim.
+// Registered names, sorted, for error messages and --help text.
+const std::vector<std::string>& KnownSchedulerNames();
+const std::vector<std::string>& KnownReclaimNames();
+const std::vector<std::string>& KnownPredictorNames();
+
+// Status-reporting factories. Unknown names fail with InvalidArgument listing
+// the registered alternatives; `learned` additionally needs `policy_weights`
+// (a LYRAPOL file, see src/rl/policy.h) and propagates load errors.
+StatusOr<std::unique_ptr<JobScheduler>> MakeScheduler(
+    const std::string& name, bool info_agnostic, bool tuned,
+    const std::string& policy_weights = "");
+StatusOr<std::unique_ptr<ReclaimPolicy>> MakeReclaim(const std::string& name);
+StatusOr<std::unique_ptr<UsagePredictor>> MakePredictor(const std::string& name);
+
+// Legacy nullptr-on-error variants (no room for a reason; prefer the
+// StatusOr factories above). Names match lyra_sim's --scheduler/--reclaim.
 std::unique_ptr<JobScheduler> MakeSchedulerByName(const std::string& name,
                                                   bool info_agnostic, bool tuned);
 std::unique_ptr<ReclaimPolicy> MakeReclaimByName(const std::string& name);
@@ -33,6 +49,9 @@ std::unique_ptr<UsagePredictor> MakeUsagePredictor(bool lstm);
 struct EngineConfig {
   std::string scheduler = "lyra";
   std::string reclaim = "lyra";
+  // LYRAPOL weights file for scheduler == "learned" (ignored otherwise).
+  // Persisted in snapshots so a warm restart reloads the same policy.
+  std::string policy_weights;
   bool info_agnostic = false;
   bool tuned = false;
   bool loaning = true;

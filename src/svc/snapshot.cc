@@ -147,6 +147,7 @@ class Reader {
 void PutConfig(std::string& out, const EngineConfig& config) {
   PutString(out, config.scheduler);
   PutString(out, config.reclaim);
+  PutString(out, config.policy_weights);
   PutU8(out, config.info_agnostic ? 1 : 0);
   PutU8(out, config.tuned ? 1 : 0);
   PutU8(out, config.loaning ? 1 : 0);
@@ -160,6 +161,7 @@ void PutConfig(std::string& out, const EngineConfig& config) {
 Status ReadConfig(Reader& in, EngineConfig* config) {
   Status status = in.Str(&config->scheduler);
   if (status.ok()) status = in.Str(&config->reclaim);
+  if (status.ok()) status = in.Str(&config->policy_weights);
   if (status.ok()) status = in.Bool(&config->info_agnostic);
   if (status.ok()) status = in.Bool(&config->tuned);
   if (status.ok()) status = in.Bool(&config->loaning);

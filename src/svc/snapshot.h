@@ -29,7 +29,9 @@
 
 namespace lyra::svc {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// v2 added EngineConfig::policy_weights (the learned scheduler's LYRAPOL
+// path). Decoding is strict: any other version is rejected, not migrated.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 enum class CommandKind : std::uint8_t {
   kSubmit = 1,

@@ -1,7 +1,10 @@
-// Tests for the command-line flag library.
+// Tests for the command-line flag library and the component registry the
+// flag values feed into (every CLI resolves scheduler/reclaim/predictor
+// names through src/svc/registry.h).
 #include <gtest/gtest.h>
 
 #include "src/common/flags.h"
+#include "src/svc/registry.h"
 
 namespace lyra {
 namespace {
@@ -110,6 +113,65 @@ TEST_F(FlagsTest, HelpRequestedIsNotAnError) {
   EXPECT_NE(usage.find("how many"), std::string::npos);
   EXPECT_NE(usage.find("default: 7"), std::string::npos);
   EXPECT_NE(usage.find("test tool"), std::string::npos);
+}
+
+// --- Component registry ----------------------------------------------------
+
+TEST(Registry, UnknownNamesListRegisteredAlternatives) {
+  const auto scheduler = svc::MakeScheduler("bogus", false, false);
+  ASSERT_FALSE(scheduler.ok());
+  EXPECT_NE(scheduler.status().message().find("unknown scheduler"),
+            std::string::npos);
+  for (const std::string& name : svc::KnownSchedulerNames()) {
+    EXPECT_NE(scheduler.status().message().find(name), std::string::npos)
+        << "error does not list \"" << name << "\": "
+        << scheduler.status().message();
+  }
+
+  const auto reclaim = svc::MakeReclaim("bogus");
+  ASSERT_FALSE(reclaim.ok());
+  EXPECT_NE(reclaim.status().message().find("unknown reclaim"),
+            std::string::npos);
+  for (const std::string& name : svc::KnownReclaimNames()) {
+    EXPECT_NE(reclaim.status().message().find(name), std::string::npos);
+  }
+
+  const auto predictor = svc::MakePredictor("bogus");
+  ASSERT_FALSE(predictor.ok());
+  EXPECT_NE(predictor.status().message().find("unknown usage predictor"),
+            std::string::npos);
+  for (const std::string& name : svc::KnownPredictorNames()) {
+    EXPECT_NE(predictor.status().message().find(name), std::string::npos);
+  }
+}
+
+TEST(Registry, EveryRegisteredNameConstructsExceptLearned) {
+  for (const std::string& name : svc::KnownSchedulerNames()) {
+    const auto made = svc::MakeScheduler(name, false, false);
+    if (name == "learned") {
+      // Needs weights; the error says how to get them.
+      ASSERT_FALSE(made.ok());
+      EXPECT_NE(made.status().message().find("policy-weights"),
+                std::string::npos);
+      continue;
+    }
+    ASSERT_TRUE(made.ok()) << name << ": " << made.status().message();
+    EXPECT_NE(made.value(), nullptr) << name;
+  }
+  for (const std::string& name : svc::KnownReclaimNames()) {
+    const auto made = svc::MakeReclaim(name);
+    ASSERT_TRUE(made.ok()) << name << ": " << made.status().message();
+  }
+  for (const std::string& name : svc::KnownPredictorNames()) {
+    const auto made = svc::MakePredictor(name);
+    ASSERT_TRUE(made.ok()) << name << ": " << made.status().message();
+  }
+}
+
+TEST(Registry, LearnedSchedulerPropagatesWeightLoadErrors) {
+  const auto made =
+      svc::MakeScheduler("learned", false, false, "/nonexistent/w.lyrapol");
+  ASSERT_FALSE(made.ok());
 }
 
 }  // namespace

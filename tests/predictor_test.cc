@@ -63,6 +63,38 @@ TEST(LstmNetwork, HasExpectedParameterCount) {
   EXPECT_EQ(net.num_parameters(), 96 + 144 + 5);
 }
 
+TEST(LstmNetwork, AnalyticGradientMatchesFiniteDifferences) {
+  // Every parameter matrix — gate weights W/U, gate biases, the output head
+  // — against a central finite difference of the squared-error loss. A tiny
+  // two-layer net keeps the check exhaustive yet fast, and a non-constant
+  // window exercises the full backprop-through-time path.
+  LstmOptions options;
+  options.window = 4;
+  options.hidden = 3;
+  options.layers = 2;
+  options.seed = 5;
+  LstmNetwork net(options);
+  const std::vector<double> window = {0.1, 0.8, 0.3, 0.6};
+  const double target = 0.4;
+
+  net.ComputeLossAndGradient(window, target);
+  const std::vector<double> analytic = net.gradients();
+  ASSERT_EQ(analytic.size(), static_cast<std::size_t>(net.num_parameters()));
+
+  const double eps = 1e-5;
+  for (int i = 0; i < net.num_parameters(); ++i) {
+    const double saved = net.parameter(i);
+    net.set_parameter(i, saved + eps);
+    const double loss_plus = net.ComputeLossAndGradient(window, target);
+    net.set_parameter(i, saved - eps);
+    const double loss_minus = net.ComputeLossAndGradient(window, target);
+    net.set_parameter(i, saved);
+    const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
+    EXPECT_NEAR(analytic[static_cast<std::size_t>(i)], numeric, 1e-4)
+        << "parameter " << i << " of " << net.num_parameters();
+  }
+}
+
 TEST(LstmNetwork, TrainingReducesLossOnConstantTarget) {
   LstmOptions options;
   options.hidden = 8;

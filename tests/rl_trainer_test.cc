@@ -1,0 +1,96 @@
+// Trainer determinism contract (DESIGN.md §12): the same seed and budget
+// always produce byte-identical LYRAPOL weights, checkpointing writes
+// loadable files whose hash matches the report, and training actually moves
+// the weights away from initialization.
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/rl/policy.h"
+#include "src/rl/trainer.h"
+
+namespace lyra::rl {
+namespace {
+
+// Gym-scale scenario so the full test stays in the seconds range.
+TrainOptions TinyOptions() {
+  TrainOptions options;
+  options.episodes = 4;
+  options.batch = 2;
+  options.seed = 9;
+  options.env.scale = 0.03;
+  options.env.days = 0.5;
+  options.base.loaning = true;
+  return options;
+}
+
+TEST(Trainer, SameSeedProducesByteIdenticalWeights) {
+  PolicyOptions policy_options;
+  policy_options.seed = 3;
+
+  PolicyNet first(policy_options);
+  StatusOr<TrainReport> report_a = TrainPolicy(TinyOptions(), &first);
+  ASSERT_TRUE(report_a.ok()) << report_a.status().message();
+
+  PolicyNet second(policy_options);
+  StatusOr<TrainReport> report_b = TrainPolicy(TinyOptions(), &second);
+  ASSERT_TRUE(report_b.ok()) << report_b.status().message();
+
+  EXPECT_EQ(first.Encode(), second.Encode());
+  EXPECT_EQ(report_a.value().weights_hash, report_b.value().weights_hash);
+  ASSERT_EQ(report_a.value().mean_rewards.size(),
+            report_b.value().mean_rewards.size());
+  for (std::size_t i = 0; i < report_a.value().mean_rewards.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report_a.value().mean_rewards[i],
+                     report_b.value().mean_rewards[i]);
+  }
+
+  // Training moved the weights: the gradient path is live, not a no-op.
+  EXPECT_NE(first.Encode(), PolicyNet(policy_options).Encode());
+}
+
+TEST(Trainer, CheckpointMatchesReportAndResumes) {
+  const std::string path =
+      testing::TempDir() + "/trainer_ckpt_" + std::to_string(::getpid()) + ".lyrapol";
+
+  TrainOptions options = TinyOptions();
+  options.checkpoint_every = 1;
+  options.checkpoint_path = path;
+  PolicyNet policy;
+  StatusOr<TrainReport> report = TrainPolicy(options, &policy);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report.value().updates, 2);
+  EXPECT_EQ(report.value().episodes, 4);
+
+  StatusOr<PolicyNet> loaded = PolicyNet::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().WeightsHash(), report.value().weights_hash);
+  EXPECT_EQ(loaded.value().Encode(), policy.Encode());
+
+  // Resume: more training from the checkpoint keeps moving the weights.
+  TrainOptions more = TinyOptions();
+  more.episodes = 2;
+  more.seed = 10;
+  PolicyNet resumed = std::move(loaded.value());
+  StatusOr<TrainReport> second = TrainPolicy(more, &resumed);
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  EXPECT_NE(resumed.Encode(), policy.Encode());
+
+  std::remove(path.c_str());
+}
+
+TEST(Trainer, RejectsMalformedBudgets) {
+  PolicyNet policy;
+  TrainOptions options = TinyOptions();
+  options.episodes = 0;
+  EXPECT_FALSE(TrainPolicy(options, &policy).ok());
+  options = TinyOptions();
+  options.batch = 0;
+  EXPECT_FALSE(TrainPolicy(options, &policy).ok());
+  options = TinyOptions();
+  options.worker_sigma = 0.0;
+  EXPECT_FALSE(TrainPolicy(options, &policy).ok());
+}
+
+}  // namespace
+}  // namespace lyra::rl

@@ -412,6 +412,61 @@ TEST(Federation, LoanLedgerInvariantsUnderGrantAndReturn) {
   StopFed(fed);
 }
 
+// The optional loan predictor (--loan-predictor): off by default with
+// byte-identical broker behaviour, grant sizing follows the per-borrower
+// prediction when on, and unknown names are rejected with the registered
+// alternatives listed.
+TEST(Federation, LoanPredictorSizesGrantsAndOffIsByteIdentical) {
+  std::vector<LoanBroker::ClusterSignal> signals(2);
+  signals[0].kind = ClusterKind::kInference;
+  signals[0].total_gpus = 4096;
+  signals[0].free_gpus = 4096;
+  signals[1].kind = ClusterKind::kTraining;
+  signals[1].pending_jobs = 2000;
+
+  // Configured then switched back off: byte-identical to a broker that
+  // never had a predictor (same events, same ledger hash).
+  LoanBroker plain, off;
+  ASSERT_TRUE(off.ConfigurePredictor("last-value").ok());
+  ASSERT_TRUE(off.ConfigurePredictor("").ok());
+  EXPECT_TRUE(off.predictor_name().empty());
+  plain.Evaluate(100.0, signals);
+  off.Evaluate(100.0, signals);
+  ASSERT_FALSE(plain.ledger().loans.empty());
+  EXPECT_EQ(plain.ledger_hash(), off.ledger_hash());
+  EXPECT_EQ(plain.BorrowedBy(1), 2000);
+
+  // With a predictor, demand comes from the prediction over the normalized
+  // pending series: 2000 pending observes as min(1, 2000/1024) = 1, so the
+  // last-value prediction maps back to ceil(1 * 1024) = 1024 GPUs — smaller
+  // than the raw demand, and a different ledger.
+  LoanBroker predicted;
+  ASSERT_TRUE(predicted.ConfigurePredictor("last-value").ok());
+  EXPECT_EQ(predicted.predictor_name(), "last-value");
+  predicted.Evaluate(100.0, signals);
+  EXPECT_EQ(predicted.BorrowedBy(1),
+            static_cast<std::int64_t>(LoanBroker::kDemandScale));
+  EXPECT_NE(predicted.ledger_hash(), plain.ledger_hash());
+
+  // Below the normalization cap the last-value prediction equals the raw
+  // demand, so the grant sizes match the unpredicted broker's.
+  signals[1].pending_jobs = 300;
+  LoanBroker raw_small, predicted_small;
+  ASSERT_TRUE(predicted_small.ConfigurePredictor("last-value").ok());
+  raw_small.Evaluate(100.0, signals);
+  predicted_small.Evaluate(100.0, signals);
+  EXPECT_EQ(predicted_small.BorrowedBy(1), raw_small.BorrowedBy(1));
+
+  // Unknown names are rejected up front, listing the alternatives.
+  LoanBroker bad;
+  const Status status = bad.ConfigurePredictor("bogus");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown usage predictor"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("seasonal-naive"), std::string::npos);
+  EXPECT_TRUE(bad.predictor_name().empty());
+}
+
 // Migration between training clusters: the job is cancelled on the source,
 // resubmitted on the destination with the remaining work plus the checkpoint
 // cost (60s GPU-time when checkpointing, 300s cold otherwise), and the move

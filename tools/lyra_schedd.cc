@@ -82,8 +82,14 @@ int main(int argc, char** argv) {
   flags.AddInt("tcp-port", &loop_options.tcp_port,
                "TCP port to listen on (-1 disables, 0 = ephemeral)");
   flags.AddString("scheduler", &options.engine.scheduler,
-                  "fifo | sjf | gandiva | afs | pollux | opportunistic | lyra");
+                  "fifo | sjf | gandiva | afs | pollux | opportunistic | lyra | "
+                  "learned");
   flags.AddString("reclaim", &options.engine.reclaim, "lyra | random | scf | optimal");
+  flags.AddString("policy-weights", &options.engine.policy_weights,
+                  "LYRAPOL weights file for --scheduler=learned (see lyra_train)");
+  flags.AddString("loan-predictor", &options.loan_predictor,
+                  "size federation loans from predicted demand: "
+                  "seasonal-naive | lstm | last-value (default: off)");
   flags.AddString("restore", &restore_path, "warm-restart from this snapshot");
   flags.AddString("snapshot-on-exit", &snapshot_on_exit,
                   "write a snapshot here on SIGINT/SIGTERM");

@@ -35,6 +35,7 @@ void HandleSignal(int) { g_interrupted = 1; }
 int main(int argc, char** argv) {
   std::string scheduler_name = "lyra";
   std::string reclaim_name = "lyra";
+  std::string policy_weights;
   std::string trace_path;
   std::string series_csv;
   std::string decisions_csv;
@@ -55,8 +56,11 @@ int main(int argc, char** argv) {
   lyra::FlagSet flags(
       "lyra_sim: run one cluster-scheduling experiment and print its metrics");
   flags.AddString("scheduler", &scheduler_name,
-                  "fifo | sjf | gandiva | afs | pollux | opportunistic | lyra");
+                  "fifo | sjf | gandiva | afs | pollux | opportunistic | lyra | "
+                  "learned");
   flags.AddString("reclaim", &reclaim_name, "lyra | random | scf | optimal");
+  flags.AddString("policy-weights", &policy_weights,
+                  "LYRAPOL weights file for --scheduler=learned (see lyra_train)");
   flags.AddString("trace", &trace_path,
                   "CSV trace to replay (default: synthesize one)");
   flags.AddString("series-csv", &series_csv, "write 5-minute usage series here");
@@ -91,14 +95,22 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::unique_ptr<lyra::JobScheduler> scheduler =
-      lyra::svc::MakeSchedulerByName(scheduler_name, info_agnostic, tuned);
-  std::unique_ptr<lyra::ReclaimPolicy> reclaim =
-      lyra::svc::MakeReclaimByName(reclaim_name);
-  if (scheduler == nullptr || reclaim == nullptr) {
-    std::fprintf(stderr, "unknown --scheduler or --reclaim\n%s", flags.Usage().c_str());
+  lyra::StatusOr<std::unique_ptr<lyra::JobScheduler>> made_scheduler =
+      lyra::svc::MakeScheduler(scheduler_name, info_agnostic, tuned, policy_weights);
+  if (!made_scheduler.ok()) {
+    std::fprintf(stderr, "%s\n%s", made_scheduler.status().message().c_str(),
+                 flags.Usage().c_str());
     return 1;
   }
+  lyra::StatusOr<std::unique_ptr<lyra::ReclaimPolicy>> made_reclaim =
+      lyra::svc::MakeReclaim(reclaim_name);
+  if (!made_reclaim.ok()) {
+    std::fprintf(stderr, "%s\n%s", made_reclaim.status().message().c_str(),
+                 flags.Usage().c_str());
+    return 1;
+  }
+  std::unique_ptr<lyra::JobScheduler> scheduler = std::move(made_scheduler.value());
+  std::unique_ptr<lyra::ReclaimPolicy> reclaim = std::move(made_reclaim.value());
 
   const int training_servers = std::max(1, static_cast<int>(443 * scale));
   const int inference_servers = std::max(1, static_cast<int>(520 * scale));

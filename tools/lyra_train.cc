@@ -1,0 +1,120 @@
+// lyra_train: offline policy-gradient training for the learned scheduler
+// (DESIGN.md §12).
+//
+// Trains a PolicyNet with REINFORCE-with-baseline against the simulator and
+// writes the weights as a checksummed LYRAPOL file usable by every consumer
+// of the scheduler registry (`--scheduler=learned --policy-weights=...`).
+// Training is deterministic: the same --seed (and budget) always produces a
+// byte-identical weights file, regardless of thread count (CI-enforced).
+//
+//   ./build/tools/lyra_train --out=policy.lyrapol --episodes=16 --batch=8
+//   ./build/tools/lyra_train --out=policy.lyrapol --resume --episodes=8
+//   ./build/tools/lyra_train --help
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "src/common/flags.h"
+#include "src/rl/policy.h"
+#include "src/rl/trainer.h"
+
+int main(int argc, char** argv) {
+  std::string out = "policy.lyrapol";
+  int episodes = 16;
+  int batch = 8;
+  int seed = 1;
+  int checkpoint_every = 0;
+  int hidden = 8;
+  bool resume = false;
+  bool loaning = true;
+  double learning_rate = 0.05;
+  double sigma = 0.5;
+  double scale = 0.05;
+  double days = 0.5;
+  double offered_load = 0.95;
+  int env_seed = 42;
+
+  lyra::FlagSet flags(
+      "lyra_train: train a learned-scheduler policy against the simulator");
+  flags.AddString("out", &out, "LYRAPOL weights file to write");
+  flags.AddInt("episodes", &episodes, "total episode budget");
+  flags.AddInt("batch", &batch, "episodes per policy update (parallel rollouts)");
+  flags.AddInt("seed", &seed,
+               "master seed: policy init on a fresh run, action sampling always");
+  flags.AddInt("checkpoint-every", &checkpoint_every,
+               "also write --out every N updates (0 = final weights only)");
+  flags.AddInt("hidden", &hidden, "LSTM hidden units per policy head");
+  flags.AddBool("resume", &resume,
+                "load --out and continue training instead of starting fresh");
+  flags.AddBool("loaning", &loaning, "enable capacity loaning in rollouts");
+  flags.AddDouble("lr", &learning_rate, "Adam step size for both heads");
+  flags.AddDouble("sigma", &sigma, "worker-head exploration stddev");
+  flags.AddDouble("scale", &scale, "rollout cluster scale (1.0 = paper size)");
+  flags.AddDouble("days", &days, "rollout trace length in days");
+  flags.AddDouble("load", &offered_load, "rollout offered load");
+  flags.AddInt("env-seed", &env_seed, "rollout trace seed (fixed across episodes)");
+
+  const lyra::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.message().c_str(), flags.Usage().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.Usage().c_str(), stdout);
+    return 0;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "--out must not be empty\n%s", flags.Usage().c_str());
+    return 1;
+  }
+
+  lyra::rl::PolicyOptions policy_options;
+  policy_options.hidden = hidden;
+  policy_options.learning_rate = learning_rate;
+  policy_options.seed = static_cast<std::uint64_t>(seed);
+  lyra::rl::PolicyNet policy(policy_options);
+  if (resume) {
+    lyra::StatusOr<lyra::rl::PolicyNet> loaded = lyra::rl::PolicyNet::Load(out);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot resume from %s: %s\n", out.c_str(),
+                   loaded.status().message().c_str());
+      return 1;
+    }
+    policy = std::move(loaded.value());
+    std::printf("resumed from %s (hash=%016llx, hidden=%d)\n", out.c_str(),
+                static_cast<unsigned long long>(policy.WeightsHash()),
+                policy.options().hidden);
+  }
+
+  lyra::rl::TrainOptions options;
+  options.episodes = episodes;
+  options.batch = batch;
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.worker_sigma = sigma;
+  options.checkpoint_every = checkpoint_every;
+  options.checkpoint_path = out;
+  options.env.scale = scale;
+  options.env.days = days;
+  options.env.offered_load = offered_load;
+  options.env.seed = static_cast<std::uint64_t>(env_seed);
+  options.base.loaning = loaning;
+  options.verbose = true;
+
+  const lyra::StatusOr<lyra::rl::TrainReport> trained =
+      lyra::rl::TrainPolicy(options, &policy);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 trained.status().message().c_str());
+    return 1;
+  }
+  const lyra::rl::TrainReport& report = trained.value();
+  std::printf("trained  updates=%d episodes=%d\n", report.updates,
+              report.episodes);
+  if (!report.mean_rewards.empty()) {
+    std::printf("reward   first=%.4f last=%.4f\n", report.mean_rewards.front(),
+                report.mean_rewards.back());
+  }
+  std::printf("weights  %s hash=%016llx\n", out.c_str(),
+              static_cast<unsigned long long>(report.weights_hash));
+  return 0;
+}
